@@ -1,0 +1,34 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+it (visible with ``-s``), and writes it to ``benchmarks/results/`` so
+the numbers survive the run.  Use::
+
+    pytest benchmarks/ --benchmark-only
+
+Absolute times come from the calibrated simulation; the assertions guard
+the paper's *qualitative* claims (orderings, ratios, crossovers).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record(results_dir):
+    """Print a rendered table/figure and persist it."""
+
+    def _record(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _record

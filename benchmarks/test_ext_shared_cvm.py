@@ -1,0 +1,44 @@
+"""Extension bench: core-gapped vs shared-core *confidential* VMs.
+
+Tests the paper's S5.5 prediction, which its hardware could not: once
+the baseline also pays confidentiality costs (world switches +
+mitigation flushes per exit), core gapping wins outright.
+"""
+
+from repro.analysis import render_series
+from repro.experiments.ext_shared_cvm import run_shared_cvm_comparison
+from repro.sim.clock import ms
+
+
+def test_ext_shared_cvm_comparison(benchmark, record):
+    result = benchmark.pedantic(
+        run_shared_cvm_comparison,
+        kwargs={"core_counts": [4, 8, 16, 32], "duration_ns": ms(600)},
+        rounds=1,
+        iterations=1,
+    )
+    series = {
+        mode: [(float(x), y) for x, y in points]
+        for mode, points in result.series.items()
+    }
+    text = render_series(
+        "cores",
+        series,
+        title=(
+            "Extension: CoreMark score, shared VM vs shared CVM vs "
+            "core-gapped CVM (the S5.5 prediction)"
+        ),
+        y_format="{:.0f}",
+    )
+    record("ext_shared_cvm", text)
+
+    for n in (8, 16, 32):
+        # confidentiality costs the shared-core design real throughput
+        assert result.score("shared-cvm", n) < result.score("shared", n)
+    # the S5.5 prediction: core-gapped CVMs overtake shared-core CVMs
+    # earlier than they overtake the non-confidential baseline -- here
+    # by 32 cores (vs ~48-64 against plain shared VMs in fig. 6)
+    assert result.score("gapped", 32) > result.score("shared-cvm", 32)
+    gap_vs_cvm_16 = result.score("gapped", 16) / result.score("shared-cvm", 16)
+    gap_vs_shared_16 = result.score("gapped", 16) / result.score("shared", 16)
+    assert gap_vs_cvm_16 > gap_vs_shared_16  # closer against the fair baseline

@@ -1,0 +1,34 @@
+"""Fig. 10: Linux kernel build, virtio disk."""
+
+from repro.analysis import render_series
+from repro.experiments.fig10 import run_fig10
+
+
+def test_fig10_kernel_build(benchmark, record):
+    result = benchmark.pedantic(
+        run_fig10, kwargs={"core_counts": [4, 8, 16]}, rounds=1, iterations=1
+    )
+    series = {
+        mode: [(float(x), y) for x, y in points]
+        for mode, points in result.series.items()
+    }
+    text = render_series(
+        "cores", series,
+        title=(
+            "Fig. 10: scaled-down kernel build time (s), virtio disk "
+            "(core-gapped runs N-1 vCPUs)"
+        ),
+        y_format="{:.2f}",
+    )
+    record("fig10_kernel_build", text)
+
+    shared = dict(result.series["shared"])
+    gapped = dict(result.series["gapped"])
+    # both configurations scale with more cores
+    assert shared[16] < shared[4]
+    assert gapped[16] < gapped[4]
+    # comparable performance despite one fewer vCPU (paper: "scales
+    # similarly", within ~20% everywhere, near-parity at 16)
+    for n in (4, 8, 16):
+        assert gapped[n] < 1.25 * shared[n]
+    assert gapped[16] < 1.1 * shared[16]

@@ -1,0 +1,60 @@
+"""Fig. 6: CoreMark-PRO scaling for shared-core VMs and core-gapped CVMs."""
+
+from repro.analysis import render_series
+from repro.experiments.fig6 import run_fig6
+from repro.sim.clock import ms
+
+
+def test_fig6_coremark_scaling(benchmark, record):
+    result = benchmark.pedantic(
+        run_fig6,
+        kwargs={
+            "core_counts": [2, 4, 8, 16, 32, 48, 64],
+            "duration_ns": ms(600),
+            "busywait_duration_ns": ms(250),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    series = {
+        name: [(float(x), y) for x, y in points]
+        for name, points in result.series.items()
+    }
+    text = render_series(
+        "cores",
+        series,
+        title=(
+            "Fig. 6: CoreMark-PRO score vs physical cores "
+            "(core-gapped uses N-1 guest cores + 1 host core)"
+        ),
+        y_format="{:.0f}",
+    )
+    r2r = ", ".join(
+        f"{n}c={v:.1f}us" for n, v in sorted(result.run_to_run_us.items())
+    )
+    text += f"\n\nrun-to-run latency (no delegation): {r2r} (paper: 26.18 +- 0.96 us)"
+    record("fig6_coremark_scaling", text)
+
+    shared = dict(result.series["shared"])
+    gapped = dict(result.series["gapped"])
+    busy = dict(result.series["gapped-busywait"])
+
+    # near-linear scaling to 64 cores for the async+delegation design
+    assert gapped[64] > 25 * gapped[2]
+    # fair-accounting handicap at small counts: shared wins at 2 cores...
+    assert shared[2] > gapped[2]
+    # ...but core gapping is competitive (within 2%) or ahead at 64
+    assert gapped[64] > 0.98 * shared[64]
+    # the Quarantine-style ablation saturates around ~10 guest cores
+    assert busy[24] < 1.4 * busy[8]
+    assert busy[24] < 0.25 * gapped[16]
+    # run-to-run latency stays flat with core count (paper S5.2; the
+    # paper's 26.18 us figure is for the delegated config, where exits
+    # are rare -- our samples come from the no-delegation series, which
+    # congests the single host core beyond ~32 guest cores, so the
+    # flatness claim is checked on 4..32 cores)
+    values = [
+        v for n, v in sorted(result.run_to_run_us.items()) if 4 <= n <= 32
+    ]
+    assert max(values) - min(values) < 15
+    assert all(10 < v < 40 for v in values)

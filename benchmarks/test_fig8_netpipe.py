@@ -1,0 +1,58 @@
+"""Fig. 8: NetPIPE TCP results, virtio vs SR-IOV."""
+
+from repro.analysis import render_series
+from repro.experiments.fig8 import run_fig8
+
+
+def test_fig8_netpipe(benchmark, record):
+    result = benchmark.pedantic(
+        run_fig8, kwargs={"pings": 20}, rounds=1, iterations=1
+    )
+    latency = {
+        f"{mode}/{transport}": [
+            (float(size), result.latency_us(mode, transport, size))
+            for size in result.sizes
+        ]
+        for mode in ("shared", "gapped")
+        for transport in ("virtio", "sriov")
+    }
+    throughput = {
+        name: [
+            (size, result.throughput_gbps(name.split("/")[0],
+                                          name.split("/")[1], int(size)))
+            for size, _ in points
+        ]
+        for name, points in latency.items()
+    }
+    text = render_series(
+        "bytes", latency,
+        title="Fig. 8a: NetPIPE one-way latency (us)", y_format="{:.1f}",
+    )
+    text += "\n\n" + render_series(
+        "bytes", throughput,
+        title="Fig. 8b: NetPIPE throughput (Gb/s)", y_format="{:.2f}",
+    )
+    record("fig8_netpipe", text)
+
+    small, large = result.sizes[0], result.sizes[-1]
+    # virtio: substantially higher latency and 30-70% lower throughput
+    # on core-gapped CVMs (exit- and emulation-intensive)
+    assert result.latency_us("gapped", "virtio", small) > 1.3 * (
+        result.latency_us("shared", "virtio", small)
+    )
+    mid = result.sizes[3]
+    ratio = result.throughput_gbps("gapped", "virtio", mid) / (
+        result.throughput_gbps("shared", "virtio", mid)
+    )
+    assert ratio < 0.8
+    # SR-IOV: within 10-20 us of the baseline at all sizes
+    for size in result.sizes:
+        delta = result.latency_us("gapped", "sriov", size) - (
+            result.latency_us("shared", "sriov", size)
+        )
+        assert -5 < delta < 20
+    # and near-parity throughput at large messages
+    big_ratio = result.throughput_gbps("gapped", "sriov", large) / (
+        result.throughput_gbps("shared", "sriov", large)
+    )
+    assert big_ratio > 0.95

@@ -1,0 +1,41 @@
+"""Fig. 9: IOzone sync read/write throughput to a virtio block device."""
+
+from repro.analysis import render_series
+from repro.experiments.fig9 import run_fig9
+
+MIB = 1024 * 1024
+
+
+def test_fig9_iozone(benchmark, record):
+    result = benchmark.pedantic(
+        run_fig9, kwargs={"ops_per_record": 8}, rounds=1, iterations=1
+    )
+    series = {
+        f"{mode}/{op.split('_')[1]}": [
+            (float(rec), result.throughput(mode, rec, op))
+            for rec in result.records
+        ]
+        for mode in ("shared", "gapped")
+        for op in ("blk_read", "blk_write")
+    }
+    text = render_series(
+        "record bytes", series,
+        title="Fig. 9: IOzone O_DIRECT throughput (MiB/s), virtio block",
+        y_format="{:.0f}",
+    )
+    record("fig9_iozone", text)
+
+    small = result.records[0]
+    large = result.records[-1]
+    # small records: core-gapping pays its higher exit latency per record
+    for op in ("blk_read", "blk_write"):
+        ratio = result.throughput("gapped", small, op) / (
+            result.throughput("shared", small, op)
+        )
+        assert ratio < 0.8
+    # large (>10 MiB) records: similar throughput (paper's crossover)
+    for op in ("blk_read", "blk_write"):
+        ratio = result.throughput("gapped", large, op) / (
+            result.throughput("shared", large, op)
+        )
+        assert ratio > 0.9

@@ -1,0 +1,9 @@
+"""Table 1: confidential VM terms in different ISAs."""
+
+from repro.isa import render_table1
+
+
+def test_table1_terminology(benchmark, record):
+    table = benchmark.pedantic(render_table1, rounds=1, iterations=1)
+    record("table1_terminology", "Table 1: CVM terms per ISA\n" + table)
+    assert "RMM" in table and "TDX module" in table and "TSM" in table

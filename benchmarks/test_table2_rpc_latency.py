@@ -1,0 +1,45 @@
+"""Table 2: comparison of null RMM call latencies."""
+
+import pytest
+
+from repro.analysis import render_comparison
+from repro.experiments import PAPER_TARGETS
+from repro.experiments.table2 import run_table2
+
+
+def test_table2_null_rmm_call_latencies(benchmark, record):
+    result = benchmark.pedantic(
+        run_table2, kwargs={"iterations": 300}, rounds=1, iterations=1
+    )
+    text = render_comparison(
+        [
+            (
+                "core-gapped asynchronous (vCPU run calls)",
+                result.async_ns.mean,
+                PAPER_TARGETS["table2_async_ns"],
+            ),
+            (
+                "core-gapped synchronous (page table update)",
+                result.sync_ns.mean,
+                PAPER_TARGETS["table2_sync_ns"],
+            ),
+            (
+                "same-core synchronous",
+                result.samecore_ns.mean,
+                PAPER_TARGETS["table2_samecore_ns"],
+            ),
+        ],
+        title="Table 2: null RMM call latency (ns), measured vs paper",
+        unit=" ns",
+    )
+    record("table2_rpc_latency", text)
+
+    assert result.sync_ns.mean < result.async_ns.mean < result.samecore_ns.mean
+    assert result.sync_ns.mean == pytest.approx(
+        PAPER_TARGETS["table2_sync_ns"], rel=0.2
+    )
+    assert result.async_ns.mean == pytest.approx(
+        PAPER_TARGETS["table2_async_ns"], rel=0.2
+    )
+    # ">12.8 us" for the same-core call
+    assert result.samecore_ns.mean > PAPER_TARGETS["table2_samecore_ns"]

@@ -1,0 +1,44 @@
+"""Table 3: virtual inter-processor interrupt latency."""
+
+from repro.analysis import render_comparison
+from repro.experiments import PAPER_TARGETS
+from repro.experiments.table3 import run_table3
+
+
+def test_table3_virtual_ipi_latency(benchmark, record):
+    result = benchmark.pedantic(
+        run_table3, kwargs={"count": 150}, rounds=1, iterations=1
+    )
+    nodeleg = result.latency_us["gapped-nodeleg"].mean
+    deleg = result.latency_us["gapped-deleg"].mean
+    shared = result.latency_us["shared"].mean
+    text = render_comparison(
+        [
+            (
+                "core-gapped CVM, without delegation",
+                nodeleg,
+                PAPER_TARGETS["table3_vipi_nodeleg_us"],
+            ),
+            (
+                "core-gapped CVM, with delegation",
+                deleg,
+                PAPER_TARGETS["table3_vipi_deleg_us"],
+            ),
+            (
+                "shared-core VM",
+                shared,
+                PAPER_TARGETS["table3_vipi_shared_us"],
+            ),
+        ],
+        title="Table 3: virtual IPI latency (us), measured vs paper",
+        unit=" us",
+    )
+    record("table3_vipi_latency", text)
+
+    # the paper's ordering and the ~20x delegation win
+    assert deleg < shared < nodeleg
+    assert nodeleg / deleg > 10
+    # within 2x of every absolute number
+    assert 0.5 < deleg / PAPER_TARGETS["table3_vipi_deleg_us"] < 2
+    assert 0.5 < nodeleg / PAPER_TARGETS["table3_vipi_nodeleg_us"] < 2
+    assert 0.5 < shared / PAPER_TARGETS["table3_vipi_shared_us"] < 2

@@ -1,0 +1,50 @@
+"""Table 4: interrupt delegation effect on CoreMark-PRO exit counts."""
+
+from repro.analysis import render_table
+from repro.experiments import PAPER_TARGETS
+from repro.experiments.table4 import run_table4
+from repro.sim.clock import sec
+
+
+def test_table4_interrupt_delegation_exits(benchmark, record):
+    result = benchmark.pedantic(
+        run_table4,
+        kwargs={"duration_ns": int(sec(4.5))},
+        rounds=1,
+        iterations=1,
+    )
+    text = render_table(
+        ["", "without delegation", "with delegation", "paper w/o", "paper w/"],
+        [
+            (
+                "interrupt-related exits",
+                result.interrupt_exits[False],
+                result.interrupt_exits[True],
+                PAPER_TARGETS["table4_irq_exits_nodeleg"],
+                PAPER_TARGETS["table4_irq_exits_deleg"],
+            ),
+            (
+                "total exits",
+                result.total_exits[False],
+                result.total_exits[True],
+                PAPER_TARGETS["table4_total_exits_nodeleg"],
+                PAPER_TARGETS["table4_total_exits_deleg"],
+            ),
+        ],
+        title=(
+            "Table 4: delegation on CoreMark-PRO (16 cores, 4.5 s run); "
+            f"total-exit reduction {result.reduction_factor():.1f}x "
+            "(paper: 28.5x)"
+        ),
+    )
+    record("table4_exit_counts", text)
+
+    # paper: 33954 -> 390 interrupt exits, 37712 -> 1324 total (28x)
+    assert 0.8 < (
+        result.interrupt_exits[False]
+        / PAPER_TARGETS["table4_irq_exits_nodeleg"]
+    ) < 1.2
+    assert result.interrupt_exits[True] < 2 * PAPER_TARGETS[
+        "table4_irq_exits_deleg"
+    ]
+    assert result.reduction_factor() > 15

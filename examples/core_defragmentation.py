@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Extension demo: monitor-mediated vCPU rebinding (defragmentation).
+
+The paper (S3) fixes each vCPU to one core for the CVM's lifetime and
+notes that long-term this fragments a node's free cores, deferring
+coarse-grained rebinding to future work.  This reproduction implements
+it: the planner parks a vCPU between run calls, the RMM validates the
+handover, scrubs every core-private structure on the old core, and the
+binding moves -- without the guest noticing and without ever letting a
+distrusting domain touch a warm core.
+
+Scenario: two CVMs end up scattered across the node after a third is
+terminated; the planner compacts one of them onto the freed low-numbered
+cores and the audit stays clean.
+
+Run:  python examples/core_defragmentation.py
+"""
+
+from repro.experiments import System, SystemConfig
+from repro.guest.actions import Compute
+from repro.guest.vm import GuestVm
+from repro.host.threads import HostThread, SchedClass
+from repro.security import CoreGapAuditor
+from repro.sim.clock import ms
+
+
+def forever(vm, index):
+    def body():
+        while True:
+            yield Compute(200_000)
+
+    return body()
+
+
+def finite(vm, index):
+    def body():
+        for _ in range(50):
+            yield Compute(200_000)
+
+    return body()
+
+
+def run_planner(system, body, name):
+    thread = HostThread(name, body, SchedClass.FAIR,
+                        affinity=system.host_cores)
+    system.kernel.add_thread(thread)
+    system.run_until_event(thread.done_event, limit_ns=ms(500))
+    return thread.result
+
+
+def main() -> None:
+    print("=== core defragmentation via monitor-mediated rebinding ===\n")
+    system = System(SystemConfig(mode="gapped", n_cores=8))
+
+    # short-lived CVM takes the low cores, long-lived one the high cores
+    vm_short = GuestVm("short-lived", 3, finite)
+    kvm_short = system.launch(vm_short)
+    system.start(kvm_short)
+    vm_long = GuestVm("long-lived", 3, forever)
+    kvm_long = system.launch(vm_long)
+    system.start(kvm_long)
+    print(f"short-lived on cores {sorted(kvm_short.planned_cores.values())}")
+    print(f"long-lived  on cores {sorted(kvm_long.planned_cores.values())}")
+
+    # the short-lived CVM finishes; its low cores free up
+    system.run_until_vm_done(kvm_short, limit_ns=ms(500))
+    system.terminate(kvm_short)
+    print(f"\nshort-lived done; free cores: {system.planner.free_cores()}")
+    print("the node is fragmented: the long-lived CVM sits on high cores")
+
+    # compact: rebind each long-lived vCPU onto the lowest free core
+    compute_before = vm_long.total_compute_done()
+    for idx in range(vm_long.n_vcpus):
+        target = min(system.planner.free_cores())
+        old = kvm_long.planned_cores[idx]
+        run_planner(
+            system,
+            system.planner.rebind_vcpu(kvm_long, idx, target),
+            f"rebind-{idx}",
+        )
+        print(f"  vcpu{idx}: core {old} -> core {target} "
+              f"(old core scrubbed and returned to the host)")
+
+    system.run_for(ms(20))
+    print(f"\nlong-lived now on cores "
+          f"{sorted(kvm_long.planned_cores.values())}; "
+          f"rebinds performed: {system.tracer.counters['rec_rebind']}")
+    assert vm_long.total_compute_done() > compute_before
+    print("the guest kept computing throughout (no guest-visible change)")
+
+    system.finish()
+    report = CoreGapAuditor().audit(system.machine, system.tracer)
+    print(f"\n{report.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Interrupt delegation (S4.4): the optimisation that makes core
+gapping scale.
+
+Runs the same compute-bound CVM twice -- with and without the RMM
+emulating the virtual timer and virtual IPIs -- and shows where every
+exit went, plus the effect on virtual IPI latency.
+
+Run:  python examples/interrupt_delegation.py
+"""
+
+from repro.analysis import render_table, summarize
+from repro.experiments import System, SystemConfig
+from repro.guest.actions import Compute, SendIpi
+from repro.guest.vm import GuestVm
+from repro.sim.clock import ms, us
+
+
+def ipi_heavy_factory(vm, index):
+    """vCPU 0 pings its sibling; everyone computes."""
+
+    def pinger():
+        while True:
+            yield SendIpi(1)
+            yield Compute(us(400))
+
+    def worker():
+        while True:
+            yield Compute(us(400))
+
+    return pinger() if index == 0 else worker()
+
+
+def run_once(delegation: bool):
+    system = System(
+        SystemConfig(
+            mode="gapped", n_cores=4, delegation=delegation,
+            housekeeping=None,
+        )
+    )
+    vm = GuestVm("guest", 3, ipi_heavy_factory)
+    kvm = system.launch(vm)
+    system.start(kvm)
+    system.run_for(ms(200))
+    exits = system.exit_counts()
+    vipi = summarize(
+        [s / 1e3 for s in system.tracer.samples("vipi_latency_ns")]
+    )
+    local = system.tracer.counters.get("rmm_local_timer_inject", 0)
+    return exits, vipi, local
+
+
+def main() -> None:
+    print("=== RMM interrupt delegation ablation ===\n")
+    rows = []
+    for delegation in (False, True):
+        exits, vipi, local = run_once(delegation)
+        label = "with delegation" if delegation else "without delegation"
+        rows.append(
+            (
+                label,
+                exits.get("exits_total", 0),
+                exits.get("exit:timer", 0),
+                exits.get("exit:ipi", 0),
+                exits.get("exit:host_kick", 0),
+                local,
+                f"{vipi.mean:.2f}",
+            )
+        )
+    print(
+        render_table(
+            [
+                "config",
+                "total exits",
+                "timer exits",
+                "ipi exits",
+                "kick exits",
+                "RMM-local timer injects",
+                "vIPI us",
+            ],
+            rows,
+            title="200 ms of an IPI-heavy 3-vCPU CVM",
+        )
+    )
+    print(
+        "\nWith delegation the RMM handles timer programming and guest "
+        "IPIs on the dedicated cores themselves: the host core sees "
+        "almost nothing, which is what lets one host core serve 60+ "
+        "guest cores (fig. 6) -- and the guest gets a source of time "
+        "the hypervisor cannot manipulate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Sharing is leaking: the same attacks, with and without core gapping.
+
+Runs four classic microarchitectural attacks against the simulated
+hardware twice each: once with attacker and victim time-slicing one
+physical core (what a malicious hypervisor can always arrange today),
+and once with each pinned to its own core (what the core-gapped RMM
+enforces).  The attacker code is identical in both runs -- only the
+schedule changes.
+
+Run:  python examples/side_channel_attack.py
+"""
+
+from repro.hw import Machine, SocTopology
+from repro.security import (
+    btb_injection_attack,
+    cache_covert_channel,
+    prime_probe_attack,
+    store_buffer_attack,
+)
+
+SECRET_BITS = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0, 1, 0, 0, 0, 1] * 4
+
+
+def banner(title: str) -> None:
+    print(f"\n--- {title} ---")
+
+
+def main() -> None:
+    machine = Machine(SocTopology(name="attack-demo", n_cores=4, memory_gib=1))
+    print("=== transient-execution attacks vs core gapping ===")
+    print(f"secret: {''.join(map(str, SECRET_BITS[:16]))}... "
+          f"({len(SECRET_BITS)} bits)")
+
+    banner("L1D prime+probe (the classic cache side channel)")
+    shared = prime_probe_attack(machine, attacker_core=0, victim_core=0,
+                                secret_bits=SECRET_BITS)
+    gapped = prime_probe_attack(machine, attacker_core=1, victim_core=2,
+                                secret_bits=SECRET_BITS)
+    print(f"  time-sliced on one core: recovered {shared.accuracy:.0%} "
+          f"of the secret  -> {'LEAKED' if shared.leaked else 'safe'}")
+    print(f"  core-gapped:             recovered {gapped.accuracy:.0%} "
+          f"(private L1)   -> {'LEAKED' if gapped.leaked else 'safe'}")
+
+    banner("branch-target injection (Spectre-v2 shape)")
+    same = btb_injection_attack(machine, attacker_core=3, victim_core=3)
+    cross = btb_injection_attack(machine, attacker_core=3, victim_core=1)
+    print(f"  same core:  attacker-planted target predicted = {same}")
+    print(f"  core-gapped: attacker-planted target predicted = {cross} "
+          f"(per-core BTB)")
+
+    banner("store-buffer forwarding (MDS/Fallout shape)")
+    leak = store_buffer_attack(machine, attacker_core=2, victim_core=2)
+    none = store_buffer_attack(machine, attacker_core=2, victim_core=3)
+    print(f"  same core:  transiently forwarded victim store = "
+          f"{hex(leak) if leak else None}")
+    print(f"  core-gapped: forwarded = {none} (store buffer is core-private)")
+
+    banner("cache covert channel between colluding VMs")
+    noisy = cache_covert_channel(machine, sender_core=1, receiver_core=1,
+                                 message_bits=SECRET_BITS)
+    silent = cache_covert_channel(machine, sender_core=1, receiver_core=2,
+                                  message_bits=SECRET_BITS)
+    print(f"  time-sliced: {noisy.accuracy:.0%} of message received")
+    print(f"  core-gapped: {silent.accuracy:.0%} "
+          f"(only the LLC is shared, out of the threat model; the paper "
+          f"recommends hardware LLC partitioning)")
+
+    print("\nConclusion: every same-core channel delivered the secret; "
+          "none of them crossed a core boundary.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro: a full-system simulation reproduction of "Sharing is leaking:
+blocking transient-execution attacks with core-gapped confidential VMs"
+(Castes & Baumann, ASPLOS 2024).
+
+Subpackages
+-----------
+``repro.sim``          discrete-event kernel
+``repro.hw``           simulated SoC (cores, caches, GIC, timers, memory)
+``repro.isa``          worlds, security domains, SMC cost model
+``repro.rmm``          the security monitor, incl. core gapping
+``repro.rpc``          shared-memory RPC transports
+``repro.host``         Linux/KVM-like host: scheduler, hotplug, VMM, planner
+``repro.guest``        guest vCPU runtime and workloads
+``repro.security``     side channels, attacks, vulnerability catalog, auditor
+``repro.analysis``     statistics and report rendering
+``repro.experiments``  one harness per paper table/figure
+"""
+
+__version__ = "1.0.0"
+
+from .costs import CostModel, DEFAULT_COSTS
+
+__all__ = ["CostModel", "DEFAULT_COSTS", "__version__"]

@@ -1,0 +1,15 @@
+"""Statistics and report rendering for the experiment harnesses."""
+
+from .reporting import render_comparison, render_series, render_table
+from .stats import Summary, mean, percentile, stdev, summarize
+
+__all__ = [
+    "Summary",
+    "mean",
+    "percentile",
+    "render_comparison",
+    "render_series",
+    "render_table",
+    "stdev",
+    "summarize",
+]

@@ -1,0 +1,82 @@
+"""Text renderers for tables and figure series.
+
+The benchmark harnesses print the same rows/series the paper reports;
+these helpers keep the output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["render_table", "render_series", "render_comparison"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Aligned plain-text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    header_cells = [str(h) for h in headers]
+    widths = [
+        max(
+            len(header_cells[i]),
+            max((len(row[i]) for row in cells), default=0),
+        )
+        for i in range(len(header_cells))
+    ]
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(header_cells))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    series: Dict[str, List[Tuple[float, float]]],
+    title: Optional[str] = None,
+    y_format: str = "{:.1f}",
+) -> str:
+    """One row per x value, one column per named series (figure data)."""
+    xs = sorted({x for points in series.values() for x, _ in points})
+    lookup = {
+        name: {x: y for x, y in points} for name, points in series.items()
+    }
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row = [x]
+        for name in series:
+            value = lookup[name].get(x)
+            row.append("-" if value is None else y_format.format(value))
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_comparison(
+    rows: Sequence[Tuple[str, float, float]],
+    measured_label: str = "measured",
+    paper_label: str = "paper",
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """measured-vs-paper rows with the ratio, for EXPERIMENTS.md."""
+    table_rows = []
+    for name, measured, paper in rows:
+        ratio = measured / paper if paper else float("nan")
+        table_rows.append(
+            (name, f"{measured:.2f}{unit}", f"{paper:.2f}{unit}", f"{ratio:.2f}x")
+        )
+    return render_table(
+        ["metric", measured_label, paper_label, "ratio"],
+        table_rows,
+        title=title,
+    )

@@ -1,0 +1,69 @@
+"""Summary statistics for experiment samples."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["Summary", "mean", "stdev", "percentile", "summarize"]
+
+
+def mean(samples: Sequence[float]) -> float:
+    if not samples:
+        return 0.0
+    return sum(samples) / len(samples)
+
+
+def stdev(samples: Sequence[float]) -> float:
+    """Sample standard deviation (n-1); 0 for fewer than two samples."""
+    n = len(samples)
+    if n < 2:
+        return 0.0
+    mu = mean(samples)
+    return math.sqrt(sum((x - mu) ** 2 for x in samples) / (n - 1))
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile; 0 for empty input."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if pct <= 0:
+        return ordered[0]
+    if pct >= 100:
+        return ordered[-1]
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean +- stdev with extremes and percentiles."""
+
+    n: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f} +- {self.stdev:.1f} (n={self.n})"
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    if not samples:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return Summary(
+        n=len(samples),
+        mean=mean(samples),
+        stdev=stdev(samples),
+        minimum=min(samples),
+        maximum=max(samples),
+        p50=percentile(samples, 50),
+        p95=percentile(samples, 95),
+        p99=percentile(samples, 99),
+    )

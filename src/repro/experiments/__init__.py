@@ -1,0 +1,6 @@
+"""Experiment harnesses: system builder, configs, per-table/figure runners."""
+
+from .config import PAPER_TARGETS, SystemConfig
+from .system import System
+
+__all__ = ["PAPER_TARGETS", "System", "SystemConfig"]

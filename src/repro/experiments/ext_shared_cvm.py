@@ -1,0 +1,60 @@
+"""Extension: the comparison the paper could not run.
+
+S5.1 explains that without RME hardware the paper had to use a
+*non-confidential* shared-core VM as its baseline, which "will
+unfortunately exaggerate any performance overheads of core gapping":
+a real shared-core **confidential** VM additionally pays world switches,
+mitigation flushes, and flush-induced cold state on every exit.  S5.5
+predicts core-gapped CVMs will beat shared-core CVMs outright.
+
+Our simulator has no such constraint: the ``shared-cvm`` mode charges
+exactly those costs (see :class:`repro.isa.smc.WorldSwitchCosts` and the
+flush handling in ``repro.host.kvm``).  This experiment runs CoreMark
+across all three configurations to test the paper's prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..costs import CostModel, DEFAULT_COSTS
+from ..sim.clock import sec
+from .config import SystemConfig
+from .workbench import run_coremark
+
+__all__ = ["SharedCvmResult", "run_shared_cvm_comparison"]
+
+
+@dataclass
+class SharedCvmResult:
+    """mode -> [(cores, score)]."""
+
+    series: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
+
+    def score(self, mode: str, n_cores: int) -> Optional[float]:
+        for x, y in self.series.get(mode, []):
+            if x == n_cores:
+                return y
+        return None
+
+
+def run_shared_cvm_comparison(
+    core_counts: Optional[List[int]] = None,
+    duration_ns: int = sec(1),
+    costs: CostModel = DEFAULT_COSTS,
+) -> SharedCvmResult:
+    core_counts = core_counts or [4, 8, 16, 32]
+    result = SharedCvmResult()
+    for mode in ("shared", "shared-cvm", "gapped"):
+        points: List[Tuple[int, float]] = []
+        for n_cores in core_counts:
+            run = run_coremark(
+                SystemConfig(mode=mode, n_cores=n_cores),
+                n_cores_used=n_cores,
+                duration_ns=duration_ns,
+                costs=costs,
+            )
+            points.append((n_cores, run.score))
+        result.series[mode] = points
+    return result

@@ -1,0 +1,84 @@
+"""Fig. 10: Linux kernel build time vs core count.
+
+``make -jN`` on a virtio disk.  The compile phase is CPU/memory bound
+(core-gapped cores run it undisturbed); every source read and object
+write goes through exit-intensive virtio emulation contending for the
+host core.  The paper shows both effects roughly cancelling: core-gapped
+CVMs track the shared-core baseline despite one fewer vCPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..costs import CostModel, DEFAULT_COSTS
+from ..guest.vm import GuestVm
+from ..guest.workloads.kbuild import (
+    KbuildConfig,
+    KbuildStats,
+    kbuild_workload_factory,
+)
+from ..sim.clock import sec
+from .config import SystemConfig
+from .system import System
+
+__all__ = ["Fig10Result", "run_fig10", "DEFAULT_CORE_COUNTS"]
+
+DEFAULT_CORE_COUNTS = [4, 8, 16]
+
+
+@dataclass
+class Fig10Result:
+    """(mode -> [(cores, build seconds)])."""
+
+    series: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
+
+    def build_seconds(self, mode: str, n_cores: int) -> Optional[float]:
+        for x, y in self.series.get(mode, []):
+            if x == n_cores:
+                return y
+        return None
+
+
+def _run_one(
+    mode: str, n_cores: int, build: KbuildConfig, costs: CostModel
+) -> float:
+    config = SystemConfig(mode=mode, n_cores=n_cores)
+    system = System(config, costs)
+    stats = KbuildStats()
+    n_vcpus = n_cores - 1 if config.is_gapped else n_cores
+    vm = GuestVm(
+        "kbuild",
+        n_vcpus,
+        kbuild_workload_factory(
+            build, stats, "virtio-blk0",
+            clock=lambda: system.sim.now, costs=costs,
+        ),
+        costs=costs,
+        memory_gib=48,
+    )
+    kvm = system.launch(vm)
+    system.add_virtio_blk(vm, kvm, "virtio-blk0")
+    start = system.sim.now
+    system.start(kvm)
+    system.run_until_vm_done(kvm, limit_ns=sec(600))
+    return (stats.finished_at - start) / 1e9
+
+
+def run_fig10(
+    core_counts: Optional[List[int]] = None,
+    build: Optional[KbuildConfig] = None,
+    costs: CostModel = DEFAULT_COSTS,
+) -> Fig10Result:
+    core_counts = core_counts or DEFAULT_CORE_COUNTS
+    build = build or KbuildConfig()
+    result = Fig10Result()
+    for mode in ("shared", "gapped"):
+        points = []
+        for n_cores in core_counts:
+            points.append(
+                (n_cores, _run_one(mode, n_cores, build, costs))
+            )
+        result.series[mode] = points
+    return result

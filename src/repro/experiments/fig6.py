@@ -1,0 +1,105 @@
+"""Fig. 6: CoreMark-PRO scaling, shared-core vs core-gapped + ablations.
+
+Sweeps the number of physical cores given to the workload.  Fair
+accounting (S5.1): shared-core runs N vCPUs on N cores; core-gapped
+runs N-1 vCPUs on dedicated cores plus 1 host core.
+
+Four series:
+
+* ``shared``            -- the paper baseline
+* ``gapped``            -- async RPC + interrupt delegation (default)
+* ``gapped-nodeleg``    -- delegation disabled
+* ``gapped-busywait``   -- Quarantine-style yield-polling run calls and
+  no delegation: the cyan lines that saturate the single host core
+  (S7 attributes Quarantine's ~10-core bottleneck to exactly this)
+
+The paper's shape: near-linear scaling for shared and gapped (gapped
+starts one vCPU behind, catches up as host noise costs the shared
+baseline ~2% per core), while the busy-waiting ablation collapses once
+the host core saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..costs import CostModel, DEFAULT_COSTS
+from ..sim.clock import ms, sec
+from .config import SystemConfig
+from .workbench import CoremarkRun, run_coremark
+
+__all__ = ["Fig6Result", "run_fig6", "DEFAULT_CORE_COUNTS"]
+
+DEFAULT_CORE_COUNTS = [2, 4, 8, 16, 32, 48, 64]
+#: the polling ablation is simulated at high event rates; a shorter run
+#: and fewer points keep it tractable without hiding the saturation
+BUSYWAIT_CORE_COUNTS = [2, 4, 8, 12, 16, 24]
+
+
+def _config(mode_label: str, n_cores: int) -> SystemConfig:
+    if mode_label == "shared":
+        return SystemConfig(mode="shared", n_cores=n_cores)
+    if mode_label == "gapped":
+        return SystemConfig(mode="gapped", n_cores=n_cores)
+    if mode_label == "gapped-nodeleg":
+        return SystemConfig(mode="gapped", n_cores=n_cores, delegation=False)
+    if mode_label == "gapped-busywait":
+        return SystemConfig(
+            mode="gapped", n_cores=n_cores, delegation=False, busywait=True
+        )
+    raise ValueError(mode_label)
+
+
+@dataclass
+class Fig6Result:
+    """score per (series, core count)."""
+
+    series: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
+    run_to_run_us: Dict[int, float] = field(default_factory=dict)
+
+    def score(self, series: str, n_cores: int) -> Optional[float]:
+        for x, y in self.series.get(series, []):
+            if x == n_cores:
+                return y
+        return None
+
+
+def run_fig6(
+    core_counts: Optional[List[int]] = None,
+    duration_ns: int = sec(1),
+    busywait_duration_ns: int = int(ms(400)),
+    include_busywait: bool = True,
+    costs: CostModel = DEFAULT_COSTS,
+) -> Fig6Result:
+    core_counts = core_counts or DEFAULT_CORE_COUNTS
+    result = Fig6Result()
+    plans = [
+        ("shared", core_counts, duration_ns),
+        ("gapped", core_counts, duration_ns),
+        ("gapped-nodeleg", core_counts, duration_ns),
+    ]
+    if include_busywait:
+        plans.append(
+            (
+                "gapped-busywait",
+                [n for n in BUSYWAIT_CORE_COUNTS if n <= max(core_counts)],
+                busywait_duration_ns,
+            )
+        )
+    for label, counts, dur in plans:
+        points: List[Tuple[int, float]] = []
+        for n_cores in counts:
+            run = run_coremark(
+                _config(label, n_cores),
+                n_cores_used=n_cores,
+                duration_ns=dur,
+                costs=costs,
+            )
+            points.append((n_cores, run.score))
+            if label == "gapped-nodeleg" and run.run_to_run_ns:
+                result.run_to_run_us[n_cores] = (
+                    sum(run.run_to_run_ns) / len(run.run_to_run_ns) / 1e3
+                )
+        result.series[label] = points
+    return result

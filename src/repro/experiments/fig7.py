@@ -1,0 +1,63 @@
+"""Fig. 7: scaling to multiple VMs.
+
+Instead of one big VM, an increasing count of 4-core VMs runs CoreMark
+concurrently; the figure plots the *aggregate* score.  In the
+core-gapped configuration all VMM threads for every VM are pinned to a
+single host core -- the paper shows up to 16 VMMs on one host core
+without hurting throughput, because delegation keeps exits rare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..costs import CostModel, DEFAULT_COSTS
+from ..sim.clock import sec
+from .config import SystemConfig
+from .workbench import run_coremark
+
+__all__ = ["Fig7Result", "run_fig7", "DEFAULT_VM_COUNTS"]
+
+DEFAULT_VM_COUNTS = [1, 2, 4, 8, 12, 15]
+VCPUS_PER_VM = 4
+
+
+@dataclass
+class Fig7Result:
+    series: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
+
+    def aggregate(self, series: str, n_vms: int) -> Optional[float]:
+        for x, y in self.series.get(series, []):
+            if x == n_vms:
+                return y
+        return None
+
+
+def run_fig7(
+    vm_counts: Optional[List[int]] = None,
+    duration_ns: int = sec(1),
+    costs: CostModel = DEFAULT_COSTS,
+) -> Fig7Result:
+    vm_counts = vm_counts or DEFAULT_VM_COUNTS
+    result = Fig7Result()
+    for label in ("shared", "gapped"):
+        points: List[Tuple[int, float]] = []
+        for n_vms in vm_counts:
+            if label == "gapped":
+                # all 4-vCPU CVMs + one shared host core
+                n_cores = n_vms * VCPUS_PER_VM + 1
+                config = SystemConfig(mode="gapped", n_cores=n_cores)
+            else:
+                # fair accounting: the same number of physical cores
+                n_cores = n_vms * VCPUS_PER_VM + 1
+                config = SystemConfig(mode="shared", n_cores=n_cores)
+            run = run_coremark(
+                config,
+                duration_ns=duration_ns,
+                costs=costs,
+                vm_list=[VCPUS_PER_VM] * n_vms,
+            )
+            points.append((n_vms, run.score))
+        result.series[label] = points
+    return result

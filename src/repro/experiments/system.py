@@ -1,0 +1,261 @@
+"""System builder: machine + host + monitor, booted per configuration.
+
+The experiment harnesses (benchmarks/) and examples build a
+:class:`System`, launch VMs on it, attach devices, run the clock, and
+read results.  This is also the integration surface exercised by the
+end-to-end tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from ..costs import CostModel, DEFAULT_COSTS
+from ..guest.vm import GuestVm
+from ..hw.gic import SPI_BASE
+from ..hw.machine import Machine
+from ..hw.topology import SocTopology
+from ..isa.worlds import SecurityDomain, World
+from ..rmm.attestation import CORE_GAPPED_RMM
+from ..rmm.core_gap import CoreGapEngine
+from ..rmm.monitor import Rmm
+from ..sim.engine import Event, SimulationError
+from ..sim.trace import Tracer
+from ..host.kernel import HostKernel
+from ..host.kvm import KvmVm, VmMode
+from ..host.planner import CorePlanner
+from ..host.sriov import SriovNic
+from ..host.threads import HostThread, SchedClass
+from ..host.virtio import VirtioBackend
+from ..host.wakeup import ExitNotifier
+from .config import SystemConfig
+
+__all__ = ["System"]
+
+
+class System:
+    """One booted simulated server."""
+
+    def __init__(
+        self,
+        config: SystemConfig = SystemConfig(),
+        costs: CostModel = DEFAULT_COSTS,
+    ):
+        self.config = config
+        self.costs = costs
+        topology = SocTopology(
+            name="exp", n_cores=config.n_cores, memory_gib=64
+        )
+        self.machine = Machine(
+            topology,
+            tracer=Tracer(enabled=config.trace_schedules),
+        )
+        self.sim = self.machine.sim
+        self.tracer = self.machine.tracer
+        self.kernel = HostKernel(self.machine, costs)
+        delegated = None if config.delegation else set()
+        self.rmm = Rmm(
+            self.machine,
+            costs,
+            image=CORE_GAPPED_RMM,
+            delegated_intids=delegated,
+        )
+        self.engine = CoreGapEngine(self.rmm)
+        if config.is_gapped:
+            self.host_cores: Set[int] = set(range(config.n_host_cores))
+        else:
+            self.host_cores = set(range(config.n_cores))
+        self.notifier = ExitNotifier(
+            self.kernel,
+            target_core=min(self.host_cores),
+            costs=costs,
+            host_cores=self.host_cores,
+        )
+        self.planner = CorePlanner(
+            self.kernel, self.engine, self.notifier, self.host_cores, costs
+        )
+        self.kernel.start()
+        if config.housekeeping is not None:
+            period, burst = config.housekeeping
+            self.kernel.add_housekeeping(period, burst)
+        self._next_spi = SPI_BASE + 1
+        self._next_vm_serial = 1
+        self.kvms: List[KvmVm] = []
+
+    # ------------------------------------------------------------------
+    # VM launch
+    # ------------------------------------------------------------------
+
+    def launch(self, vm: GuestVm) -> KvmVm:
+        """Launch a VM in the configured mode; returns its KVM state.
+
+        For core-gapped mode this drives the planner thread to
+        completion (hotplug, realm build over sync RPC, port setup)
+        before starting the vCPU threads; time advances accordingly.
+        """
+        if self.config.is_gapped:
+            kvm = self._launch_gapped(vm)
+        else:
+            kvm = self._launch_shared(vm)
+        self.kvms.append(kvm)
+        return kvm
+
+    def _launch_shared(self, vm: GuestVm) -> KvmVm:
+        mode = (
+            VmMode.SHARED_CVM
+            if self.config.mode == "shared-cvm"
+            else VmMode.SHARED
+        )
+        vm.domain = SecurityDomain(f"vm:{vm.name}", World.NORMAL)
+        kvm = KvmVm(
+            self.kernel, vm, mode, host_cores=self.host_cores, costs=self.costs
+        )
+        return kvm
+
+    def _launch_gapped(self, vm: GuestVm) -> KvmVm:
+        def body():
+            kvm = yield from self.planner.launch_cvm(
+                vm, busywait=self.config.busywait
+            )
+            return kvm
+
+        thread = HostThread(
+            name=f"planner:{vm.name}",
+            body=body(),
+            sched_class=SchedClass.FAIR,
+            affinity=self.host_cores,
+        )
+        self.kernel.add_thread(thread)
+        self.run_until_event(thread.done_event)
+        if thread.result is None:
+            raise SimulationError(f"planner failed to launch {vm.name}")
+        return thread.result
+
+    def start(self, kvm: KvmVm) -> None:
+        """Start the vCPU threads of a launched VM."""
+        kvm.start()
+
+    def terminate(self, kvm: KvmVm) -> None:
+        """Tear down a finished core-gapped CVM and reclaim its cores."""
+        if not self.config.is_gapped:
+            return
+
+        def body():
+            result = yield from self.planner.terminate_cvm(kvm)
+            return result
+
+        thread = HostThread(
+            name=f"planner-stop:{kvm.vm.name}",
+            body=body(),
+            sched_class=SchedClass.FAIR,
+            affinity=self.host_cores,
+        )
+        self.kernel.add_thread(thread)
+        self.run_until_event(thread.done_event)
+
+    # ------------------------------------------------------------------
+    # devices
+    # ------------------------------------------------------------------
+
+    def _alloc_spi(self) -> int:
+        spi = self._next_spi
+        self._next_spi += 1
+        return spi
+
+    def add_virtio_net(
+        self, vm: GuestVm, kvm: KvmVm, name: str = "virtio-net0",
+        echo_peer: bool = False,
+    ) -> VirtioBackend:
+        device = VirtioBackend(
+            name,
+            "net",
+            self.kernel,
+            injector=kvm.inject_virq,
+            intid=self._alloc_spi(),
+            host_cores=self.host_cores,
+            n_vcpus=vm.n_vcpus,
+            vm=vm,
+            costs=self.costs,
+            echo_peer=echo_peer,
+        )
+        vm.attach_device(name, device)
+        return device
+
+    def add_virtio_blk(
+        self, vm: GuestVm, kvm: KvmVm, name: str = "virtio-blk0"
+    ) -> VirtioBackend:
+        device = VirtioBackend(
+            name,
+            "blk",
+            self.kernel,
+            injector=kvm.inject_virq,
+            intid=self._alloc_spi(),
+            host_cores=self.host_cores,
+            n_vcpus=vm.n_vcpus,
+            vm=vm,
+            costs=self.costs,
+        )
+        vm.attach_device(name, device)
+        return device
+
+    def add_sriov_nic(
+        self, vm: GuestVm, kvm: KvmVm, name: str = "sriov-net0",
+        echo_peer: bool = False,
+    ) -> SriovNic:
+        device = SriovNic(
+            name,
+            self.machine,
+            self.kernel,
+            injector=kvm.inject_virq,
+            intid=self._alloc_spi(),
+            irq_core=min(self.host_cores),
+            n_vcpus=vm.n_vcpus,
+            vm=vm,
+            costs=self.costs,
+            echo_peer=echo_peer,
+        )
+        vm.attach_device(name, device)
+        return device
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+
+    def run_for(self, duration_ns: int) -> None:
+        self.sim.run(until=self.sim.now + duration_ns)
+
+    def run_until_event(self, event: Event, limit_ns: Optional[int] = None) -> None:
+        deadline = None if limit_ns is None else self.sim.now + limit_ns
+        while not event.fired:
+            if self.sim.pending_events == 0:
+                raise SimulationError("deadlock waiting for event")
+            if deadline is not None and self.sim.now > deadline:
+                raise SimulationError("timeout waiting for event")
+            self.sim.run_one()
+
+    def run_until_vm_done(self, kvm: KvmVm, limit_ns: Optional[int] = None) -> int:
+        self.run_until_event(kvm.done_event, limit_ns)
+        return self.sim.now
+
+    def run_until(self, predicate: Callable[[], bool], limit_ns: Optional[int] = None) -> None:
+        deadline = None if limit_ns is None else self.sim.now + limit_ns
+        while not predicate():
+            if self.sim.pending_events == 0:
+                raise SimulationError("deadlock waiting for predicate")
+            if deadline is not None and self.sim.now > deadline:
+                raise SimulationError("timeout waiting for predicate")
+            self.sim.run_one()
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def exit_counts(self) -> Dict[str, int]:
+        return {
+            key: count
+            for key, count in self.tracer.counters.items()
+            if key.startswith("exit:") or key == "exits_total"
+        }
+
+    def finish(self) -> None:
+        self.machine.finish_tracing()

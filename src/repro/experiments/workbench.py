@@ -1,0 +1,102 @@
+"""Shared experiment plumbing: build a system, run a workload, collect.
+
+Each table/figure module composes these helpers; keeping them in one
+place guarantees every experiment accounts resources the same way
+(same number of physical cores per comparison, as the paper does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..costs import CostModel, DEFAULT_COSTS
+from ..guest.vm import GuestVm
+from ..guest.workloads import (
+    CoremarkStats,
+    coremark_score,
+    coremark_workload_factory,
+)
+from ..sim.clock import ms, sec
+from .config import SystemConfig
+from .system import System
+
+__all__ = [
+    "CoremarkRun",
+    "run_coremark",
+    "vcpus_for",
+    "build_system",
+]
+
+
+def vcpus_for(config: SystemConfig, n_cores_used: int) -> int:
+    """Fair accounting (S2.3/S5.1): a workload given N physical cores
+    gets N vCPUs shared-core but N-1 vCPUs core-gapped (the host core
+    is part of the budget)."""
+    if config.is_gapped:
+        return max(1, n_cores_used - config.n_host_cores)
+    return n_cores_used
+
+
+def build_system(
+    config: SystemConfig, costs: CostModel = DEFAULT_COSTS
+) -> System:
+    return System(config, costs)
+
+
+@dataclass
+class CoremarkRun:
+    """Result of one CoreMark-PRO run."""
+
+    config: SystemConfig
+    n_vcpus: int
+    duration_ns: int
+    score: float
+    exit_counts: Dict[str, int]
+    run_to_run_ns: List[float] = field(default_factory=list)
+    local_timer_injects: int = 0
+
+
+def run_coremark(
+    config: SystemConfig,
+    n_cores_used: Optional[int] = None,
+    duration_ns: int = sec(2),
+    costs: CostModel = DEFAULT_COSTS,
+    vm_list: Optional[List[int]] = None,
+) -> CoremarkRun:
+    """Run CoreMark-PRO on one or more VMs and score the aggregate.
+
+    ``vm_list`` gives explicit per-VM vCPU counts (fig. 7); otherwise a
+    single VM sized by the fair-accounting rule runs (fig. 6).
+    """
+    system = build_system(config, costs)
+    stats = CoremarkStats()
+    if vm_list is None:
+        n_cores_used = n_cores_used or config.n_cores
+        vm_list = [vcpus_for(config, n_cores_used)]
+    kvms = []
+    for serial, n_vcpus in enumerate(vm_list):
+        vm = GuestVm(
+            f"coremark{serial}",
+            n_vcpus,
+            coremark_workload_factory(stats),
+            costs=costs,
+        )
+        kvms.append(system.launch(vm))
+    for kvm in kvms:
+        system.start(kvm)
+    start = system.sim.now
+    system.run_for(duration_ns)
+    elapsed = system.sim.now - start
+    system.finish()
+    return CoremarkRun(
+        config=config,
+        n_vcpus=sum(vm_list),
+        duration_ns=elapsed,
+        score=coremark_score(stats, elapsed),
+        exit_counts=system.exit_counts(),
+        run_to_run_ns=system.tracer.samples("run_to_run_ns"),
+        local_timer_injects=system.tracer.counters.get(
+            "rmm_local_timer_inject", 0
+        ),
+    )

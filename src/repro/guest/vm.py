@@ -1,0 +1,72 @@
+"""Guest VM container: vCPUs, devices, identity.
+
+A ``GuestVm`` is what the host boots: a set of vCPU runtimes (each
+wrapping one workload generator) plus attached devices.  Whether it runs
+as a confidential realm or a plain VM is decided by the system builder
+(:mod:`repro.experiments.system`); the guest code is identical in both
+cases -- the paper's prototype requires **no guest changes**.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..costs import CostModel, DEFAULT_COSTS
+from ..isa.worlds import SecurityDomain
+from .vcpu import GuestVcpu
+
+__all__ = ["GuestVm"]
+
+WorkloadFactory = Callable[["GuestVm", int], Optional[Generator]]
+
+
+class GuestVm:
+    """One guest VM (confidential or not)."""
+
+    def __init__(
+        self,
+        name: str,
+        n_vcpus: int,
+        workload_factory: WorkloadFactory,
+        costs: CostModel = DEFAULT_COSTS,
+        memory_gib: int = 16,
+        enable_tick: bool = True,
+    ):
+        self.name = name
+        self.costs = costs
+        self.memory_gib = memory_gib
+        #: filled in by the system builder when the VM becomes a realm
+        self.realm_id: Optional[int] = None
+        self.domain: Optional[SecurityDomain] = None
+        #: devices by name, attached by the system builder
+        self.devices: Dict[str, object] = {}
+        self.vcpus: List[GuestVcpu] = [
+            GuestVcpu(
+                self,
+                index,
+                workload_factory(self, index),
+                costs=costs,
+                enable_tick=enable_tick,
+            )
+            for index in range(n_vcpus)
+        ]
+
+    @property
+    def n_vcpus(self) -> int:
+        return len(self.vcpus)
+
+    def vcpu(self, index: int) -> GuestVcpu:
+        return self.vcpus[index]
+
+    def attach_device(self, name: str, device) -> None:
+        self.devices[name] = device
+
+    def device(self, name: str):
+        return self.devices[name]
+
+    @property
+    def all_finished(self) -> bool:
+        return all(v.finished for v in self.vcpus)
+
+    def total_compute_done(self) -> int:
+        return sum(v.compute_ns_done for v in self.vcpus)

@@ -1,0 +1,41 @@
+"""Guest workload generators used by the evaluation."""
+
+from .coremark import (
+    CoremarkStats,
+    coremark_score,
+    coremark_workload_factory,
+)
+from .iozone import DEFAULT_RECORDS, IozoneStats, iozone_workload_factory
+from .kbuild import KbuildConfig, KbuildStats, kbuild_workload_factory
+from .netpipe import DEFAULT_SIZES, NetpipeStats, netpipe_workload_factory
+from .redis import (
+    OP_GET,
+    OP_LRANGE_100,
+    OP_SET,
+    RedisClientSim,
+    RedisOp,
+    RedisStats,
+    redis_server_factory,
+)
+
+__all__ = [
+    "CoremarkStats",
+    "DEFAULT_RECORDS",
+    "DEFAULT_SIZES",
+    "IozoneStats",
+    "KbuildConfig",
+    "KbuildStats",
+    "NetpipeStats",
+    "OP_GET",
+    "OP_LRANGE_100",
+    "OP_SET",
+    "RedisClientSim",
+    "RedisOp",
+    "RedisStats",
+    "coremark_score",
+    "coremark_workload_factory",
+    "iozone_workload_factory",
+    "kbuild_workload_factory",
+    "netpipe_workload_factory",
+    "redis_server_factory",
+]

@@ -1,0 +1,69 @@
+"""CPU hotplug: gracefully handing cores between host and monitor.
+
+The paper's insight (S4.2, inspired by AWS Nitro Enclaves): Linux's
+existing hotplug machinery already migrates tasks away, retargets
+interrupts, and marks a core unusable.  The prototype's only changes
+are (1) skipping the frequency-scaling clean-up so "offline" cores stay
+at full clock, and (2) ending the shutdown path with a call into the
+monitor instead of halting the core.
+"""
+
+from __future__ import annotations
+
+from ..costs import CostModel, DEFAULT_COSTS
+from ..hw.machine import Machine
+from .kernel import HostKernel
+from .threads import TCompute, TSleep
+
+__all__ = ["offline_core", "online_core"]
+
+
+def offline_core(
+    kernel: HostKernel,
+    index: int,
+    fallback_core: int,
+    costs: CostModel = DEFAULT_COSTS,
+):
+    """Take a core offline (thread-body generator fragment).
+
+    Afterwards the host scheduler no longer uses the core; its clock
+    stays up (the skipped frequency-scaling step) so the monitor can
+    take it over immediately.
+    """
+    machine = kernel.machine
+    core = machine.core(index)
+    if not core.online:
+        raise ValueError(f"core {index} already offline")
+    # the hotplug state machine runs work on several CPUs and waits for
+    # RCU grace periods; we charge a little CPU and mostly wall time
+    yield TCompute(50_000)
+    yield TSleep(costs.hotplug_offline_ns)
+    kernel.migrate_all_from(index)
+    machine.gic.retarget_spis_away_from(index, fallback=fallback_core)
+    core.set_online(False)
+    # NOTE: the stock shutdown path would now drop the core's frequency
+    # and halt it; the core-gapping patch skips that (S4.2) and instead
+    # transfers control to the monitor (done by the caller).
+    kernel.kick_core(index)  # make its scheduler loop notice and exit
+    machine.tracer.count("hotplug_offline")
+    return index
+
+
+def online_core(
+    kernel: HostKernel,
+    index: int,
+    costs: CostModel = DEFAULT_COSTS,
+):
+    """Bring a reclaimed core back online for the host."""
+    machine = kernel.machine
+    core = machine.core(index)
+    if core.online:
+        raise ValueError(f"core {index} already online")
+    yield TCompute(30_000)
+    yield TSleep(costs.hotplug_online_ns)
+    core.irq.reset()
+    core.set_online(True)
+    kernel.start_core(index)
+    kernel.unpark_for_core(index)
+    machine.tracer.count("hotplug_online")
+    return index

@@ -1,0 +1,265 @@
+"""The user-mode core planner (S3).
+
+Performs admission control on CVMs, assigns physical cores, and
+orchestrates dedicating those cores to the monitor and returning them to
+the host afterwards.  It complements the cloud's node-level resource
+allocator: a vCPU-to-core binding that used to be a performance hint
+("pinning") is now a security property enforced by the RMM from the
+first dispatch of each vCPU.
+
+The planner runs as an ordinary (untrusted) host thread: nothing it
+does is in the guest's TCB -- if it misbehaves, the RMM's binding
+enforcement turns scheduling violations into RMI errors, not leaks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..costs import CostModel, DEFAULT_COSTS
+from ..guest.vm import GuestVm
+from ..hw.memory import GRANULE_SIZE
+from ..rmm.core_gap import CoreGapEngine, ReleaseCall, RmiCall
+from ..rmm.rmi import RmiCommand, RmiResult
+from ..rpc.ports import AsyncRpcPort, SyncRpcPort
+from ..sim.engine import Event, SimulationError
+from .hotplug import offline_core, online_core
+from .kernel import HostKernel
+from .kvm import KvmVm, VmMode
+from .threads import TCompute, TSpin
+from .wakeup import ExitNotifier
+
+__all__ = ["AdmissionError", "CorePlanner"]
+
+
+class AdmissionError(Exception):
+    """Not enough free cores to honour the CVM's requirements."""
+
+
+class CorePlanner:
+    """Admission control + core allocation + CVM orchestration."""
+
+    #: guest "image" pages loaded via DATA_CREATE per CVM (stand-in for
+    #: a real kernel image; keeps measurement and RTT paths exercised)
+    IMAGE_PAGES = 8
+
+    def __init__(
+        self,
+        kernel: HostKernel,
+        engine: CoreGapEngine,
+        notifier: ExitNotifier,
+        host_cores: Set[int],
+        costs: CostModel = DEFAULT_COSTS,
+    ):
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.engine = engine
+        self.notifier = notifier
+        self.host_cores = set(host_cores)
+        self.costs = costs
+        self.sync_port = SyncRpcPort(kernel.sim, "planner")
+        #: vm name -> dedicated core list
+        self.allocations: Dict[str, List[int]] = {}
+        #: bump allocator for granules handed to the RMM
+        self._next_granule = 1 << 30
+
+    # ------------------------------------------------------------------
+    # admission control
+    # ------------------------------------------------------------------
+
+    def free_cores(self) -> List[int]:
+        allocated = {c for cores in self.allocations.values() for c in cores}
+        return [
+            core.index
+            for core in self.machine.cores
+            if core.online
+            and core.index not in self.host_cores
+            and core.index not in allocated
+        ]
+
+    def admit(self, n_vcpus: int) -> List[int]:
+        """Pick cores for a new CVM or refuse it."""
+        free = self.free_cores()
+        if len(free) < n_vcpus:
+            raise AdmissionError(
+                f"need {n_vcpus} cores, only {len(free)} available"
+            )
+        return free[:n_vcpus]
+
+    # ------------------------------------------------------------------
+    # granules
+    # ------------------------------------------------------------------
+
+    def _alloc_granule(self) -> int:
+        addr = self._next_granule
+        self._next_granule += GRANULE_SIZE
+        return addr
+
+    # ------------------------------------------------------------------
+    # RMI transport (sync busy-wait RPC, S4.3)
+    # ------------------------------------------------------------------
+
+    def rmi(self, inbox, cmd: RmiCommand, args=()):
+        """Issue one synchronous RMI call (thread-body generator)."""
+        yield TCompute(self.costs.rpc_write_ns)
+        request = self.sync_port.post((cmd, args))
+        inbox.try_put(RmiCall(request))
+        result = yield TSpin(request.done)
+        yield TCompute(self.costs.rpc_poll_detect_ns + self.costs.rpc_read_ns)
+        if not isinstance(result, RmiResult) or not result.ok:
+            raise SimulationError(f"RMI {cmd} failed: {result}")
+        return result
+
+    # ------------------------------------------------------------------
+    # CVM launch / teardown (thread-body generators)
+    # ------------------------------------------------------------------
+
+    def launch_cvm(self, vm: GuestVm, busywait: bool = False):
+        """Dedicate cores, build the realm, start the vCPU threads.
+
+        Returns the :class:`KvmVm`; run as (part of) a host thread body.
+        """
+        cores = self.admit(vm.n_vcpus)
+        self.allocations[vm.name] = cores
+        fallback = min(self.host_cores)
+
+        # 1. hotplug the cores away from the host, hand them to the RMM
+        for index in cores:
+            yield from offline_core(self.kernel, index, fallback, self.costs)
+            self.engine.dedicate(index)
+        inbox = self.engine.dedicated[cores[0]].inbox
+
+        # 2. create and populate the realm over sync RPC
+        rd = self._alloc_granule()
+        yield from self.rmi(inbox, RmiCommand.GRANULE_DELEGATE, (rd,))
+        result = yield from self.rmi(inbox, RmiCommand.REALM_CREATE, (rd,))
+        realm_id = result.value
+
+        for level in (1, 2, 3):
+            table = self._alloc_granule()
+            yield from self.rmi(inbox, RmiCommand.GRANULE_DELEGATE, (table,))
+            yield from self.rmi(
+                inbox, RmiCommand.RTT_CREATE, (realm_id, 0, level, table)
+            )
+        for page in range(self.IMAGE_PAGES):
+            data = self._alloc_granule()
+            yield from self.rmi(inbox, RmiCommand.GRANULE_DELEGATE, (data,))
+            yield from self.rmi(
+                inbox,
+                RmiCommand.DATA_CREATE,
+                (realm_id, page * GRANULE_SIZE, data, page),
+            )
+
+        for idx in range(vm.n_vcpus):
+            rec_granule = self._alloc_granule()
+            yield from self.rmi(
+                inbox, RmiCommand.GRANULE_DELEGATE, (rec_granule,)
+            )
+            yield from self.rmi(
+                inbox, RmiCommand.REC_CREATE, (realm_id, rec_granule)
+            )
+            # loading the guest image: attach the vCPU runtime
+            rec = self.engine.rmm.find_rec(realm_id, idx)
+            rec.runtime = vm.vcpu(idx)
+        yield from self.rmi(inbox, RmiCommand.REALM_ACTIVATE, (realm_id,))
+
+        vm.realm_id = realm_id
+        vm.domain = self.engine.rmm.realms[realm_id].domain
+
+        # 3. host-side plumbing: ports, notifier, vCPU threads
+        kvm = KvmVm(
+            self.kernel,
+            vm,
+            VmMode.GAPPED,
+            host_cores=self.host_cores,
+            costs=self.costs,
+            notifier=self.notifier,
+            engine=self.engine,
+            realm_id=realm_id,
+            busywait=busywait,
+        )
+        for idx in range(vm.n_vcpus):
+            port = AsyncRpcPort(
+                self.kernel.sim,
+                f"{vm.name}.vcpu{idx}",
+                notify_exit=self.notifier.notify_exit,
+            )
+            kvm.ports[idx] = port
+            kvm.planned_cores[idx] = cores[idx]
+            self.notifier.register_port(port)
+        return kvm
+
+    def rebind_vcpu(self, kvm: KvmVm, vcpu_idx: int, new_core: int):
+        """Extension (S3 future work): migrate one vCPU's core binding.
+
+        Thread-body generator.  The new core must already be free; the
+        planner hotplugs it away from the host, dedicates it, asks the
+        REC's current core to hand the binding over, and then reclaims
+        the old core.  Used to defragment long-running nodes at coarse
+        (tens of seconds) time scales.
+        """
+        from ..rmm.core_gap import RebindCall
+
+        vm = kvm.vm
+        if new_core in self.host_cores:
+            raise SimulationError("cannot rebind onto a host core")
+        old_core = kvm.planned_cores[vcpu_idx]
+        # 1. park the vCPU between run calls (kick + hold the thread)
+        acked, resume = kvm.pause_vcpu(vcpu_idx)
+        yield TSpin(acked)
+        # 2. prepare the destination
+        yield from offline_core(
+            self.kernel, new_core, min(self.host_cores), self.costs
+        )
+        self.engine.dedicate(new_core)
+        # 3. ask the current core to hand over (validates READY state)
+        rec = self.engine.rmm.find_rec(kvm.realm_id, vcpu_idx)
+        rebind = RebindCall(
+            kvm.realm_id, vcpu_idx, new_core, Event(f"rebind:{rec.name}")
+        )
+        self.engine.dedicated[old_core].inbox.try_put(rebind)
+        result = yield TSpin(rebind.done)
+        if not result.ok:
+            # roll the destination back
+            release = ReleaseCall(done=Event(f"release:{new_core}"))
+            self.engine.dedicated[new_core].inbox.try_put(release)
+            yield TSpin(release.done)
+            yield from online_core(self.kernel, new_core, self.costs)
+            resume.fire(None)
+            raise SimulationError(f"rebind refused: {result}")
+        # 4. reclaim the old core for the host
+        release = ReleaseCall(done=Event(f"release:{old_core}"))
+        self.engine.dedicated[old_core].inbox.try_put(release)
+        release_result = yield TSpin(release.done)
+        if not release_result.ok:
+            raise SimulationError(f"old core release failed: {release_result}")
+        yield from online_core(self.kernel, old_core, self.costs)
+        # 5. bookkeeping + resume the vCPU (its next run call lands in
+        # the new core's inbox via the updated binding)
+        kvm.planned_cores[vcpu_idx] = new_core
+        cores = self.allocations[vm.name]
+        cores[cores.index(old_core)] = new_core
+        resume.fire(None)
+        return new_core
+
+    def terminate_cvm(self, kvm: KvmVm):
+        """Destroy a finished CVM and reclaim its cores (thread body)."""
+        vm = kvm.vm
+        realm_id = kvm.realm_id
+        cores = self.allocations.get(vm.name, [])
+        inbox = self.engine.dedicated[cores[0]].inbox
+        for idx in range(vm.n_vcpus):
+            yield from self.rmi(
+                inbox, RmiCommand.REC_DESTROY, (realm_id, idx)
+            )
+        yield from self.rmi(inbox, RmiCommand.REALM_DESTROY, (realm_id,))
+        # ask each dedicated core to stand down, then online it again
+        for index in cores:
+            release = ReleaseCall(done=Event(f"release:{index}"))
+            self.engine.dedicated[index].inbox.try_put(release)
+            result = yield TSpin(release.done)
+            if not result.ok:
+                raise SimulationError(f"core {index} release failed: {result}")
+            yield from online_core(self.kernel, index, self.costs)
+        self.allocations.pop(vm.name, None)
+        return len(cores)

@@ -1,0 +1,183 @@
+"""Virtio device backends (kvmtool-style userspace emulation).
+
+The exit-intensive I/O path of the evaluation: every guest request is a
+doorbell MMIO write that exits to the host, is dispatched to the VMM,
+and then processed by a backend I/O thread on a host core.  Completions
+cost host CPU again (AIO completion + irqfd injection).  On core-gapped
+CVMs all of this contends for the (single) host core -- exactly the
+fig. 8/9 penalty -- while SR-IOV (:mod:`repro.host.sriov`) bypasses it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
+
+from ..costs import CostModel, DEFAULT_COSTS
+from ..sim.sync import Notify
+from .kernel import HostKernel
+from .threads import HostThread, SchedClass, TBlock, TCompute
+
+__all__ = ["IoRequest", "VirtioBackend"]
+
+Injector = Callable[[int, int, Any], None]
+
+
+@dataclass
+class IoRequest:
+    """One guest I/O request (virtqueue descriptor chain)."""
+
+    kind: str  # "blk_read" | "blk_write" | "net_tx"
+    size_bytes: int
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size_kib(self) -> float:
+        return self.size_bytes / 1024.0
+
+
+class VirtioBackend:
+    """One emulated virtio device with a backend I/O thread."""
+
+    def __init__(
+        self,
+        name: str,
+        device_kind: str,  # "net" | "blk"
+        kernel: HostKernel,
+        injector: Injector,
+        intid: int,
+        host_cores: Set[int],
+        n_vcpus: int,
+        vm=None,
+        costs: CostModel = DEFAULT_COSTS,
+        echo_peer: bool = False,
+        peer_latency_ns: int = 3_000,
+    ):
+        self.name = name
+        self.vm = vm
+        self.device_kind = device_kind
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.injector = injector
+        self.intid = intid
+        self.costs = costs
+        self.echo_peer = echo_peer
+        self.peer_latency_ns = peer_latency_ns
+        self._jobs: Deque[Tuple[str, int, IoRequest]] = deque()
+        self._doorbell = Notify(f"virtio:{name}")
+        #: received packet contents, readable by the guest driver
+        self.rx_queues: Dict[int, Deque[Any]] = {
+            i: deque() for i in range(n_vcpus)
+        }
+        self.requests_served = 0
+        self.thread = HostThread(
+            name=f"virtio-io:{name}",
+            body=self._body(),
+            sched_class=SchedClass.FAIR,
+            affinity=host_cores,
+        )
+        kernel.add_thread(self.thread)
+
+    # -- host-facing API ----------------------------------------------------
+
+    def submit_from_host(self, vcpu_idx: int, request: IoRequest) -> None:
+        """VMM dispatch after a doorbell MMIO exit."""
+        self._jobs.append(("submit", vcpu_idx, request))
+        self._doorbell.signal()
+
+    def read_register(self) -> int:
+        """Emulated config-space read."""
+        return 0
+
+    def guest_doorbell(self, runtime, request: IoRequest) -> None:
+        raise TypeError(
+            f"virtio device {self.name} is emulated: guests must use "
+            "MmioWrite (which exits), not a passthrough doorbell"
+        )
+
+    # -- the backend I/O thread -----------------------------------------------
+
+    def _copy_cost(self, request: IoRequest) -> int:
+        return int(
+            self.costs.virtio_backend_ns
+            + request.size_kib * self.costs.virtio_copy_ns_per_kib
+        )
+
+    def _body(self):
+        while True:
+            while not self._jobs:
+                # stale doorbell signals (raised while we were already
+                # processing) make this wait return immediately; loop
+                yield TBlock(self._doorbell.wait())
+            job, vcpu_idx, request = self._jobs.popleft()
+            if job == "submit":
+                yield TCompute(self._copy_cost(request))
+                self.requests_served += 1
+                self._start_device_op(vcpu_idx, request)
+            elif job == "rx":
+                # inbound packet: host copies into guest buffers
+                yield TCompute(self._copy_cost(request))
+                self.rx_queues[vcpu_idx].append(request.meta.get("payload"))
+                if self.vm is not None:
+                    self.vm.vcpu(vcpu_idx).note_io_event(self.name, "rx")
+                if len(self.rx_queues[vcpu_idx]) == 1:
+                    # NAPI-style: interrupt only on the empty->non-empty
+                    # ring transition; the guest polls the rest
+                    self.injector(vcpu_idx, self.intid, None)
+            elif job == "complete":
+                yield TCompute(1_000)  # AIO completion + irqfd write
+                if self.vm is not None:
+                    self.vm.vcpu(vcpu_idx).note_io_event(
+                        self.name, "complete"
+                    )
+                self.injector(vcpu_idx, self.intid, None)
+
+    # -- the "hardware" behind the backend ---------------------------------------
+
+    def _start_device_op(self, vcpu_idx: int, request: IoRequest) -> None:
+        costs = self.costs
+        if request.kind in ("blk_read", "blk_write"):
+            latency = int(
+                costs.block_device_ns
+                + request.size_kib * costs.block_per_kib_ns
+            )
+            self.sim.schedule(
+                latency, lambda: self._enqueue("complete", vcpu_idx, request)
+            )
+            return
+        if request.kind == "net_tx":
+            serialize = int(request.size_kib * costs.nic_per_kib_ns)
+            one_way = serialize + costs.net_wire_ns
+            if request.meta.get("echo") or self.echo_peer:
+                round_trip = 2 * one_way + self.peer_latency_ns
+                reply = IoRequest(
+                    "net_rx",
+                    request.size_bytes,
+                    {"payload": request.meta.get("payload")},
+                )
+                self.sim.schedule(
+                    round_trip,
+                    lambda: self._enqueue("rx", vcpu_idx, reply),
+                )
+            deliver = request.meta.get("deliver_fn")
+            if deliver is not None:
+                payload = request.meta.get("payload")
+                self.sim.schedule(one_way, lambda: deliver(payload))
+            return
+        raise ValueError(f"unknown request kind {request.kind!r}")
+
+    def _enqueue(self, job: str, vcpu_idx: int, request: IoRequest) -> None:
+        self._jobs.append((job, vcpu_idx, request))
+        self._doorbell.signal()
+
+    # -- external ingress (a remote peer sends us traffic) -----------------------
+
+    def deliver_rx(self, vcpu_idx: int, payload: Any, size_bytes: int) -> None:
+        """A packet arrives from the network for this guest."""
+        request = IoRequest("net_rx", size_bytes, {"payload": payload})
+        self._enqueue("rx", vcpu_idx, request)
+
+    def rx_pop(self, vcpu_idx: int) -> Any:
+        """Guest driver consumes one received packet from the ring."""
+        return self.rx_queues[vcpu_idx].popleft()

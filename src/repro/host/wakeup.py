@@ -1,0 +1,87 @@
+"""The CVM-exit wake-up thread (fig. 4).
+
+The RMM signals a vCPU exit with a single IPI (Arm has 16 SGI numbers,
+Linux reserves 7; the prototype allocates exactly one more), so the IPI
+itself carries no information about *which* vCPU exited.  The IPI
+handler activates a wake-up thread which polls the RPC completion slots,
+unblocks every vCPU thread whose run call completed, keeps polling while
+it finds work, and then suspends until the next IPI.
+
+Using IPIs instead of continuous polling is what lets one host core
+serve 60+ guest cores (S5.2): the wake-up thread is only runnable when
+there is something to wake, unlike Quarantine's always-runnable pollers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..costs import CostModel, DEFAULT_COSTS
+from ..rpc.ports import AsyncRpcPort
+from ..sim.sync import Notify
+from .kernel import CVM_EXIT_SGI, HostKernel
+from .threads import HostThread, SchedClass, TBlock, TCompute
+
+__all__ = ["ExitNotifier"]
+
+
+class ExitNotifier:
+    """Host-side dispatcher for CVM-exit IPIs (one per host)."""
+
+    def __init__(
+        self,
+        kernel: HostKernel,
+        target_core: int,
+        costs: CostModel = DEFAULT_COSTS,
+        host_cores: Optional[set] = None,
+    ):
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.costs = costs
+        #: the host core the exit IPI is sent to
+        self.target_core = target_core
+        self.ports: List[AsyncRpcPort] = []
+        self._doorbell = Notify("cvm-exit")
+        self.ipis_received = 0
+        self.wakeups_performed = 0
+        kernel.register_irq_handler(CVM_EXIT_SGI, self._irq_handler)
+        self.thread = HostThread(
+            name="cvm-wakeup",
+            body=self._body(),
+            sched_class=SchedClass.FIFO,
+            affinity=host_cores or {target_core},
+        )
+        kernel.add_thread(self.thread, core_hint=target_core)
+
+    def register_port(self, port: AsyncRpcPort) -> None:
+        self.ports.append(port)
+
+    # -- RMM side: the exit IPI (step 1) ----------------------------------
+
+    def notify_exit(self, port: AsyncRpcPort) -> None:
+        """Called by the RMM after writing the exit record."""
+        self.machine.gic.send_sgi(self.target_core, CVM_EXIT_SGI)
+
+    # -- host side ---------------------------------------------------------
+
+    def _irq_handler(self, core_index: int, intid: int) -> int:
+        """IPI handler: activate the wake-up thread (step 2)."""
+        self.ipis_received += 1
+        self._doorbell.signal()
+        return self.costs.wakeup_activate_ns
+
+    def _body(self):
+        """Wake-up thread: poll channels, wake vCPU threads (steps 3-6)."""
+        while True:
+            yield TBlock(self._doorbell.wait())
+            progress = True
+            while progress:
+                progress = False
+                for port in self.ports:
+                    yield TCompute(self.costs.wakeup_scan_slot_ns)
+                    slot = port.slot
+                    if slot.completed and not slot.claimed.fired:
+                        yield TCompute(self.costs.vcpu_unblock_ns)
+                        self.wakeups_performed += 1
+                        slot.claimed.fire(slot.result)
+                        progress = True

@@ -1,0 +1,66 @@
+"""Hardware substrate: cores, caches, TLB, GIC, timers, memory, machine."""
+
+from .branch import BranchPredictor, BtbEntry
+from .cache import (
+    AccessResult,
+    CacheGeometry,
+    CacheLine,
+    L1D_GEOMETRY,
+    L1I_GEOMETRY,
+    L2_GEOMETRY,
+    LLC_GEOMETRY,
+    SetAssociativeCache,
+)
+from .core import ExecResult, ExecStatus, PhysicalCore
+from .gic import (
+    Gic,
+    LINUX_RESERVED_SGIS,
+    ListRegister,
+    LrState,
+    N_LIST_REGISTERS,
+    N_SGIS,
+    VTIMER_PPI,
+    SPI_BASE,
+)
+from .machine import Machine
+from .memory import GRANULE_SIZE, GptFault, PhysicalMemory
+from .timer import CoreTimer
+from .tlb import Tlb, TlbEntry
+from .topology import AMPERE_ONE_LIKE, SocTopology
+from .uarch import CoreUarchState, PollutionModel, StoreBuffer
+
+__all__ = [
+    "AMPERE_ONE_LIKE",
+    "AccessResult",
+    "BranchPredictor",
+    "BtbEntry",
+    "CacheGeometry",
+    "CacheLine",
+    "CoreTimer",
+    "CoreUarchState",
+    "ExecResult",
+    "ExecStatus",
+    "GRANULE_SIZE",
+    "Gic",
+    "GptFault",
+    "L1D_GEOMETRY",
+    "L1I_GEOMETRY",
+    "L2_GEOMETRY",
+    "LINUX_RESERVED_SGIS",
+    "LLC_GEOMETRY",
+    "ListRegister",
+    "LrState",
+    "Machine",
+    "N_LIST_REGISTERS",
+    "N_SGIS",
+    "PhysicalCore",
+    "PhysicalMemory",
+    "PollutionModel",
+    "SPI_BASE",
+    "SetAssociativeCache",
+    "SocTopology",
+    "StoreBuffer",
+    "Tlb",
+    "TlbEntry",
+    "VTIMER_PPI",
+]

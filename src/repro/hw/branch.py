@@ -1,0 +1,80 @@
+"""Branch predictor state (BTB + branch history), domain tagged.
+
+Branch target injection (Spectre-v2 family, branch history injection,
+Inception/RETBLEED style training) all rely on predictor state shared
+between attacker and victim *on the same core*.  We model a direct-mapped
+BTB and a global history register so the security experiments can show
+training by one domain steering prediction in another, and show that the
+cross-core attacker has no such handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from ..isa.worlds import SecurityDomain
+
+__all__ = ["BtbEntry", "BranchPredictor"]
+
+
+@dataclass
+class BtbEntry:
+    """One branch-target-buffer entry: source PC -> predicted target."""
+
+    src: int
+    target: int
+    domain: SecurityDomain
+
+
+class BranchPredictor:
+    """A direct-mapped BTB plus a global branch-history register."""
+
+    def __init__(self, btb_entries: int = 4096, history_bits: int = 32):
+        self.btb_size = btb_entries
+        self.history_bits = history_bits
+        self._btb: Dict[int, BtbEntry] = {}
+        self.history = 0
+        self._history_domain: Optional[SecurityDomain] = None
+        self.train_count = 0
+        self.mispredicts = 0
+
+    def _index(self, src: int) -> int:
+        # simple indexing with history mixing, as real predictors do
+        return (src ^ (self.history & 0xFFF)) % self.btb_size
+
+    def train(self, src: int, target: int, domain: SecurityDomain) -> None:
+        """Record an observed taken branch src -> target."""
+        self.train_count += 1
+        self._btb[self._index(src)] = BtbEntry(src, target, domain)
+        self.history = (
+            (self.history << 1) | (target & 1)
+        ) & ((1 << self.history_bits) - 1)
+        self._history_domain = domain
+
+    def predict(self, src: int) -> Optional[BtbEntry]:
+        """Prediction for a branch at ``src``; None when untrained.
+
+        Note the entry returned may have been planted by a *different*
+        domain -- that aliasing is exactly the Spectre-v2 injection
+        vector the security experiments exercise.
+        """
+        return self._btb.get(self._index(src))
+
+    def flush(self) -> int:
+        """Invalidate all predictor state (the costly mitigation)."""
+        dropped = len(self._btb)
+        self._btb.clear()
+        self.history = 0
+        self._history_domain = None
+        return dropped
+
+    def domains_present(self) -> Set[SecurityDomain]:
+        domains = {entry.domain for entry in self._btb.values()}
+        if self._history_domain is not None:
+            domains.add(self._history_domain)
+        return domains
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._btb)

@@ -1,0 +1,172 @@
+"""Generic interrupt controller (GIC-like) model.
+
+Models the pieces of Arm's GICv3 that the paper's mechanisms depend on:
+
+* **SGIs** (software-generated interrupts, intids 0-15) -- the IPIs used
+  both by the guest (virtual IPIs between vCPUs) and by our async RPC
+  transport (the RMM notifying the host of a vCPU exit, the host kicking
+  a running vCPU).  Arm has 16 SGI numbers; Linux reserves 7, and the
+  prototype allocates exactly one more as the CVM-exit doorbell.
+* **PPIs** (private peripheral interrupts, 16-31) -- per-core timer.
+* **SPIs** (shared peripheral interrupts, 32+) -- devices, routed to a
+  configurable core.
+* **List registers** -- per-core virtual-interrupt slots used for
+  interrupt virtualization (fig. 5).  The RMM-side filtering logic lives
+  in :mod:`repro.rmm.interrupts`; the raw registers are hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..sim.engine import SimulationError, Simulator
+from ..sim.sync import Notify
+
+__all__ = [
+    "SGI_BASE",
+    "PPI_BASE",
+    "SPI_BASE",
+    "VTIMER_PPI",
+    "N_SGIS",
+    "LINUX_RESERVED_SGIS",
+    "N_LIST_REGISTERS",
+    "LrState",
+    "ListRegister",
+    "CoreInterruptInterface",
+    "Gic",
+]
+
+SGI_BASE = 0
+N_SGIS = 16
+PPI_BASE = 16
+SPI_BASE = 32
+VTIMER_PPI = 27  # virtual timer PPI, as on Arm
+#: IPI numbers Linux already uses (reschedule, call-function, stop, ...)
+LINUX_RESERVED_SGIS = 7
+
+N_LIST_REGISTERS = 16
+
+
+class LrState:
+    """Virtual interrupt state in a list register."""
+
+    INVALID = "invalid"
+    PENDING = "pending"
+    ACTIVE = "active"
+    PENDING_ACTIVE = "pending+active"
+
+
+@dataclass
+class ListRegister:
+    """One ich_lr<n>_el2 register: a virtual intid and its state."""
+
+    vintid: Optional[int] = None
+    state: str = LrState.INVALID
+
+    @property
+    def free(self) -> bool:
+        return self.state == LrState.INVALID
+
+    def copy(self) -> "ListRegister":
+        return ListRegister(self.vintid, self.state)
+
+
+class CoreInterruptInterface:
+    """Per-core GIC interface: pending physical interrupts + doorbell."""
+
+    def __init__(self, core_index: int):
+        self.core_index = core_index
+        self._pending: Set[int] = set()
+        self.doorbell = Notify(f"irq-core{core_index}")
+        self.list_registers: List[ListRegister] = [
+            ListRegister() for _ in range(N_LIST_REGISTERS)
+        ]
+        self.received_count: Dict[int, int] = {}
+
+    def pend(self, intid: int) -> None:
+        self.received_count[intid] = self.received_count.get(intid, 0) + 1
+        if intid in self._pending:
+            return  # edge interrupts coalesce while pending
+        self._pending.add(intid)
+        self.doorbell.signal(intid)
+
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    def peek_pending(self) -> Optional[int]:
+        return min(self._pending) if self._pending else None
+
+    def acknowledge(self) -> Optional[int]:
+        """Take the highest-priority (lowest intid) pending interrupt."""
+        if not self._pending:
+            return None
+        intid = min(self._pending)
+        self._pending.discard(intid)
+        return intid
+
+    def clear(self, intid: int) -> None:
+        self._pending.discard(intid)
+
+    def reset(self) -> None:
+        """Drop all pending interrupts and doorbell signals (used when a
+        core changes ownership, e.g. on dedication to the monitor)."""
+        self._pending.clear()
+        self.doorbell.clear()
+
+
+class Gic:
+    """The distributor: routes SGIs/PPIs/SPIs to per-core interfaces."""
+
+    def __init__(self, sim: Simulator, n_cores: int, wire_delay_ns: int = 400):
+        self.sim = sim
+        self.wire_delay_ns = wire_delay_ns
+        self.cores = [CoreInterruptInterface(i) for i in range(n_cores)]
+        self._spi_routes: Dict[int, int] = {}
+        self.sgi_sent = 0
+        self.spi_raised = 0
+
+    # -- SGIs (IPIs) -------------------------------------------------------
+
+    def send_sgi(self, target_core: int, intid: int) -> None:
+        """Send an IPI; it pends on the target after the wire delay."""
+        if not 0 <= intid < N_SGIS:
+            raise SimulationError(f"SGI intid {intid} out of range")
+        self.sgi_sent += 1
+        target = self.cores[target_core]
+        self.sim.schedule(self.wire_delay_ns, lambda: target.pend(intid))
+
+    # -- PPIs (per-core timer etc.) -----------------------------------------
+
+    def raise_ppi(self, core_index: int, intid: int) -> None:
+        if not PPI_BASE <= intid < SPI_BASE:
+            raise SimulationError(f"PPI intid {intid} out of range")
+        self.cores[core_index].pend(intid)
+
+    # -- SPIs (devices) ------------------------------------------------------
+
+    def route_spi(self, intid: int, core_index: int) -> None:
+        """Configure SPI affinity (the host does this for device IRQs)."""
+        if intid < SPI_BASE:
+            raise SimulationError(f"SPI intid {intid} out of range")
+        self._spi_routes[intid] = core_index
+
+    def spi_route(self, intid: int) -> int:
+        return self._spi_routes.get(intid, 0)
+
+    def raise_spi(self, intid: int) -> None:
+        """Device raises an interrupt; delivered to its routed core."""
+        if intid < SPI_BASE:
+            raise SimulationError(f"SPI intid {intid} out of range")
+        self.spi_raised += 1
+        target = self.cores[self.spi_route(intid)]
+        self.sim.schedule(self.wire_delay_ns, lambda: target.pend(intid))
+
+    def retarget_spis_away_from(self, core_index: int, fallback: int) -> int:
+        """Hotplug support: move all SPI routes off a core going offline."""
+        moved = 0
+        for intid, route in list(self._spi_routes.items()):
+            if route == core_index:
+                self._spi_routes[intid] = fallback
+                moved += 1
+        return moved

@@ -1,0 +1,119 @@
+"""Physical memory, granules and the granule protection table (GPT).
+
+CCA partitions physical memory into 4 KiB *granules*, each assigned to a
+physical address space (PAS): normal, realm, or root.  The hardware
+consults the GPT on every access (in the TLB-miss path on real RME
+hardware); an access from the wrong world faults.  Only the root/realm
+firmware may reassign granules -- that policy lives in
+:mod:`repro.rmm.granule`; this module is the enforcement mechanism.
+
+A small byte-addressable content store backs the security experiments
+(secrets in realm memory, shared RPC pages in normal memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..isa.worlds import World
+
+__all__ = [
+    "GRANULE_SHIFT",
+    "GRANULE_SIZE",
+    "GptFault",
+    "PhysicalMemory",
+]
+
+GRANULE_SHIFT = 12
+GRANULE_SIZE = 1 << GRANULE_SHIFT
+
+
+class GptFault(Exception):
+    """Granule protection fault: access from a world that doesn't own it."""
+
+    def __init__(self, addr: int, world: World, pas: World):
+        super().__init__(
+            f"GPT fault: {world.value} access to {addr:#x} (PAS={pas.value})"
+        )
+        self.addr = addr
+        self.world = world
+        self.pas = pas
+
+
+#: For each accessing world, the set of PASes it may touch.  Root
+#: firmware sees everything; realm world sees realm + normal (shared
+#: RPC buffers are normal-world memory); normal world sees only normal.
+_ACCESS = {
+    World.NORMAL: {World.NORMAL},
+    World.REALM: {World.REALM, World.NORMAL},
+    World.ROOT: {World.ROOT, World.REALM, World.NORMAL},
+}
+
+
+@dataclass
+class GranuleRecord:
+    """Hardware-visible state of one granule."""
+
+    pas: World = World.NORMAL
+
+
+class PhysicalMemory:
+    """Granule-managed physical memory with GPT enforcement."""
+
+    def __init__(self, size_bytes: int):
+        if size_bytes % GRANULE_SIZE:
+            raise ValueError("memory size must be granule aligned")
+        self.size_bytes = size_bytes
+        self.n_granules = size_bytes // GRANULE_SIZE
+        self._gpt: Dict[int, GranuleRecord] = {}
+        self._content: Dict[int, int] = {}
+        self.gpt_checks = 0
+        self.gpt_faults = 0
+
+    # -- GPT management (called only by root/realm firmware models) -------
+
+    def granule_index(self, addr: int) -> int:
+        if not 0 <= addr < self.size_bytes:
+            raise ValueError(f"address {addr:#x} out of range")
+        return addr >> GRANULE_SHIFT
+
+    def pas_of(self, addr: int) -> World:
+        record = self._gpt.get(self.granule_index(addr))
+        return record.pas if record else World.NORMAL
+
+    def set_pas(self, addr: int, pas: World) -> None:
+        """Reassign the granule containing ``addr`` (firmware only)."""
+        self._gpt[self.granule_index(addr)] = GranuleRecord(pas=pas)
+
+    # -- accesses ----------------------------------------------------------
+
+    def check_access(self, addr: int, world: World) -> None:
+        """GPT check; raises :class:`GptFault` on violation."""
+        self.gpt_checks += 1
+        pas = self.pas_of(addr)
+        if pas not in _ACCESS[world]:
+            self.gpt_faults += 1
+            raise GptFault(addr, world, pas)
+
+    def read(self, addr: int, world: World) -> int:
+        self.check_access(addr, world)
+        return self._content.get(addr, 0)
+
+    def write(self, addr: int, value: int, world: World) -> None:
+        self.check_access(addr, world)
+        self._content[addr] = value
+
+    def scrub_granule(self, addr: int) -> None:
+        """Zero a granule's contents (on undelegation, before the host can
+        see it again)."""
+        base = self.granule_index(addr) << GRANULE_SHIFT
+        for offset in list(self._content):
+            if base <= offset < base + GRANULE_SIZE:
+                del self._content[offset]
+
+    def granules_with_pas(self, pas: World) -> int:
+        count = sum(1 for rec in self._gpt.values() if rec.pas is pas)
+        if pas is World.NORMAL:
+            count += self.n_granules - len(self._gpt)
+        return count

@@ -1,0 +1,55 @@
+"""Per-core generic timer.
+
+Each core has an architectural timer that raises the virtual-timer PPI
+when its programmed deadline passes.  In the baseline CVM design every
+guest timer tick traps to the RMM and is reflected to the host (two VM
+exits per tick); with interrupt delegation (S4.4) the RMM programs this
+physical timer itself and injects the virtual interrupt locally.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.engine import Simulator
+from .gic import Gic, VTIMER_PPI
+
+__all__ = ["CoreTimer"]
+
+
+class CoreTimer:
+    """One core's programmable countdown timer."""
+
+    def __init__(self, sim: Simulator, gic: Gic, core_index: int):
+        self.sim = sim
+        self.gic = gic
+        self.core_index = core_index
+        self._armed_timer = None
+        self.deadline: Optional[int] = None
+        self.fire_count = 0
+
+    def program(self, deadline_ns: int) -> None:
+        """Arm the timer for an absolute deadline (re-arming cancels)."""
+        self.cancel()
+        self.deadline = deadline_ns
+        delay = max(0, deadline_ns - self.sim.now)
+        self._armed_timer = self.sim.schedule(delay, self._fire)
+
+    def program_after(self, delta_ns: int) -> None:
+        self.program(self.sim.now + delta_ns)
+
+    def cancel(self) -> None:
+        if self._armed_timer is not None:
+            self._armed_timer.cancelled = True
+            self._armed_timer = None
+        self.deadline = None
+
+    @property
+    def armed(self) -> bool:
+        return self._armed_timer is not None
+
+    def _fire(self) -> None:
+        self._armed_timer = None
+        self.deadline = None
+        self.fire_count += 1
+        self.gic.raise_ppi(self.core_index, VTIMER_PPI)

@@ -1,0 +1,60 @@
+"""SoC topology description.
+
+The evaluation platform is an AmpereOne-class Arm server: many
+single-threaded cores at 3 GHz, private L1/L2, one shared LLC.  None of
+the paper's target Arm platforms support hardware threads, so SMT
+defaults to 1; the model still carries the parameter because on a
+threaded processor *all* siblings of a core must be dedicated to the
+same CVM (footnote 1 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cache import CacheGeometry, LLC_GEOMETRY
+
+__all__ = ["SocTopology", "AMPERE_ONE_LIKE"]
+
+
+@dataclass(frozen=True)
+class SocTopology:
+    """Static description of the simulated machine."""
+
+    name: str
+    n_cores: int
+    threads_per_core: int = 1
+    frequency_ghz: float = 3.0
+    memory_gib: int = 64
+    llc_geometry: CacheGeometry = field(default_factory=lambda: LLC_GEOMETRY)
+    ipi_wire_delay_ns: int = 350
+    memory_encryption: bool = False
+    #: fractional slowdown on memory-bound work when encryption is on
+    #: (Intel reports 2-3% for TDX; CCA hardware is expected to be similar)
+    encryption_overhead: float = 0.025
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("need at least one core")
+        if self.threads_per_core != 1:
+            raise ValueError(
+                "threaded processors are unsupported: dedicate all "
+                "hardware threads of a core to the same CVM instead"
+            )
+
+    def with_cores(self, n_cores: int) -> "SocTopology":
+        """A copy with a different core count (for scaling sweeps)."""
+        return SocTopology(
+            name=self.name,
+            n_cores=n_cores,
+            threads_per_core=self.threads_per_core,
+            frequency_ghz=self.frequency_ghz,
+            memory_gib=self.memory_gib,
+            llc_geometry=self.llc_geometry,
+            ipi_wire_delay_ns=self.ipi_wire_delay_ns,
+            memory_encryption=self.memory_encryption,
+            encryption_overhead=self.encryption_overhead,
+        )
+
+
+AMPERE_ONE_LIKE = SocTopology(name="ampereone-like", n_cores=64)

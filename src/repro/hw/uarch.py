@@ -1,0 +1,249 @@
+"""Per-core microarchitectural state and the locality cost model.
+
+Two concerns live here:
+
+* **Security**: ``CoreUarchState`` aggregates every core-private
+  structure the paper's threat model puts in scope (L1I/L1D, L2, TLB,
+  branch predictor, store buffer).  Each is domain-tagged so the auditor
+  can detect cross-domain residency and the attack simulations can probe
+  real state.
+
+* **Performance**: ``PollutionModel`` converts context switches and
+  locally-handled VM exits into refill penalties on subsequent compute,
+  the "indirect cost" the paper attributes to cache and TLB pollution and
+  cold microarchitectural state after mitigation flushes (S3, citing
+  FlexSC).  Core-gapped guests avoid these penalties entirely because
+  nothing else ever runs on their core; shared-core guests pay them on
+  every exit handled locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..isa.worlds import SecurityDomain
+from .branch import BranchPredictor
+from .cache import (
+    L1D_GEOMETRY,
+    L1I_GEOMETRY,
+    L2_GEOMETRY,
+    SetAssociativeCache,
+)
+from .tlb import Tlb
+
+__all__ = ["StoreBufferEntry", "StoreBuffer", "CoreUarchState", "PollutionModel"]
+
+
+@dataclass
+class StoreBufferEntry:
+    """An in-flight store: address, value, owning domain."""
+
+    addr: int
+    value: int
+    domain: SecurityDomain
+
+
+class StoreBuffer:
+    """A small FIFO store buffer (the MDS/Fallout attack surface)."""
+
+    def __init__(self, entries: int = 56):
+        self.capacity = entries
+        self._entries: List[StoreBufferEntry] = []
+
+    def push(self, addr: int, value: int, domain: SecurityDomain) -> None:
+        if len(self._entries) >= self.capacity:
+            self._entries.pop(0)  # oldest store drains to cache
+        self._entries.append(StoreBufferEntry(addr, value, domain))
+
+    def forward(self, addr: int) -> Optional[StoreBufferEntry]:
+        """Store-to-load forwarding: youngest matching store wins.
+
+        Transient-execution bugs in this path (e.g. Fallout) forward
+        stale data across privilege boundaries; the attack simulations
+        model that by letting a distrusting domain observe the returned
+        entry when one is present.
+        """
+        for entry in reversed(self._entries):
+            if entry.addr == addr:
+                return entry
+        return None
+
+    def drain(self) -> int:
+        dropped = len(self._entries)
+        self._entries.clear()
+        return dropped
+
+    def domains_present(self) -> Set[SecurityDomain]:
+        return {e.domain for e in self._entries}
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+
+class CoreUarchState:
+    """All core-private microarchitectural structures of one core."""
+
+    def __init__(self, core_index: int):
+        self.core_index = core_index
+        self.l1d = SetAssociativeCache(L1D_GEOMETRY)
+        self.l1i = SetAssociativeCache(L1I_GEOMETRY)
+        self.l2 = SetAssociativeCache(L2_GEOMETRY)
+        self.tlb = Tlb(name=f"TLB{core_index}")
+        self.branch = BranchPredictor()
+        self.store_buffer = StoreBuffer()
+        self.flush_count = 0
+
+    def flush_all(self) -> None:
+        """Full mitigation flush (what the monitor does on a trust-boundary
+        switch in the shared-core design)."""
+        self.l1d.flush()
+        self.l1i.flush()
+        self.tlb.invalidate_all()
+        self.branch.flush()
+        self.store_buffer.drain()
+        self.flush_count += 1
+
+    def scrub_for_reassignment(self) -> None:
+        """Everything ``flush_all`` does plus the core-private L2: used
+        when a dedicated core changes ownership (release/rebind).  The
+        L2 is per-core on the target platforms and in the threat model
+        (S2.4), so it must not carry state to the next owner."""
+        self.flush_all()
+        self.l2.flush()
+
+    def domains_present(self) -> Set[SecurityDomain]:
+        """Every domain with residual state anywhere in this core."""
+        present: Set[SecurityDomain] = set()
+        present |= self.l1d.domains_present()
+        present |= self.l1i.domains_present()
+        present |= self.l2.domains_present()
+        present |= self.tlb.domains_present()
+        present |= self.branch.domains_present()
+        present |= self.store_buffer.domains_present()
+        return present
+
+    def structures(self):
+        """(name, structure) pairs, for audits that walk everything."""
+        return [
+            ("l1d", self.l1d),
+            ("l1i", self.l1i),
+            ("l2", self.l2),
+            ("tlb", self.tlb),
+            ("branch", self.branch),
+            ("store_buffer", self.store_buffer),
+        ]
+
+
+@dataclass
+class PollutionCosts:
+    """Calibration constants for the locality model."""
+
+    # maximum refill penalty after another domain ran on this core
+    # (cold L1 + L2-resident working set + TLB, ~18 us at 3 GHz)
+    foreign_run_penalty_ns: int = 18_000
+    # refill penalty after a mitigation flush (everything cold)
+    flush_penalty_ns: int = 14_000
+    # how much refill debt one ns of foreign execution creates: a short
+    # interrupt handler displaces little; a full quantum evicts the cap
+    pollution_rate: float = 3.0
+    # penalty cap after the monitor ran (tiny working set)
+    monitor_penalty_ns: int = 200
+    # cap on accumulated penalty for a guest victim (finite working set)
+    max_pending_penalty_ns: int = 60_000
+    # cap for the *host* as victim: kernel exit/interrupt paths touch a
+    # few KiB, so their refill cost is bounded and small
+    host_victim_cap_ns: int = 500
+
+
+class PollutionModel:
+    """Tracks pending refill penalties for one core.
+
+    Events (foreign execution, flushes, local interrupts) accumulate a
+    pending penalty per *victim* domain; the next compute by that domain
+    pays it off before doing useful work.
+    """
+
+    def __init__(self, costs: Optional[PollutionCosts] = None):
+        self.costs = costs or PollutionCosts()
+        self._pending: dict = {}
+        self._last_domain: Optional[SecurityDomain] = None
+        self.total_penalty_paid = 0
+
+    def _victim_cap(self, victim: SecurityDomain) -> int:
+        """How cold a victim can possibly get (its working-set size)."""
+        if victim.is_realm or victim.name.startswith("vm:"):
+            return self.costs.max_pending_penalty_ns
+        return self.costs.host_victim_cap_ns
+
+    def _add(self, amount: int, exclude: Optional[SecurityDomain]) -> None:
+        for domain in list(self._pending):
+            if domain == exclude:
+                continue
+            self._pending[domain] = min(
+                self._pending[domain] + amount,
+                self._victim_cap(domain),
+            )
+
+    def note_run(self, domain: SecurityDomain) -> None:
+        """``domain`` starts running on this core (registration only;
+        charging happens per executed duration).
+
+        Trusted firmware (the monitor) is not tracked: its working set
+        is a few cache lines of dispatch code, so it neither suffers
+        meaningful refill penalties nor is a victim worth modelling.
+        """
+        if domain.trusted_by_all:
+            return
+        if domain not in self._pending:
+            self._pending[domain] = 0
+        self._last_domain = domain
+
+    def note_run_duration(self, domain: SecurityDomain, elapsed_ns: int) -> None:
+        """``domain`` ran for ``elapsed_ns``: it displaced the other
+        domains' state proportionally, up to its working-set cap.
+
+        The cap depends on who ran: the monitor's working set is tiny
+        (a short dispatch path), so it barely displaces anything; an
+        untrusted domain running a full quantum evicts everything.
+        """
+        cap = (
+            self.costs.monitor_penalty_ns
+            if domain.trusted_by_all
+            else self.costs.foreign_run_penalty_ns
+        )
+        charge = min(cap, int(elapsed_ns * self.costs.pollution_rate))
+        if charge > 0:
+            self._add(charge, exclude=domain)
+
+    def note_flush(self) -> None:
+        """A mitigation flush makes *everyone* cold (including the flusher's
+        beneficiary)."""
+        for domain in list(self._pending):
+            self._pending[domain] = min(
+                self._pending[domain] + self.costs.flush_penalty_ns,
+                self.costs.max_pending_penalty_ns,
+            )
+        self._last_domain = None
+
+    def consume_penalty(
+        self, domain: SecurityDomain, work_ns: Optional[int] = None
+    ) -> int:
+        """Refill penalty ``domain`` pays on its next compute segment.
+
+        Refill is amortized: misses interleave with execution, so a
+        segment of W ns pays at most W extra (a 2x slowdown while the
+        working set streams back in).  Unpaid debt stays pending.
+        With ``work_ns=None`` the whole debt is paid at once.
+        """
+        if domain.trusted_by_all:
+            return 0
+        pending = self._pending.get(domain, 0)
+        pay = pending if work_ns is None else min(pending, int(work_ns))
+        self._pending[domain] = pending - pay
+        self.total_penalty_paid += pay
+        return pay
+
+    def pending_penalty(self, domain: SecurityDomain) -> int:
+        return self._pending.get(domain, 0)

@@ -1,0 +1,32 @@
+"""ISA-level abstractions: worlds, security domains, SMC, terminology."""
+
+from .smc import SmcCall, SmcFunction, WorldSwitchCosts, crossing_needs_flush
+from .terminology import TERMINOLOGY, IsaTerms, render_table1
+from .worlds import (
+    HOST_DOMAIN,
+    IDLE_DOMAIN,
+    MONITOR_DOMAIN,
+    ROOT_DOMAIN,
+    ExceptionLevel,
+    SecurityDomain,
+    World,
+    realm_domain,
+)
+
+__all__ = [
+    "HOST_DOMAIN",
+    "IDLE_DOMAIN",
+    "MONITOR_DOMAIN",
+    "ROOT_DOMAIN",
+    "TERMINOLOGY",
+    "ExceptionLevel",
+    "IsaTerms",
+    "SecurityDomain",
+    "SmcCall",
+    "SmcFunction",
+    "World",
+    "WorldSwitchCosts",
+    "crossing_needs_flush",
+    "realm_domain",
+    "render_table1",
+]

@@ -1,0 +1,101 @@
+"""SMC calling convention and world-switch cost model.
+
+On real hardware, every host<->monitor interaction is a Secure Monitor
+Call through EL3 firmware, and every transition across the trust
+boundary pays for context save/restore plus the microarchitectural
+flushes that mitigate transient-execution attacks (e.g. the TDX module
+flushing branch history on return to the host).  The paper's Table 2
+shows a *null* EL3 call already costing >12.8 us on their AmpereOne
+server, dominated by those mitigations.
+
+This module models that cost structure explicitly so the same-core
+baseline (traditional CVMs) and the core-gapped design (which avoids
+these transitions entirely) can be compared on equal footing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .worlds import World
+
+__all__ = ["SmcFunction", "SmcCall", "WorldSwitchCosts"]
+
+
+class SmcFunction(enum.Enum):
+    """SMC function groups relevant to CVM operation."""
+
+    RMI = "rmi"  # host -> RMM realm management interface
+    RSI = "rsi"  # realm -> RMM realm services interface
+    PSCI = "psci"  # power state coordination (hotplug on/off)
+    VENDOR = "vendor"
+
+
+@dataclass(frozen=True)
+class SmcCall:
+    """One SMC with its function id and arguments (registers x0..x6)."""
+
+    function: SmcFunction
+    fid: int
+    args: Tuple = ()
+
+    def __str__(self) -> str:
+        return f"SMC({self.function.value}:{self.fid:#x})"
+
+
+@dataclass
+class WorldSwitchCosts:
+    """Latency components of a same-core world switch (one direction).
+
+    Defaults are calibrated so a null host->RMM->host round trip through
+    EL3 costs a little more than the paper's 12.8 us EL3-only figure
+    (the paper notes the EL3 call is *part* of the full RMM call path).
+    """
+
+    # architectural context save/restore (GPRs, sysregs, SIMD)
+    context_save_ns: int = 400
+    context_restore_ns: int = 400
+    # EL3 firmware dispatch logic
+    el3_dispatch_ns: int = 300
+    # transient-execution mitigation flushes applied on the trust
+    # boundary: branch predictor / BHB invalidation, L1D flush,
+    # speculation barriers.  This is the dominant term (see Table 2).
+    mitigation_flush_ns: int = 5_300
+    # RMM entry/exit bookkeeping (GPT/world register reconfiguration)
+    world_reconfig_ns: int = 150
+
+    def one_way(self, flush: bool = True) -> int:
+        """Cost of a single transition between worlds on one core."""
+        cost = (
+            self.context_save_ns
+            + self.el3_dispatch_ns
+            + self.world_reconfig_ns
+            + self.context_restore_ns
+        )
+        if flush:
+            cost += self.mitigation_flush_ns
+        return cost
+
+    def round_trip(self, flush: bool = True) -> int:
+        """Null same-core call: enter the other world and come back."""
+        return 2 * self.one_way(flush=flush)
+
+
+#: Which world transitions cross a trust boundary and therefore require
+#: mitigation flushes.  monitor<->realm is inside the guest TCB; the
+#: expensive edges are anything touching the normal world.
+TRUST_BOUNDARY: Dict[Tuple[World, World], bool] = {
+    (World.NORMAL, World.REALM): True,
+    (World.REALM, World.NORMAL): True,
+    (World.NORMAL, World.ROOT): True,
+    (World.ROOT, World.NORMAL): True,
+    (World.REALM, World.ROOT): False,
+    (World.ROOT, World.REALM): False,
+}
+
+
+def crossing_needs_flush(src: World, dst: World) -> bool:
+    """True when a src->dst world switch must flush microarchitectural state."""
+    return TRUST_BOUNDARY.get((src, dst), False)

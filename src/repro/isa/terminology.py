@@ -1,0 +1,65 @@
+"""Table 1: confidential-VM terminology across ISA extensions.
+
+The paper's unified model maps each vendor's names onto three concepts:
+the confidential VM itself, the security monitor firmware, and the
+privileged CPU mode the monitor runs in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["IsaTerms", "TERMINOLOGY", "unified_concepts", "render_table1"]
+
+
+@dataclass(frozen=True)
+class IsaTerms:
+    """One column of Table 1."""
+
+    isa: str
+    confidential_vm: str
+    security_monitor: str
+    privileged_mode: str
+
+
+TERMINOLOGY: Dict[str, IsaTerms] = {
+    "Arm CCA": IsaTerms("Arm CCA", "realm VM", "RMM", "realm"),
+    "Intel TDX": IsaTerms("Intel TDX", "TD VM", "TDX module", "SEAM"),
+    "CoVE": IsaTerms("CoVE", "TVM", "TSM", "confidential"),
+}
+
+
+def unified_concepts() -> List[str]:
+    """The row labels of Table 1."""
+    return ["Confidential VM", "Security monitor", "Privileged mode"]
+
+
+def lookup(isa: str, concept: str) -> str:
+    """Translate a unified concept into one ISA's terminology."""
+    terms = TERMINOLOGY[isa]
+    mapping = {
+        "Confidential VM": terms.confidential_vm,
+        "Security monitor": terms.security_monitor,
+        "Privileged mode": terms.privileged_mode,
+    }
+    return mapping[concept]
+
+
+def render_table1() -> str:
+    """Render Table 1 as aligned text."""
+    isas = list(TERMINOLOGY)
+    header = [""] + isas
+    rows = [
+        [concept] + [lookup(isa, concept) for isa in isas]
+        for concept in unified_concepts()
+    ]
+    widths = [
+        max(len(row[i]) for row in [header] + rows) for i in range(len(header))
+    ]
+    lines = []
+    for row in [header] + rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Security worlds, exception levels and security domains.
+
+This models the privilege structure that Arm CCA (and, with different
+names, Intel TDX and RISC-V CoVE) adds for confidential VMs: a *realm*
+world holding CVM memory and the security monitor, the *normal* world
+holding the untrusted host, and a *root* world for the lowest-level
+firmware (EL3).  See Table 1 in the paper for the terminology map
+(implemented in :mod:`repro.isa.terminology`).
+
+Security *domains* are the unit at which the core-gap invariant is
+stated: no two mutually distrusting domains may ever execute on the same
+physical core during the life of a confidential VM.  The monitor domain
+is trusted by everyone and is the only domain allowed to share a core
+with a realm.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "World",
+    "ExceptionLevel",
+    "SecurityDomain",
+    "HOST_DOMAIN",
+    "MONITOR_DOMAIN",
+    "ROOT_DOMAIN",
+    "IDLE_DOMAIN",
+    "realm_domain",
+]
+
+
+class World(enum.Enum):
+    """Physical address space / execution world."""
+
+    NORMAL = "normal"
+    REALM = "realm"
+    ROOT = "root"
+    SECURE = "secure"  # legacy TrustZone secure world; unused by CVMs
+
+
+class ExceptionLevel(enum.IntEnum):
+    """Arm exception levels (EL0 user .. EL3 firmware)."""
+
+    EL0 = 0
+    EL1 = 1
+    EL2 = 2
+    EL3 = 3
+
+
+@dataclass(frozen=True)
+class SecurityDomain:
+    """A mutually-distrusting principal for the core-gap invariant.
+
+    ``trusted_by_all`` marks the security monitor (and root firmware):
+    sharing a core with it leaks nothing the monitor is not already
+    trusted with, so the auditor permits it on any core.
+    """
+
+    name: str
+    world: World
+    trusted_by_all: bool = False
+
+    @property
+    def is_realm(self) -> bool:
+        return self.world is World.REALM and not self.trusted_by_all
+
+    def distrusts(self, other: "SecurityDomain") -> bool:
+        """True when microarchitectural sharing with ``other`` is a leak."""
+        if self == other:
+            return False
+        if self.trusted_by_all or other.trusted_by_all:
+            return False
+        if self.name == "idle" or other.name == "idle":
+            return False
+        return True
+
+    def __str__(self) -> str:
+        return self.name
+
+
+HOST_DOMAIN = SecurityDomain("host", World.NORMAL)
+MONITOR_DOMAIN = SecurityDomain("monitor", World.REALM, trusted_by_all=True)
+ROOT_DOMAIN = SecurityDomain("root-firmware", World.ROOT, trusted_by_all=True)
+IDLE_DOMAIN = SecurityDomain("idle", World.NORMAL)
+
+
+def realm_domain(realm_id: int) -> SecurityDomain:
+    """The security domain of one confidential VM (realm)."""
+    return SecurityDomain(f"realm:{realm_id}", World.REALM)

@@ -1,0 +1,70 @@
+"""The security monitor (RMM): granules, RTTs, realms, core gapping."""
+
+from .attestation import (
+    BASELINE_RMM,
+    CORE_GAPPED_RMM,
+    AttestationToken,
+    PlatformRootOfTrust,
+    RmmImage,
+    verify_token,
+)
+from .core_gap import (
+    CoreGapEngine,
+    DedicatedCore,
+    HOST_KICK_SGI,
+    ReleaseCall,
+    RmiCall,
+    RMM_VIPI_SGI,
+    RunCall,
+)
+from .granule import GRANULE_SIZE, GranuleError, GranuleState, GranuleTracker
+from .interrupts import DELEGATED_DEFAULT, VirtualGic
+from .monitor import Rmm
+from .realm import Realm, RealmError, RealmState, Rec, RecState
+from .rmi import (
+    ExitReason,
+    RecEntry,
+    RecExit,
+    RecRunPage,
+    RmiCommand,
+    RmiResult,
+    RmiStatus,
+)
+from .rtt import RealmTranslationTable, RttError
+
+__all__ = [
+    "AttestationToken",
+    "BASELINE_RMM",
+    "CORE_GAPPED_RMM",
+    "CoreGapEngine",
+    "DELEGATED_DEFAULT",
+    "DedicatedCore",
+    "ExitReason",
+    "GRANULE_SIZE",
+    "GranuleError",
+    "GranuleState",
+    "GranuleTracker",
+    "HOST_KICK_SGI",
+    "PlatformRootOfTrust",
+    "Realm",
+    "RealmError",
+    "RealmState",
+    "RealmTranslationTable",
+    "Rec",
+    "RecEntry",
+    "RecExit",
+    "RecRunPage",
+    "RecState",
+    "ReleaseCall",
+    "RmiCall",
+    "RmiCommand",
+    "RmiResult",
+    "RmiStatus",
+    "Rmm",
+    "RmmImage",
+    "RMM_VIPI_SGI",
+    "RttError",
+    "RunCall",
+    "VirtualGic",
+    "verify_token",
+]

@@ -1,0 +1,131 @@
+"""Attestation: measuring the RMM and realms, issuing tokens.
+
+The paper's argument for why core-gapping is *trustworthy* rests on
+attestation: the modified RMM's measurement is included in the chain of
+trust, so a guest can refuse to run under a non-core-gapped monitor.
+(S6.1 notes that TDX likewise includes the TDX module measurement in the
+attestation signature -- there is no technical reason only vendor
+firmware could be attested.)
+
+We model a platform root of trust that signs tokens binding together:
+the RMM image measurement (including whether it is the core-gapped
+build), the realm's initial-content measurement, and a guest-supplied
+challenge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "RmmImage",
+    "AttestationToken",
+    "PlatformRootOfTrust",
+    "verify_token",
+    "BASELINE_RMM",
+    "CORE_GAPPED_RMM",
+]
+
+
+def _hash(*parts) -> int:
+    digest = hashlib.sha256("|".join(str(p) for p in parts).encode()).digest()
+    return int.from_bytes(digest[:16], "big")
+
+
+@dataclass(frozen=True)
+class RmmImage:
+    """An RMM build, identified by its measured image."""
+
+    name: str
+    version: str
+    core_gapped: bool
+
+    @property
+    def measurement(self) -> int:
+        return _hash("rmm", self.name, self.version, self.core_gapped)
+
+
+BASELINE_RMM = RmmImage("tf-rmm", "0.3.0", core_gapped=False)
+CORE_GAPPED_RMM = RmmImage("tf-rmm-coregap", "0.3.0+cg", core_gapped=True)
+
+
+@dataclass(frozen=True)
+class AttestationToken:
+    """A signed attestation report."""
+
+    platform_id: int
+    rmm_measurement: int
+    rmm_core_gapped: bool
+    realm_measurement: int
+    challenge: int
+    signature: int
+
+    def payload(self) -> int:
+        return _hash(
+            self.platform_id,
+            self.rmm_measurement,
+            self.rmm_core_gapped,
+            self.realm_measurement,
+            self.challenge,
+        )
+
+
+class PlatformRootOfTrust:
+    """The vendor-rooted signer (a secure element / EL3 firmware)."""
+
+    def __init__(self, platform_id: int = 0xA3A3):
+        self.platform_id = platform_id
+        self._key = _hash("platform-key", platform_id)
+
+    def sign_token(
+        self, rmm: RmmImage, realm_measurement: int, challenge: int
+    ) -> AttestationToken:
+        payload = _hash(
+            self.platform_id,
+            rmm.measurement,
+            rmm.core_gapped,
+            realm_measurement,
+            challenge,
+        )
+        return AttestationToken(
+            platform_id=self.platform_id,
+            rmm_measurement=rmm.measurement,
+            rmm_core_gapped=rmm.core_gapped,
+            realm_measurement=realm_measurement,
+            challenge=challenge,
+            signature=_hash(self._key, payload),
+        )
+
+    def public_verifier(self) -> "TokenVerifier":
+        return TokenVerifier(self._key)
+
+
+class TokenVerifier:
+    """Checks token signatures (models certificate-chain validation)."""
+
+    def __init__(self, key: int):
+        self._key = key
+
+    def verify(self, token: AttestationToken) -> bool:
+        return token.signature == _hash(self._key, token.payload())
+
+
+def verify_token(
+    token: AttestationToken,
+    verifier: TokenVerifier,
+    expected_realm_measurement: Optional[int] = None,
+    require_core_gapped: bool = False,
+) -> bool:
+    """Guest-side policy check on an attestation token."""
+    if not verifier.verify(token):
+        return False
+    if require_core_gapped and not token.rmm_core_gapped:
+        return False
+    if (
+        expected_realm_measurement is not None
+        and token.realm_measurement != expected_realm_measurement
+    ):
+        return False
+    return True

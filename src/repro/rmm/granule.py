@@ -1,0 +1,144 @@
+"""Granule delegation state machine.
+
+Physical memory moves between the host and realm world in 4 KiB
+granules.  The host *delegates* a granule (making it inaccessible to
+normal world), after which the RMM may consume it as realm metadata
+(realm descriptor, REC, RTT) or guest data.  Undelegation is only legal
+once the granule is unused, and the RMM scrubs contents before the host
+regains access -- the enforcement half lives in the hardware GPT model
+(:mod:`repro.hw.memory`); this module is the RMM's bookkeeping and
+policy, mirroring the state machine in the RMM specification.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..hw.memory import GRANULE_SIZE, PhysicalMemory
+from ..isa.worlds import World
+
+__all__ = ["GranuleState", "GranuleError", "GranuleTracker", "GRANULE_SIZE"]
+
+
+class GranuleState(enum.Enum):
+    """RMM-visible lifecycle states of a granule."""
+
+    UNDELEGATED = "undelegated"  # normal-world memory
+    DELEGATED = "delegated"  # realm PAS, not yet used
+    RD = "rd"  # realm descriptor
+    REC = "rec"  # realm execution context (vCPU state)
+    RTT = "rtt"  # realm translation table
+    DATA = "data"  # guest data page
+    RUN = "run"  # shared run page (stays in normal PAS)
+
+
+#: states reachable from DELEGATED when the RMM consumes the granule
+_CONSUMED = {
+    GranuleState.RD,
+    GranuleState.REC,
+    GranuleState.RTT,
+    GranuleState.DATA,
+}
+
+
+class GranuleError(Exception):
+    """An illegal granule state transition (returned to the host as an
+    RMI error; never fatal to the RMM)."""
+
+
+@dataclass
+class Granule:
+    """Tracked state of one granule."""
+
+    addr: int
+    state: GranuleState = GranuleState.UNDELEGATED
+    owner_realm: Optional[int] = None
+
+
+class GranuleTracker:
+    """The RMM's granule ledger, kept consistent with the hardware GPT."""
+
+    def __init__(self, memory: PhysicalMemory):
+        self.memory = memory
+        self._granules: Dict[int, Granule] = {}
+        self.delegate_count = 0
+        self.undelegate_count = 0
+
+    def _aligned(self, addr: int) -> int:
+        if addr % GRANULE_SIZE:
+            raise GranuleError(f"address {addr:#x} not granule aligned")
+        return addr
+
+    def get(self, addr: int) -> Granule:
+        addr = self._aligned(addr)
+        if addr not in self._granules:
+            self._granules[addr] = Granule(addr)
+        return self._granules[addr]
+
+    def state_of(self, addr: int) -> GranuleState:
+        return self.get(addr).state
+
+    # -- host-initiated transitions ---------------------------------------
+
+    def delegate(self, addr: int) -> None:
+        """Host gives a granule to realm world."""
+        granule = self.get(addr)
+        if granule.state is not GranuleState.UNDELEGATED:
+            raise GranuleError(
+                f"delegate: granule {addr:#x} is {granule.state.value}"
+            )
+        granule.state = GranuleState.DELEGATED
+        self.memory.set_pas(addr, World.REALM)
+        self.delegate_count += 1
+
+    def undelegate(self, addr: int) -> None:
+        """Host reclaims a granule; contents are scrubbed first."""
+        granule = self.get(addr)
+        if granule.state is not GranuleState.DELEGATED:
+            raise GranuleError(
+                f"undelegate: granule {addr:#x} is {granule.state.value} "
+                "(must be unused/delegated)"
+            )
+        self.memory.scrub_granule(addr)
+        self.memory.set_pas(addr, World.NORMAL)
+        granule.state = GranuleState.UNDELEGATED
+        granule.owner_realm = None
+        self.undelegate_count += 1
+
+    # -- RMM-internal transitions ------------------------------------------
+
+    def consume(self, addr: int, new_state: GranuleState, realm_id: int) -> None:
+        """Turn a delegated granule into realm metadata or data."""
+        if new_state not in _CONSUMED:
+            raise GranuleError(f"cannot consume into {new_state.value}")
+        granule = self.get(addr)
+        if granule.state is not GranuleState.DELEGATED:
+            raise GranuleError(
+                f"consume: granule {addr:#x} is {granule.state.value}"
+            )
+        granule.state = new_state
+        granule.owner_realm = realm_id
+
+    def release(self, addr: int) -> None:
+        """Return a consumed granule to the plain delegated state
+        (e.g. on DATA_DESTROY / realm teardown)."""
+        granule = self.get(addr)
+        if granule.state not in _CONSUMED:
+            raise GranuleError(
+                f"release: granule {addr:#x} is {granule.state.value}"
+            )
+        self.memory.scrub_granule(addr)
+        granule.state = GranuleState.DELEGATED
+        granule.owner_realm = None
+
+    # -- queries -------------------------------------------------------------
+
+    def owned_by(self, realm_id: int):
+        return [
+            g for g in self._granules.values() if g.owner_realm == realm_id
+        ]
+
+    def count_in_state(self, state: GranuleState) -> int:
+        return sum(1 for g in self._granules.values() if g.state is state)

@@ -1,0 +1,139 @@
+"""Virtual interrupt management with RMM-side delegation (S4.4, fig. 5).
+
+On Arm CCA, virtual interrupts live in list registers (``ich_lr<n>_el2``)
+that the host manages: the run call takes an interrupt list and returns
+an updated one.  The paper's prototype delegates the *virtual timer* and
+*virtual IPIs* to the RMM: the RMM injects those interrupts directly and
+exposes only a **filtered** list to KVM, hiding delegated interrupts
+while managing the true list itself.  KVM needs no changes -- it sees a
+consistent (sub)set.
+
+This removes the two dominant exit causes for compute-bound workloads
+(Table 4: 33954 -> 390 interrupt-related exits on CoreMark-PRO) and cuts
+virtual IPI latency ~20x (Table 3), and also hands the guest a source of
+time the host cannot manipulate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..guest.vcpu import VIPI_VIRQ, VTIMER_VIRQ
+from ..hw.gic import ListRegister, LrState, N_LIST_REGISTERS
+
+__all__ = ["DELEGATED_DEFAULT", "VirtualGic"]
+
+#: interrupts the core-gapped RMM emulates itself (S4.4)
+DELEGATED_DEFAULT = frozenset({VTIMER_VIRQ, VIPI_VIRQ})
+
+
+class VirtualGic:
+    """One REC's virtual interrupt state: the true list + filtering."""
+
+    def __init__(self, delegated: Optional[Set[int]] = None):
+        self.delegated: Set[int] = set(delegated or ())
+        self.lrs: List[ListRegister] = [
+            ListRegister() for _ in range(N_LIST_REGISTERS)
+        ]
+        self.injected_by_rmm = 0
+        self.injected_by_host = 0
+        self.overflow_drops = 0
+
+    # -- injection (fig. 5 steps 2 and 4) ---------------------------------
+
+    def _free_slot(self) -> Optional[ListRegister]:
+        for lr in self.lrs:
+            if lr.free:
+                return lr
+        return None
+
+    def _find(self, vintid: int) -> Optional[ListRegister]:
+        for lr in self.lrs:
+            if not lr.free and lr.vintid == vintid:
+                return lr
+        return None
+
+    def inject(self, vintid: int, from_host: bool) -> bool:
+        """Set ``vintid`` pending; returns False when no slot is free."""
+        if from_host and vintid in self.delegated:
+            # the filtered view never shows delegated intids, so a host
+            # injection of one indicates a confused (or malicious) host;
+            # it is ignored rather than trusted
+            return False
+        existing = self._find(vintid)
+        if existing is not None:
+            if existing.state == LrState.ACTIVE:
+                existing.state = LrState.PENDING_ACTIVE
+            return True  # already pending: interrupts coalesce
+        slot = self._free_slot()
+        if slot is None:
+            self.overflow_drops += 1
+            return False
+        slot.vintid = vintid
+        slot.state = LrState.PENDING
+        if from_host:
+            self.injected_by_host += 1
+        else:
+            self.injected_by_rmm += 1
+        return True
+
+    def deliver(self, vintid: int) -> None:
+        """The guest took the interrupt: pending -> active -> retired.
+
+        We retire immediately (EOI folded in) since the guest handler
+        cost is modelled in the vCPU runtime.
+        """
+        lr = self._find(vintid)
+        if lr is None:
+            return
+        if lr.state == LrState.PENDING_ACTIVE:
+            lr.state = LrState.PENDING
+        else:
+            lr.vintid = None
+            lr.state = LrState.INVALID
+
+    def pending_intids(self) -> List[int]:
+        return [
+            lr.vintid
+            for lr in self.lrs
+            if lr.state in (LrState.PENDING, LrState.PENDING_ACTIVE)
+        ]
+
+    # -- the host's filtered window (fig. 5 steps 1 and 5) ------------------
+
+    def filtered_view(self) -> List[ListRegister]:
+        """What KVM sees: every slot whose intid is not delegated."""
+        return [
+            lr.copy()
+            for lr in self.lrs
+            if lr.free or lr.vintid not in self.delegated
+        ]
+
+    def sync_from_host(self, host_list: List[ListRegister]) -> int:
+        """Merge the host-provided list into the true list (fig. 5 (2)).
+
+        Only non-delegated interrupts are accepted; the RMM validates
+        rather than trusts.  Returns how many were installed.
+        """
+        installed = 0
+        for lr in host_list:
+            if lr.free or lr.vintid is None:
+                continue
+            if lr.state not in (LrState.PENDING, LrState.PENDING_ACTIVE):
+                continue
+            if self.inject(lr.vintid, from_host=True):
+                installed += 1
+        return installed
+
+    def invariant_filtered_is_subset(self) -> bool:
+        """The host view is always a subset of the true list, and never
+        contains delegated intids (tested property)."""
+        true_ids = {lr.vintid for lr in self.lrs if not lr.free}
+        for lr in self.filtered_view():
+            if lr.free:
+                continue
+            if lr.vintid in self.delegated:
+                return False
+            if lr.vintid not in true_ids:
+                return False
+        return True

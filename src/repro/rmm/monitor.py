@@ -1,0 +1,200 @@
+"""The RMM: RMI command handling and realm bookkeeping.
+
+This is the security-monitor state machine shared by both builds:
+
+* the **baseline** build runs RMI calls on the caller's core via SMC
+  (world switches + mitigation flushes on each trust-boundary crossing);
+* the **core-gapped** build (:mod:`repro.rmm.core_gap`) runs the same
+  handlers on dedicated cores, reached by cross-core RPC.
+
+The handlers themselves are transport-agnostic pure state transitions --
+the paper's point that the RMI *API* is unchanged (2.7% LoC increase in
+the RMM, no guest changes) is mirrored here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from ..costs import CostModel, DEFAULT_COSTS
+from ..hw.machine import Machine
+from .attestation import (
+    AttestationToken,
+    CORE_GAPPED_RMM,
+    PlatformRootOfTrust,
+    RmmImage,
+)
+from .granule import GranuleError, GranuleState, GranuleTracker
+from .interrupts import DELEGATED_DEFAULT, VirtualGic
+from .realm import Realm, RealmError, RealmState, Rec, RecState
+from .rmi import RmiCommand, RmiResult, RmiStatus
+from .rtt import RttError
+
+__all__ = ["Rmm"]
+
+
+class Rmm:
+    """Realm management monitor state (one instance per machine)."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        costs: CostModel = DEFAULT_COSTS,
+        image: RmmImage = CORE_GAPPED_RMM,
+        delegated_intids: Optional[Set[int]] = None,
+    ):
+        self.machine = machine
+        self.costs = costs
+        self.image = image
+        #: interrupt delegation set (empty = no delegation, the ablation)
+        self.delegated_intids: Set[int] = set(
+            DELEGATED_DEFAULT if delegated_intids is None else delegated_intids
+        )
+        self.granules = GranuleTracker(machine.memory)
+        self.realms: Dict[int, Realm] = {}
+        self.root_of_trust = PlatformRootOfTrust()
+        self._next_realm_id = 1
+        self._next_vmid = 1
+        self.rmi_counts: Dict[RmiCommand, int] = {}
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def handle_rmi(self, cmd: RmiCommand, args: Tuple = ()) -> RmiResult:
+        """Run one RMI command; errors come back as statuses, never
+        exceptions (a hostile host must not crash the monitor)."""
+        self.rmi_counts[cmd] = self.rmi_counts.get(cmd, 0) + 1
+        handler = getattr(self, f"_rmi_{cmd.name.lower()}", None)
+        if handler is None:
+            return RmiResult(RmiStatus.ERROR_INPUT, f"unknown command {cmd}")
+        try:
+            return handler(*args)
+        except GranuleError as exc:
+            return RmiResult(RmiStatus.ERROR_IN_USE, str(exc))
+        except RttError as exc:
+            return RmiResult(RmiStatus.ERROR_RTT, str(exc))
+        except RealmError as exc:
+            return RmiResult(RmiStatus.ERROR_REALM, str(exc))
+        except (TypeError, KeyError, ValueError) as exc:
+            return RmiResult(RmiStatus.ERROR_INPUT, str(exc))
+
+    def handler_cost_ns(self, cmd: RmiCommand) -> int:
+        """CPU cost of executing one RMI handler (beyond transport)."""
+        if cmd is RmiCommand.VERSION:
+            return self.costs.rmm_null_handler_ns
+        if cmd in (RmiCommand.GRANULE_DELEGATE, RmiCommand.GRANULE_UNDELEGATE):
+            return 600  # GPT update + TLB maintenance
+        if cmd in (RmiCommand.DATA_CREATE, RmiCommand.RTT_CREATE):
+            return 900  # page copy/measure or table init
+        return 400
+
+    # ------------------------------------------------------------------
+    # RMI handlers
+    # ------------------------------------------------------------------
+
+    def _rmi_version(self) -> RmiResult:
+        return RmiResult(RmiStatus.SUCCESS, (1, 0))
+
+    def _rmi_granule_delegate(self, addr: int) -> RmiResult:
+        self.granules.delegate(addr)
+        return RmiResult(RmiStatus.SUCCESS)
+
+    def _rmi_granule_undelegate(self, addr: int) -> RmiResult:
+        self.granules.undelegate(addr)
+        return RmiResult(RmiStatus.SUCCESS)
+
+    def _rmi_realm_create(self, rd_addr: int) -> RmiResult:
+        realm_id = self._next_realm_id
+        self.granules.consume(rd_addr, GranuleState.RD, realm_id)
+        realm = Realm(realm_id, rd_addr, self.granules, vmid=self._next_vmid)
+        self._next_realm_id += 1
+        self._next_vmid += 1
+        self.realms[realm_id] = realm
+        return RmiResult(RmiStatus.SUCCESS, realm_id)
+
+    def _realm(self, realm_id: int) -> Realm:
+        if realm_id not in self.realms:
+            raise RealmError(f"no realm {realm_id}")
+        return self.realms[realm_id]
+
+    def _rmi_realm_activate(self, realm_id: int) -> RmiResult:
+        self._realm(realm_id).activate()
+        return RmiResult(RmiStatus.SUCCESS)
+
+    def _rmi_realm_destroy(self, realm_id: int) -> RmiResult:
+        realm = self._realm(realm_id)
+        realm.destroy()
+        del self.realms[realm_id]
+        return RmiResult(RmiStatus.SUCCESS)
+
+    def _rmi_rec_create(self, realm_id: int, granule_addr: int) -> RmiResult:
+        realm = self._realm(realm_id)
+        rec = realm.create_rec(granule_addr)
+        rec.vgic = VirtualGic(self.delegated_intids)
+        rec.runtime = None  # attached by the system builder (guest image)
+        rec.pending_send = None
+        rec.gen = None
+        return RmiResult(RmiStatus.SUCCESS, rec.index)
+
+    def _rmi_rec_destroy(self, realm_id: int, rec_index: int) -> RmiResult:
+        realm = self._realm(realm_id)
+        rec = realm.rec(rec_index)
+        if rec.state is RecState.RUNNING:
+            return RmiResult(RmiStatus.ERROR_REC, "REC is running")
+        realm.destroy_rec(rec_index)
+        return RmiResult(RmiStatus.SUCCESS)
+
+    def _rmi_rtt_create(
+        self, realm_id: int, ipa: int, level: int, granule_addr: int
+    ) -> RmiResult:
+        self._realm(realm_id).rtt.create_table(ipa, level, granule_addr)
+        return RmiResult(RmiStatus.SUCCESS)
+
+    def _rmi_rtt_destroy(self, realm_id: int, ipa: int, level: int) -> RmiResult:
+        self._realm(realm_id).rtt.destroy_table(ipa, level)
+        return RmiResult(RmiStatus.SUCCESS)
+
+    def _rmi_data_create(
+        self, realm_id: int, ipa: int, data_granule: int, content: int = 0
+    ) -> RmiResult:
+        realm = self._realm(realm_id)
+        realm.require_state(RealmState.NEW)
+        self.granules.consume(data_granule, GranuleState.DATA, realm_id)
+        try:
+            realm.rtt.map_page(ipa, data_granule)
+        except RttError:
+            self.granules.release(data_granule)
+            raise
+        realm.extend_measurement((ipa, content).__hash__())
+        return RmiResult(RmiStatus.SUCCESS)
+
+    def _rmi_data_destroy(self, realm_id: int, ipa: int) -> RmiResult:
+        realm = self._realm(realm_id)
+        pa = realm.rtt.unmap_page(ipa)
+        self.granules.release(pa)
+        return RmiResult(RmiStatus.SUCCESS, pa)
+
+    # ------------------------------------------------------------------
+    # attestation (RSI-side service)
+    # ------------------------------------------------------------------
+
+    def attestation_token(
+        self, realm_id: int, challenge: int
+    ) -> AttestationToken:
+        """Issue a token for a realm (guest-initiated via RSI)."""
+        realm = self._realm(realm_id)
+        return self.root_of_trust.sign_token(
+            self.image, realm.measurement, challenge
+        )
+
+    # ------------------------------------------------------------------
+    # helpers for execution engines
+    # ------------------------------------------------------------------
+
+    def find_rec(self, realm_id: int, rec_index: int) -> Rec:
+        return self._realm(realm_id).rec(rec_index)
+
+    @property
+    def delegation_enabled(self) -> bool:
+        return bool(self.delegated_intids)

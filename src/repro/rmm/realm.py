@@ -1,0 +1,157 @@
+"""Realm and REC (realm execution context) lifecycle.
+
+A *realm* is one confidential VM; a *REC* is one of its vCPUs as seen
+by the RMM.  The host drives the lifecycle through RMI calls but the
+RMM validates every step: a realm must be NEW while being populated,
+ACTIVE to run, and RECs can only be entered when the realm is active.
+
+Core-gapping adds one field to the REC: the physical core it is bound
+to from its first dispatch until destruction (S3, S4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..isa.worlds import SecurityDomain, realm_domain
+from .granule import GranuleState, GranuleTracker
+from .rtt import RealmTranslationTable
+
+__all__ = ["RealmState", "RecState", "Rec", "Realm", "RealmError"]
+
+
+class RealmError(Exception):
+    """Illegal realm lifecycle operation (an RMI error to the host)."""
+
+
+class RealmState(enum.Enum):
+    NEW = "new"  # created, being populated (measurements accumulate)
+    ACTIVE = "active"  # attested boot image sealed; may run
+    SYSTEM_OFF = "system_off"  # guest shut itself down
+
+
+class RecState(enum.Enum):
+    READY = "ready"  # runnable, not currently entered
+    RUNNING = "running"  # inside REC_ENTER on some core
+    DESTROYED = "destroyed"
+
+
+@dataclass
+class Rec:
+    """One realm execution context (vCPU)."""
+
+    realm_id: int
+    index: int
+    granule_addr: int
+    state: RecState = RecState.READY
+    #: core-gapping: physical core this REC is bound to (None = unbound;
+    #: set at first dispatch and immutable until destruction)
+    bound_core: Optional[int] = None
+    enter_count: int = 0
+    exit_count: int = 0
+    #: virtual interrupt state (set at REC_CREATE)
+    vgic: Optional[object] = None
+    #: the guest vCPU runtime (the realm's measured contents; attached
+    #: by the system builder standing in for DATA_CREATE of a real image)
+    runtime: Optional[object] = None
+    #: persisted guest generator + resume value across run calls
+    gen: Optional[object] = None
+    pending_send: Optional[object] = None
+    #: the last exit was an MMIO read whose data arrives on re-entry
+    last_exit_mmio_read: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"rec{self.realm_id}.{self.index}"
+
+
+class Realm:
+    """One confidential VM as tracked by the RMM."""
+
+    def __init__(
+        self,
+        realm_id: int,
+        rd_granule: int,
+        granules: GranuleTracker,
+        vmid: int,
+    ):
+        self.realm_id = realm_id
+        self.vmid = vmid
+        self.rd_granule = rd_granule
+        self.state = RealmState.NEW
+        self.rtt = RealmTranslationTable(realm_id, granules)
+        self.recs: List[Rec] = []
+        self.granules = granules
+        self.domain: SecurityDomain = realm_domain(realm_id)
+        #: rolling measurement of initial contents (attestation)
+        self.measurement: int = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def require_state(self, *states: RealmState) -> None:
+        if self.state not in states:
+            expect = "/".join(s.value for s in states)
+            raise RealmError(
+                f"realm {self.realm_id} is {self.state.value}, "
+                f"expected {expect}"
+            )
+
+    def activate(self) -> None:
+        """Seal the initial image; the realm becomes runnable."""
+        self.require_state(RealmState.NEW)
+        self.state = RealmState.ACTIVE
+
+    def system_off(self) -> None:
+        self.require_state(RealmState.ACTIVE)
+        self.state = RealmState.SYSTEM_OFF
+
+    # -- measurements ------------------------------------------------------------
+
+    def extend_measurement(self, value: int) -> None:
+        """Fold initial-content data into the realm measurement."""
+        self.require_state(RealmState.NEW)
+        # simple iterated hash stand-in (order sensitive, collision poor
+        # but deterministic -- attestation.py applies a real hash on top)
+        self.measurement = hash((self.measurement, value)) & (2**64 - 1)
+
+    # -- RECs -----------------------------------------------------------------
+
+    def create_rec(self, granule_addr: int) -> Rec:
+        self.require_state(RealmState.NEW)
+        self.granules.consume(granule_addr, GranuleState.REC, self.realm_id)
+        rec = Rec(
+            realm_id=self.realm_id,
+            index=len(self.recs),
+            granule_addr=granule_addr,
+        )
+        self.recs.append(rec)
+        self.extend_measurement(0x7EC0 + rec.index)
+        return rec
+
+    def rec(self, index: int) -> Rec:
+        if not 0 <= index < len(self.recs):
+            raise RealmError(f"no REC {index} in realm {self.realm_id}")
+        return self.recs[index]
+
+    def destroy_rec(self, index: int) -> None:
+        rec = self.rec(index)
+        if rec.state is RecState.RUNNING:
+            raise RealmError(f"{rec.name} is running")
+        rec.state = RecState.DESTROYED
+        rec.bound_core = None
+        self.granules.release(rec.granule_addr)
+
+    def live_recs(self) -> List[Rec]:
+        return [r for r in self.recs if r.state is not RecState.DESTROYED]
+
+    def destroy(self) -> None:
+        """Tear the realm down, releasing all granules."""
+        for rec in self.live_recs():
+            if rec.state is RecState.RUNNING:
+                raise RealmError("cannot destroy realm with running RECs")
+        for rec in self.live_recs():
+            self.destroy_rec(rec.index)
+        self.rtt.destroy_all()
+        self.granules.release(self.rd_granule)

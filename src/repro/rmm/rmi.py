@@ -1,0 +1,134 @@
+"""RMI: the realm management interface between host and RMM.
+
+This mirrors the shape of Arm's RMM specification interface: commands
+for granule delegation, realm/REC lifecycle, RTT manipulation and REC
+entry.  The core-gapped prototype keeps this API *unchanged* (the paper
+changes only the transport: same-core SMC vs. cross-core RPC), so both
+the baseline and core-gapped monitors implement exactly this interface.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..hw.gic import ListRegister
+
+__all__ = [
+    "RmiCommand",
+    "RmiStatus",
+    "RmiResult",
+    "ExitReason",
+    "RecEntry",
+    "RecExit",
+    "RecRunPage",
+]
+
+
+class RmiCommand(enum.Enum):
+    """RMI function identifiers (names follow the RMM spec)."""
+
+    VERSION = 0x150
+    GRANULE_DELEGATE = 0x151
+    GRANULE_UNDELEGATE = 0x152
+    REALM_CREATE = 0x158
+    REALM_DESTROY = 0x159
+    REALM_ACTIVATE = 0x157
+    REC_CREATE = 0x15A
+    REC_DESTROY = 0x15B
+    REC_ENTER = 0x15C
+    RTT_CREATE = 0x15D
+    RTT_DESTROY = 0x15E
+    DATA_CREATE = 0x153
+    DATA_DESTROY = 0x155
+    RTT_MAP_UNPROTECTED = 0x15F
+    RTT_UNMAP_UNPROTECTED = 0x160
+    #: core-gapping additions are *not* new commands -- binding happens
+    #: implicitly at first REC_ENTER -- but the planner uses this to
+    #: hand a core to the monitor.
+    CORE_DEDICATE = 0x1C0
+    CORE_RECLAIM = 0x1C1
+
+
+class RmiStatus(enum.Enum):
+    SUCCESS = 0
+    ERROR_INPUT = 1  # malformed parameters
+    ERROR_REALM = 2  # realm in wrong state
+    ERROR_REC = 3  # REC in wrong state
+    ERROR_RTT = 4  # translation-table fault
+    ERROR_IN_USE = 5  # granule/core busy
+    ERROR_CORE_BINDING = 6  # core-gapping: wrong-core dispatch refused
+
+
+@dataclass
+class RmiResult:
+    """Status plus optional payload returned from an RMI call."""
+
+    status: RmiStatus
+    value: object = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RmiStatus.SUCCESS
+
+
+class ExitReason(enum.Enum):
+    """Why a REC exited back to the host."""
+
+    WFI = "wfi"  # guest idled
+    IRQ = "irq"  # physical interrupt needs host handling
+    TIMER = "timer"  # guest timer programming (undelegated only)
+    IPI_REQUEST = "ipi"  # guest asked for a vCPU IPI (undelegated only)
+    MMIO_READ = "mmio_read"  # emulated device access
+    MMIO_WRITE = "mmio_write"
+    HOST_KICK = "host_kick"  # host requested an exit (interrupt injection)
+    PSCI_OFF = "psci_off"  # guest shut down
+    WORKLOAD_DONE = "workload_done"  # simulation convenience: guest finished
+
+
+#: exit reasons that interrupt delegation (S4.4) eliminates
+DELEGATABLE_EXITS = {ExitReason.TIMER, ExitReason.IPI_REQUEST}
+
+
+@dataclass
+class RecEntry:
+    """Host -> RMM portion of the run page for one REC_ENTER."""
+
+    #: virtual interrupts the host wants installed (fig. 5 step 1):
+    #: (intid, payload) pairs; with delegation this is the host's
+    #: *filtered* window, and delegated intids in it are rejected.
+    interrupt_list: List[Tuple[int, object]] = field(default_factory=list)
+    #: for MMIO reads, the emulated data being returned to the guest
+    mmio_data: Optional[int] = None
+
+
+@dataclass
+class RecExit:
+    """RMM -> host portion of the run page after a REC exit."""
+
+    reason: ExitReason = ExitReason.WFI
+    #: selected guest registers the host needs for emulation
+    gprs: Tuple[int, ...] = ()
+    #: faulting device and request for MMIO exits
+    device: Optional[str] = None
+    request: object = None
+    is_write: bool = False
+    write_value: Optional[int] = None
+    #: timer programming for undelegated TIMER exits
+    timer_delta_ns: Optional[int] = None
+    #: target vCPU + payload for undelegated IPI_REQUEST exits
+    ipi_target: Optional[int] = None
+    ipi_payload: object = None
+    #: updated virtual interrupt list (fig. 5 step 5), filtered
+    interrupt_list: List[ListRegister] = field(default_factory=list)
+    #: simulated time of the exit event (instrumentation)
+    exit_time: int = 0
+
+
+@dataclass
+class RecRunPage:
+    """The shared (non-confidential) page exchanged on each run call."""
+
+    entry: RecEntry = field(default_factory=RecEntry)
+    exit: RecExit = field(default_factory=RecExit)

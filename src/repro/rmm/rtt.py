@@ -1,0 +1,160 @@
+"""Realm translation tables (stage-2 page tables managed by the RMM).
+
+The RMM owns the second-stage translation for every realm: the host
+*requests* mappings (it still manages physical memory) but the RMM
+validates and installs them, which is what keeps one realm's pages out
+of another's address space.  We model a radix tree over intermediate
+physical addresses (IPA) with 4 KiB leaves and table granules tracked
+through :class:`repro.rmm.granule.GranuleTracker`.
+
+Levels follow the Arm stage-2 layout with a 4-level walk (L0..L3),
+9 bits per level, 12-bit pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from .granule import GranuleState, GranuleTracker
+
+__all__ = ["RttError", "RttEntry", "RealmTranslationTable"]
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+BITS_PER_LEVEL = 9
+LEAF_LEVEL = 3
+
+
+class RttError(Exception):
+    """Illegal RTT operation (surfaced to the host as an RMI error)."""
+
+
+@dataclass
+class RttEntry:
+    """A leaf mapping: IPA page -> physical granule."""
+
+    ipa: int
+    pa: int
+    ripas: str = "ram"  # realm IPA state: "ram" or "empty" or "destroyed"
+
+
+def _level_index(ipa: int, level: int) -> int:
+    shift = PAGE_SHIFT + BITS_PER_LEVEL * (LEAF_LEVEL - level)
+    return (ipa >> shift) & ((1 << BITS_PER_LEVEL) - 1)
+
+
+class RealmTranslationTable:
+    """One realm's stage-2 translation state.
+
+    The table structure is modelled as a dict of table granules keyed by
+    (level, table-base-ipa); leaves are explicit :class:`RttEntry`
+    records.  The host must provide a delegated granule for each new
+    table level (RTT_CREATE), exactly as in the RMM spec.
+    """
+
+    def __init__(self, realm_id: int, granules: GranuleTracker):
+        self.realm_id = realm_id
+        self.granules = granules
+        self._leaves: Dict[int, RttEntry] = {}
+        #: table granules by (level, aligned ipa)
+        self._tables: Dict[Tuple[int, int], int] = {}
+        self.map_count = 0
+        self.unmap_count = 0
+
+    # -- table management ----------------------------------------------------
+
+    def _table_key(self, ipa: int, level: int) -> Tuple[int, int]:
+        shift = PAGE_SHIFT + BITS_PER_LEVEL * (LEAF_LEVEL - level + 1)
+        return (level, (ipa >> shift) << shift)
+
+    def has_table(self, ipa: int, level: int) -> bool:
+        if level == 0:
+            return True  # root table is part of the realm descriptor
+        return self._table_key(ipa, level) in self._tables
+
+    def create_table(self, ipa: int, level: int, table_granule: int) -> None:
+        """RTT_CREATE: install a table granule for one level of the walk."""
+        if not 1 <= level <= LEAF_LEVEL:
+            raise RttError(f"invalid RTT level {level}")
+        key = self._table_key(ipa, level)
+        if key in self._tables:
+            raise RttError(f"RTT table already exists at level {level}")
+        if level > 1 and not self.has_table(ipa, level - 1):
+            raise RttError(
+                f"parent RTT level {level - 1} missing for ipa {ipa:#x}"
+            )
+        self.granules.consume(table_granule, GranuleState.RTT, self.realm_id)
+        self._tables[key] = table_granule
+
+    def destroy_table(self, ipa: int, level: int) -> int:
+        """RTT_DESTROY: remove an empty table, releasing its granule."""
+        key = self._table_key(ipa, level)
+        if key not in self._tables:
+            raise RttError(f"no RTT table at level {level} for {ipa:#x}")
+        base = key[1]
+        span = 1 << (PAGE_SHIFT + BITS_PER_LEVEL * (LEAF_LEVEL - level + 1))
+        for leaf_ipa in self._leaves:
+            if base <= leaf_ipa < base + span:
+                raise RttError("RTT table still has live mappings")
+        granule = self._tables.pop(key)
+        self.granules.release(granule)
+        return granule
+
+    def _require_walk(self, ipa: int) -> None:
+        for level in range(1, LEAF_LEVEL + 1):
+            if not self.has_table(ipa, level):
+                raise RttError(
+                    f"RTT walk fault: missing level-{level} table for "
+                    f"ipa {ipa:#x}"
+                )
+
+    # -- leaf mappings ---------------------------------------------------------
+
+    def map_page(self, ipa: int, pa: int) -> None:
+        """DATA_CREATE/MAP: install a leaf mapping to a DATA granule."""
+        if ipa % PAGE_SIZE or pa % PAGE_SIZE:
+            raise RttError("ipa and pa must be page aligned")
+        self._require_walk(ipa)
+        if ipa in self._leaves:
+            raise RttError(f"ipa {ipa:#x} already mapped")
+        state = self.granules.state_of(pa)
+        if state is not GranuleState.DATA:
+            raise RttError(
+                f"pa {pa:#x} is {state.value}, expected a DATA granule"
+            )
+        owner = self.granules.get(pa).owner_realm
+        if owner != self.realm_id:
+            raise RttError(
+                f"pa {pa:#x} belongs to realm {owner}, not {self.realm_id}"
+            )
+        self._leaves[ipa] = RttEntry(ipa=ipa, pa=pa)
+        self.map_count += 1
+
+    def unmap_page(self, ipa: int) -> int:
+        """Remove a leaf mapping; returns the PA it pointed to."""
+        entry = self._leaves.pop(ipa, None)
+        if entry is None:
+            raise RttError(f"ipa {ipa:#x} not mapped")
+        self.unmap_count += 1
+        return entry.pa
+
+    def walk(self, ipa: int) -> Optional[RttEntry]:
+        """Translate an IPA; None on fault."""
+        return self._leaves.get(ipa & ~(PAGE_SIZE - 1))
+
+    def mapped_pages(self) -> Iterator[RttEntry]:
+        return iter(self._leaves.values())
+
+    @property
+    def n_mapped(self) -> int:
+        return len(self._leaves)
+
+    def destroy_all(self) -> None:
+        """Realm teardown: release every data page and table granule."""
+        for entry in list(self._leaves.values()):
+            self.granules.release(entry.pa)
+        self._leaves.clear()
+        for granule in self._tables.values():
+            self.granules.release(granule)
+        self._tables.clear()

@@ -1,0 +1,5 @@
+"""Shared-memory RPC transports (sync busy-wait and async IPI-notified)."""
+
+from .ports import AsyncRpcPort, CompletionSlot, RpcRequest, SyncRpcPort
+
+__all__ = ["AsyncRpcPort", "CompletionSlot", "RpcRequest", "SyncRpcPort"]

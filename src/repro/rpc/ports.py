@@ -1,0 +1,141 @@
+"""Shared-memory RPC transports between host cores and RMM cores.
+
+Three usage patterns, matching S4.3 of the paper:
+
+* :class:`SyncRpcPort` -- short-lived RMI calls (page-table updates,
+  lifecycle).  Both sides busy-wait; round trip ~257.7 ns (Table 2).
+* :class:`AsyncRpcPort` -- vCPU run calls.  The caller blocks after
+  writing arguments; the RMM answers by writing the exit record and
+  sending an IPI which activates the host's wake-up thread (fig. 4);
+  round trip ~2757.6 ns (Table 2).
+* Quarantine-style busy-wait polling for run calls is the same
+  :class:`AsyncRpcPort` consumed by a polling client (see
+  ``repro.host.kvm``), reproducing the fig. 6 ablation.
+
+These classes are *passive* shared-memory structures: they hold rings,
+slots and events, and count traffic.  The CPU time of writing, polling
+and reading is charged by the caller on whichever core it occupies,
+using the constants in :class:`repro.costs.CostModel` -- exactly like
+real shared memory, which costs whoever touches it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..sim.engine import Event, SimulationError, Simulator
+
+__all__ = ["RpcRequest", "CompletionSlot", "SyncRpcPort", "AsyncRpcPort"]
+
+
+@dataclass
+class RpcRequest:
+    """One marshalled call in a shared-memory ring."""
+
+    payload: Any
+    submitted_at: int = 0
+    response: Any = None
+    done: Optional[Event] = None
+
+
+class SyncRpcPort:
+    """Busy-wait synchronous call marshalling to one RMM core.
+
+    The request itself is delivered by placing it in the target
+    dedicated core's inbox (its polled shared-memory ring).
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.call_count = 0
+
+    def post(self, payload: Any) -> RpcRequest:
+        """Client: marshal one request (the caller charges
+        ``rpc_write_ns`` on its core and enqueues it to the inbox)."""
+        self.call_count += 1
+        request = RpcRequest(payload=payload, submitted_at=self.sim.now)
+        request.done = Event(f"sync-done:{self.name}")
+        return request
+
+    @staticmethod
+    def respond(request: RpcRequest, response: Any) -> None:
+        """Server: publish the response, releasing the spinning client."""
+        request.response = response
+        request.done.fire(response)
+
+
+@dataclass
+class CompletionSlot:
+    """Shared-memory completion record for one outstanding run call.
+
+    The wake-up thread scans these (fig. 4 steps 3-4); with the
+    busy-waiting ablation the vCPU thread itself polls its slot.
+    """
+
+    name: str
+    state: str = "idle"  # idle | submitted | completed
+    payload: Any = None
+    result: Any = None
+    submitted_at: int = 0
+    completed_at: int = 0
+    #: fired by the wake-up thread / poller when completion is noticed
+    claimed: Optional[Event] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.state == "completed"
+
+
+class AsyncRpcPort:
+    """Asynchronous run-call channel between one vCPU thread and its
+    dedicated RMM core (one-to-one mapping, S4.3)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        notify_exit: Callable[["AsyncRpcPort"], None],
+    ):
+        self.sim = sim
+        self.name = name
+        #: invoked when the RMM completes a call (models the exit IPI);
+        #: wired to the host's exit-notification dispatcher
+        self._notify_exit = notify_exit
+        self.slot = CompletionSlot(name=name)
+        self.submit_count = 0
+        self.complete_count = 0
+
+    # -- client (host vCPU thread) side ------------------------------------
+
+    def submit(self, payload: Any) -> CompletionSlot:
+        """Write the call arguments (caller charges ``rpc_write_ns``)."""
+        if self.slot.state == "submitted":
+            raise SimulationError(
+                f"port {self.name}: call already outstanding"
+            )
+        self.submit_count += 1
+        self.slot.state = "submitted"
+        self.slot.payload = payload
+        self.slot.result = None
+        self.slot.submitted_at = self.sim.now
+        self.slot.claimed = Event(f"claimed:{self.name}")
+        return self.slot
+
+    def collect(self) -> Any:
+        """Read the result after completion (caller charges read cost)."""
+        result = self.slot.result
+        self.slot.state = "idle"
+        return result
+
+    # -- server (RMM dedicated core) side ------------------------------------
+
+    def complete(self, result: Any) -> None:
+        """Publish the exit record and raise the CVM-exit notification
+        (the RMM charges its write cost before calling this)."""
+        self.slot.state = "completed"
+        self.slot.result = result
+        self.slot.completed_at = self.sim.now
+        self.complete_count += 1
+        self._notify_exit(self)

@@ -1,0 +1,59 @@
+"""Security analysis: side channels, attacks, vulnerability catalog, auditor."""
+
+from .attacker import (
+    AttackResult,
+    btb_injection_attack,
+    cache_covert_channel,
+    prime_probe_attack,
+    store_buffer_attack,
+)
+from .audit import (
+    AuditReport,
+    CoreGapAuditor,
+    ResidencyViolation,
+    SharingViolation,
+)
+from .channels import (
+    btb_inject,
+    btb_probe,
+    eviction_addresses,
+    prime_sets,
+    probe_sets,
+    store_buffer_leak,
+)
+from .vulns import (
+    CATALOG,
+    Kind,
+    Scope,
+    Vulnerability,
+    mitigated_by_core_gapping,
+    render_fig3,
+    timeline,
+    unmitigated,
+)
+
+__all__ = [
+    "AttackResult",
+    "AuditReport",
+    "CATALOG",
+    "CoreGapAuditor",
+    "Kind",
+    "ResidencyViolation",
+    "Scope",
+    "SharingViolation",
+    "Vulnerability",
+    "btb_inject",
+    "btb_injection_attack",
+    "btb_probe",
+    "cache_covert_channel",
+    "eviction_addresses",
+    "mitigated_by_core_gapping",
+    "prime_probe_attack",
+    "prime_sets",
+    "probe_sets",
+    "render_fig3",
+    "store_buffer_attack",
+    "store_buffer_leak",
+    "timeline",
+    "unmitigated",
+]

@@ -1,0 +1,109 @@
+"""Side-channel primitives over the simulated microarchitecture.
+
+These are the attacker's building blocks, implemented against the real
+(simulated) structures in :mod:`repro.hw`:
+
+* prime+probe on a set-associative cache (L1 if same core, LLC across
+  cores);
+* branch-target injection via BTB aliasing (Spectre-v2 shape);
+* store-buffer forwarding leaks (MDS/Fallout shape).
+
+Each primitive works on *state*, so the attack experiments compose them
+with schedules: the same attacker code succeeds when it shares a core
+with the victim and fails when core-gapped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..hw.cache import SetAssociativeCache
+from ..hw.core import PhysicalCore
+from ..isa.worlds import SecurityDomain
+
+__all__ = [
+    "prime_sets",
+    "probe_sets",
+    "eviction_addresses",
+    "btb_inject",
+    "btb_probe",
+    "store_buffer_leak",
+]
+
+#: threshold separating an L1 hit from anything slower (ns at 3 GHz)
+L1_HIT_THRESHOLD_NS = 2.0
+
+
+def eviction_addresses(
+    cache: SetAssociativeCache, set_index: int, base: int = 1 << 24
+) -> List[int]:
+    """Addresses that together fill one set of ``cache``."""
+    geometry = cache.geometry
+    stride = geometry.line_bytes * geometry.n_sets
+    first = base + set_index * geometry.line_bytes
+    return [first + way * stride for way in range(geometry.ways)]
+
+
+def prime_sets(
+    core: PhysicalCore,
+    domain: SecurityDomain,
+    sets: Sequence[int],
+) -> Dict[int, List[int]]:
+    """Fill the given L1D sets with attacker lines; returns the address
+    map used, for the later probe."""
+    plan: Dict[int, List[int]] = {}
+    for set_index in sets:
+        addrs = eviction_addresses(core.uarch.l1d, set_index)
+        for addr in addrs:
+            core.access_memory(addr, domain)
+        plan[set_index] = addrs
+    return plan
+
+
+def probe_sets(
+    core: PhysicalCore,
+    domain: SecurityDomain,
+    plan: Dict[int, List[int]],
+) -> Dict[int, bool]:
+    """Re-access the primed lines and time them.  A slow (non-L1) access
+    means somebody evicted our line from that set: activity detected."""
+    result: Dict[int, bool] = {}
+    for set_index, addrs in plan.items():
+        worst = max(core.probe_latency(addr, domain) for addr in addrs)
+        result[set_index] = worst > L1_HIT_THRESHOLD_NS
+    return result
+
+
+def btb_inject(
+    core: PhysicalCore,
+    attacker: SecurityDomain,
+    victim_branch_pc: int,
+    gadget_target: int,
+) -> None:
+    """Train the core's BTB so the victim's branch predicts to the
+    attacker's gadget (Spectre-v2 shape).  Only affects *this core's*
+    predictor -- the whole point of the experiment."""
+    predictor = core.uarch.branch
+    # find an attacker-controlled PC aliasing with the victim's slot
+    alias = victim_branch_pc + predictor.btb_size
+    predictor.train(alias, gadget_target, attacker)
+
+
+def btb_probe(
+    core: PhysicalCore, victim_branch_pc: int, gadget_target: int
+) -> bool:
+    """Would the victim's branch at ``victim_branch_pc`` speculatively
+    jump to the attacker's gadget on this core right now?"""
+    entry = core.uarch.branch.predict(victim_branch_pc)
+    return entry is not None and entry.target == gadget_target
+
+
+def store_buffer_leak(
+    core: PhysicalCore, attacker: SecurityDomain, victim_addr: int
+) -> Optional[int]:
+    """MDS/Fallout shape: a faulting attacker load transiently forwards
+    from a (victim) store still sitting in this core's store buffer."""
+    entry = core.uarch.store_buffer.forward(victim_addr)
+    if entry is None or entry.domain == attacker:
+        return None
+    return entry.value

@@ -1,0 +1,196 @@
+"""The vulnerability catalog behind fig. 3.
+
+Disclosed transient-execution vulnerabilities and architectural CPU bugs
+that broke processor security isolation on mainstream CPUs since 2018,
+classified by the *sharing scope* an attacker needs:
+
+* ``SAME_CORE`` -- attacker and victim must time-slice one core
+  (context-switch boundary attacks, per-core structures);
+* ``SIBLING_THREAD`` -- attacker on the other hardware thread of the
+  victim's core (still same physical core);
+* ``CROSS_CORE`` -- exploitable from a different physical core;
+* ``REMOTE`` -- exploitable over the network.
+
+Core gapping removes every same-core and sibling-thread channel from
+the guest's TCB.  The paper's headline observation (S2.2): across 30+
+vulnerabilities, only **CrossTalk** demonstrated a cross-core leak
+severe enough for vendor advisories in cloud-VM settings, and only
+**NetSpectre** works remotely (at <10 bits/hour).  GhostRace is nominally
+cross-core but requires a kernel shared between attacker and victim
+cores, which core gapping precludes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "Scope",
+    "Kind",
+    "Vulnerability",
+    "CATALOG",
+    "mitigated_by_core_gapping",
+    "timeline",
+    "unmitigated",
+    "render_fig3",
+]
+
+
+class Scope(enum.Enum):
+    SAME_CORE = "same-core"
+    SIBLING_THREAD = "sibling-thread"
+    CROSS_CORE = "cross-core"
+    REMOTE = "remote"
+
+
+class Kind(enum.Enum):
+    TRANSIENT = "transient-execution"
+    ARCH_BUG = "architectural-bug"
+
+
+@dataclass(frozen=True)
+class Vulnerability:
+    name: str
+    year: int
+    kind: Kind
+    scope: Scope
+    vendors: Tuple[str, ...]
+    #: shared structure exploited
+    structure: str
+    #: special condition that changes the core-gapping verdict
+    needs_shared_kernel: bool = False
+    notes: str = ""
+
+
+def _v(name, year, kind, scope, vendors, structure, **kw):
+    return Vulnerability(name, year, kind, scope, tuple(vendors), structure, **kw)
+
+
+#: fig. 3's timeline (paper references [3,10,14,16,17,22,26-29,32,36,40,
+#: 42,44,48,51-55,57,60-62,65-67,69-72,75,76,78,79] and more)
+CATALOG: List[Vulnerability] = [
+    _v("Spectre", 2018, Kind.TRANSIENT, Scope.SAME_CORE,
+       ("Intel", "AMD", "Arm"), "branch predictor"),
+    _v("Meltdown", 2018, Kind.TRANSIENT, Scope.SAME_CORE,
+       ("Intel", "Arm"), "L1D / permission check bypass"),
+    _v("Spectre-SSB (v4)", 2018, Kind.TRANSIENT, Scope.SAME_CORE,
+       ("Intel", "AMD", "Arm"), "store buffer (speculative store bypass)"),
+    _v("LazyFP", 2018, Kind.TRANSIENT, Scope.SAME_CORE,
+       ("Intel",), "FPU register file"),
+    _v("Foreshadow/L1TF", 2018, Kind.TRANSIENT, Scope.SIBLING_THREAD,
+       ("Intel",), "L1D cache"),
+    _v("NetSpectre", 2019, Kind.TRANSIENT, Scope.REMOTE,
+       ("Intel", "AMD", "Arm"), "branch predictor via network timing",
+       notes="<10 bits/hour in a cloud setting"),
+    _v("ZombieLoad", 2019, Kind.TRANSIENT, Scope.SIBLING_THREAD,
+       ("Intel",), "fill buffers (MDS)"),
+    _v("RIDL", 2019, Kind.TRANSIENT, Scope.SIBLING_THREAD,
+       ("Intel",), "line fill buffers / load ports (MDS)"),
+    _v("Fallout", 2019, Kind.TRANSIENT, Scope.SAME_CORE,
+       ("Intel",), "store buffer"),
+    _v("SWAPGS speculation", 2019, Kind.TRANSIENT, Scope.SAME_CORE,
+       ("Intel",), "segment registers / speculation"),
+    _v("iTLB multihit", 2019, Kind.ARCH_BUG, Scope.SAME_CORE,
+       ("Intel",), "instruction TLB"),
+    _v("Plundervolt", 2020, Kind.ARCH_BUG, Scope.SAME_CORE,
+       ("Intel",), "voltage interface fault injection"),
+    _v("LVI", 2020, Kind.TRANSIENT, Scope.SAME_CORE,
+       ("Intel",), "load value injection via µarch buffers"),
+    _v("CacheOut", 2020, Kind.TRANSIENT, Scope.SIBLING_THREAD,
+       ("Intel",), "L1D eviction sampling"),
+    _v("Snoop-assisted L1 sampling", 2020, Kind.TRANSIENT, Scope.SAME_CORE,
+       ("Intel",), "L1D snoops"),
+    _v("CrossTalk", 2020, Kind.TRANSIENT, Scope.CROSS_CORE,
+       ("Intel",), "shared staging buffer (RDRAND/CPUID)",
+       notes="the one severe cross-core leak (S2.2)"),
+    _v("Straight-line speculation", 2020, Kind.TRANSIENT, Scope.SAME_CORE,
+       ("Arm",), "speculation past unconditional control flow"),
+    _v("I see dead uops", 2021, Kind.TRANSIENT, Scope.SIBLING_THREAD,
+       ("Intel", "AMD"), "micro-op cache"),
+    _v("Branch History Injection", 2022, Kind.TRANSIENT, Scope.SAME_CORE,
+       ("Intel", "Arm"), "branch history buffer"),
+    _v("Retbleed", 2022, Kind.TRANSIENT, Scope.SAME_CORE,
+       ("Intel", "AMD"), "return stack / BTB underflow"),
+    _v("PACMAN", 2022, Kind.TRANSIENT, Scope.SAME_CORE,
+       ("Arm",), "pointer authentication oracles"),
+    _v("Augury", 2022, Kind.TRANSIENT, Scope.SAME_CORE,
+       ("Arm",), "data memory-dependent prefetcher"),
+    _v("AEPIC leak", 2022, Kind.ARCH_BUG, Scope.SAME_CORE,
+       ("Intel",), "local APIC undefined-range reads"),
+    _v("MMIO stale data", 2022, Kind.ARCH_BUG, Scope.SAME_CORE,
+       ("Intel",), "MMIO propagation of stale fill-buffer data"),
+    _v("Inception", 2023, Kind.TRANSIENT, Scope.SAME_CORE,
+       ("AMD",), "return predictions via phantom speculation"),
+    _v("Downfall", 2023, Kind.TRANSIENT, Scope.SIBLING_THREAD,
+       ("Intel",), "gather data sampling (vector registers)"),
+    _v("Zenbleed", 2023, Kind.ARCH_BUG, Scope.SAME_CORE,
+       ("AMD",), "vector register file leak"),
+    _v("Reptar", 2023, Kind.ARCH_BUG, Scope.SAME_CORE,
+       ("Intel",), "redundant-prefix instruction decode"),
+    _v("(M)WAIT for it", 2023, Kind.TRANSIENT, Scope.CROSS_CORE,
+       ("Intel", "AMD"), "monitor/mwait coherence-state timing",
+       notes="side channel only; no transient leak of victim data"),
+    _v("Speculation at fault", 2023, Kind.TRANSIENT, Scope.SAME_CORE,
+       ("Intel", "Arm"), "exception-path speculation"),
+    _v("GhostRace", 2024, Kind.TRANSIENT, Scope.CROSS_CORE,
+       ("Intel", "AMD", "Arm"), "speculative race conditions",
+       needs_shared_kernel=True,
+       notes="requires a kernel shared across cores: mitigated by gapping"),
+    _v("GoFetch", 2024, Kind.TRANSIENT, Scope.SAME_CORE,
+       ("Apple",), "data memory-dependent prefetcher"),
+    _v("CacheWarp", 2024, Kind.ARCH_BUG, Scope.SAME_CORE,
+       ("AMD",), "INVD selective state reset on SEV VMs"),
+    _v("TikTag", 2024, Kind.TRANSIENT, Scope.SAME_CORE,
+       ("Arm",), "MTE tag-check speculation"),
+    _v("Leaky Address Masking", 2024, Kind.TRANSIENT, Scope.SAME_CORE,
+       ("Intel",), "non-canonical address translation gadgets"),
+    _v("InSpectre Gadget", 2024, Kind.TRANSIENT, Scope.SAME_CORE,
+       ("Intel",), "residual cross-privilege Spectre-v2 surface"),
+]
+
+
+def mitigated_by_core_gapping(vuln: Vulnerability) -> bool:
+    """Does removing same-core sharing (incl. sibling threads, and any
+    shared kernel) close this vulnerability for CVM guests?"""
+    if vuln.scope in (Scope.SAME_CORE, Scope.SIBLING_THREAD):
+        return True
+    if vuln.needs_shared_kernel:
+        return True
+    return False
+
+
+def timeline() -> List[Vulnerability]:
+    return sorted(CATALOG, key=lambda v: (v.year, v.name))
+
+
+def unmitigated() -> List[Vulnerability]:
+    return [v for v in timeline() if not mitigated_by_core_gapping(v)]
+
+
+def render_fig3() -> str:
+    """Text rendering of fig. 3: the timeline with gapping verdicts."""
+    lines = [
+        "Fig. 3: processor isolation breaks since 2018 "
+        "(X = mitigated by core gapping)",
+        "",
+    ]
+    year = None
+    for vuln in timeline():
+        if vuln.year != year:
+            year = vuln.year
+            lines.append(f"--- {year} ---")
+        mark = "X" if mitigated_by_core_gapping(vuln) else "!"
+        lines.append(
+            f" [{mark}] {vuln.name:<28} {vuln.scope.value:<14} "
+            f"{vuln.structure}"
+        )
+    total = len(CATALOG)
+    closed = sum(1 for v in CATALOG if mitigated_by_core_gapping(v))
+    lines.append("")
+    lines.append(
+        f"{closed}/{total} closed by core gapping; remaining: "
+        + ", ".join(v.name for v in unmitigated())
+    )
+    return "\n".join(lines)

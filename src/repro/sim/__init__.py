@@ -1,0 +1,37 @@
+"""Discrete-event simulation kernel: engine, sync primitives, tracing."""
+
+from .clock import MS, NS, SEC, US, fmt_ns, ms, ns, sec, to_ms, to_sec, to_us, us
+from .engine import AnyOf, Delay, Event, Process, SimulationError, Simulator, Wakeup
+from .rng import RngFactory
+from .sync import Channel, CountingSemaphore, Mutex, Notify
+from .trace import ExecutionSpan, TraceRecord, Tracer
+
+__all__ = [
+    "AnyOf",
+    "Channel",
+    "CountingSemaphore",
+    "Delay",
+    "Event",
+    "ExecutionSpan",
+    "Mutex",
+    "Notify",
+    "Process",
+    "RngFactory",
+    "SimulationError",
+    "Simulator",
+    "TraceRecord",
+    "Tracer",
+    "Wakeup",
+    "MS",
+    "NS",
+    "SEC",
+    "US",
+    "fmt_ns",
+    "ms",
+    "ns",
+    "sec",
+    "to_ms",
+    "to_sec",
+    "to_us",
+    "us",
+]

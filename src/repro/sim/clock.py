@@ -1,0 +1,71 @@
+"""Time units and helpers.
+
+All simulated time is kept as integer nanoseconds; these helpers make
+latency constants and printed results readable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "ns",
+    "us",
+    "ms",
+    "sec",
+    "to_us",
+    "to_ms",
+    "to_sec",
+    "fmt_ns",
+]
+
+NS = 1
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+
+def ns(value: float) -> int:
+    """Nanoseconds (identity, for symmetry)."""
+    return int(round(value))
+
+
+def us(value: float) -> int:
+    """Microseconds to integer nanoseconds."""
+    return int(round(value * US))
+
+
+def ms(value: float) -> int:
+    """Milliseconds to integer nanoseconds."""
+    return int(round(value * MS))
+
+
+def sec(value: float) -> int:
+    """Seconds to integer nanoseconds."""
+    return int(round(value * SEC))
+
+
+def to_us(value_ns: int) -> float:
+    return value_ns / US
+
+
+def to_ms(value_ns: int) -> float:
+    return value_ns / MS
+
+
+def to_sec(value_ns: int) -> float:
+    return value_ns / SEC
+
+
+def fmt_ns(value_ns: float) -> str:
+    """Render a duration with a human-appropriate unit."""
+    value_ns = float(value_ns)
+    if abs(value_ns) >= SEC:
+        return f"{value_ns / SEC:.3f} s"
+    if abs(value_ns) >= MS:
+        return f"{value_ns / MS:.3f} ms"
+    if abs(value_ns) >= US:
+        return f"{value_ns / US:.2f} us"
+    return f"{value_ns:.1f} ns"

@@ -1,0 +1,363 @@
+"""Discrete-event simulation kernel.
+
+The whole reproduction runs on this engine: physical cores, host threads,
+RMM dispatch loops and guest vCPUs are all simulation *processes*
+(Python generators) advanced by a single event loop over an integer
+nanosecond clock.
+
+A process yields one of:
+
+* :class:`Delay` -- resume after a fixed number of nanoseconds.
+* :class:`Event` -- resume when the event fires; the ``yield`` evaluates
+  to the value passed to :meth:`Event.fire`.
+* :class:`AnyOf` -- resume when the *first* of several delays/events
+  fires; the ``yield`` evaluates to a :class:`Wakeup` naming the winner.
+* :class:`Process` -- wait for a child process; evaluates to its result.
+
+Sub-behaviours compose with plain ``yield from``.  The loop is strictly
+deterministic: simultaneous events run in spawn/schedule order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Delay",
+    "Event",
+    "AnyOf",
+    "Wakeup",
+    "Process",
+    "Simulator",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for illegal uses of the simulation API."""
+
+
+class Delay:
+    """Yieldable request to sleep for ``ns`` simulated nanoseconds."""
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: int):
+        if ns < 0:
+            raise SimulationError(f"negative delay: {ns}")
+        self.ns = int(ns)
+
+    def __repr__(self) -> str:
+        return f"Delay({self.ns})"
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    Waiting on an already-fired event resumes immediately with the fired
+    value, so there is no race between firing and waiting.
+    """
+
+    __slots__ = ("name", "fired", "value", "_waiters")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the event, waking every current and future waiter."""
+        if self.fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(value)
+
+    def add_waiter(self, callback: Callable[[Any], None]) -> None:
+        if self.fired:
+            callback(self.value)
+        else:
+            self._waiters.append(callback)
+
+    def remove_waiter(self, callback: Callable[[Any], None]) -> None:
+        try:
+            self._waiters.remove(callback)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:
+        state = "fired" if self.fired else "pending"
+        return f"Event({self.name!r}, {state})"
+
+
+class Wakeup:
+    """Result of an :class:`AnyOf` wait: which source won, and its value."""
+
+    __slots__ = ("index", "source", "value")
+
+    def __init__(self, index: int, source: Any, value: Any):
+        self.index = index
+        self.source = source
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Wakeup(index={self.index}, source={self.source!r})"
+
+
+class AnyOf:
+    """Yieldable wait on several delays and/or events; first one wins.
+
+    Losing delays are cancelled and losing event subscriptions removed,
+    so an ``AnyOf`` leaves no residue once it resumes.
+    """
+
+    __slots__ = ("sources",)
+
+    def __init__(self, sources: Iterable[Any]):
+        self.sources = list(sources)
+        if not self.sources:
+            raise SimulationError("AnyOf requires at least one source")
+        for src in self.sources:
+            if not isinstance(src, (Delay, Event, Process)):
+                raise SimulationError(f"AnyOf cannot wait on {src!r}")
+
+
+ProcessBody = Generator[Any, Any, Any]
+
+
+class Process:
+    """A running simulation process wrapping a generator body."""
+
+    __slots__ = ("sim", "body", "name", "done", "result", "failed", "_finished")
+
+    def __init__(self, sim: "Simulator", body: ProcessBody, name: str):
+        self.sim = sim
+        self.body = body
+        self.name = name
+        self.done = Event(f"done:{name}")
+        self.result: Any = None
+        self.failed: Optional[BaseException] = None
+        self._finished = False
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def __repr__(self) -> str:
+        state = "finished" if self._finished else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class _Timer:
+    """A cancellable entry in the event heap."""
+
+    __slots__ = ("when", "seq", "callback", "cancelled")
+
+    def __init__(self, when: int, seq: int, callback: Callable[[], None]):
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "_Timer") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+
+class Simulator:
+    """The deterministic event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        proc = sim.spawn(my_generator(), name="worker")
+        sim.run(until=1_000_000)   # or sim.run() to drain all events
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[_Timer] = []
+        self._seq: int = 0
+        self._live_processes: int = 0
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay_ns: int, callback: Callable[[], None]) -> _Timer:
+        """Run ``callback`` after ``delay_ns``; returns a cancellable timer."""
+        if delay_ns < 0:
+            raise SimulationError(f"negative delay: {delay_ns}")
+        self._seq += 1
+        timer = _Timer(self.now + int(delay_ns), self._seq, callback)
+        heapq.heappush(self._heap, timer)
+        return timer
+
+    def call_soon(self, callback: Callable[[], None]) -> _Timer:
+        return self.schedule(0, callback)
+
+    def spawn(self, body: ProcessBody, name: str = "proc") -> Process:
+        """Create a process from a generator and start it at the current time."""
+        proc = Process(self, body, name)
+        self._live_processes += 1
+        self.call_soon(lambda: self._step(proc, None, None))
+        return proc
+
+    # ------------------------------------------------------------------
+    # process stepping
+    # ------------------------------------------------------------------
+
+    def _step(
+        self,
+        proc: Process,
+        send_value: Any,
+        throw_exc: Optional[BaseException],
+    ) -> None:
+        try:
+            if throw_exc is not None:
+                yielded = proc.body.throw(throw_exc)
+            else:
+                yielded = proc.body.send(send_value)
+        except StopIteration as stop:
+            self._finish(proc, getattr(stop, "value", None), None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via run()
+            self._finish(proc, None, exc)
+            return
+        self._arm(proc, yielded)
+
+    def _finish(
+        self, proc: Process, result: Any, exc: Optional[BaseException]
+    ) -> None:
+        proc.result = result
+        proc.failed = exc
+        proc._finished = True
+        self._live_processes -= 1
+        if exc is not None and not proc.done._waiters:
+            raise exc
+        proc.done.fire(result if exc is None else exc)
+
+    def _arm(self, proc: Process, yielded: Any) -> None:
+        """Arm the wakeup condition a process yielded."""
+        if isinstance(yielded, Delay):
+            self.schedule(yielded.ns, lambda: self._step(proc, None, None))
+        elif isinstance(yielded, Event):
+            yielded.add_waiter(lambda value: self._step(proc, value, None))
+        elif isinstance(yielded, Process):
+            yielded.done.add_waiter(
+                lambda value: self._resume_from_child(proc, yielded)
+            )
+        elif isinstance(yielded, AnyOf):
+            self._arm_any_of(proc, yielded)
+        else:
+            self._step(
+                proc,
+                None,
+                SimulationError(f"process {proc.name!r} yielded {yielded!r}"),
+            )
+
+    def _resume_from_child(self, proc: Process, child: Process) -> None:
+        if child.failed is not None:
+            self._step(proc, None, child.failed)
+        else:
+            self._step(proc, child.result, None)
+
+    def _arm_any_of(self, proc: Process, any_of: AnyOf) -> None:
+        state = {"settled": False}
+        timers: List[_Timer] = []
+        subscriptions: List[tuple] = []
+
+        def settle(index: int, source: Any, value: Any) -> None:
+            if state["settled"]:
+                return
+            state["settled"] = True
+            for timer in timers:
+                timer.cancelled = True
+            for event, callback in subscriptions:
+                event.remove_waiter(callback)
+            # resume via the event loop rather than synchronously: a
+            # process looping on already-fired sources must not recurse
+            self.call_soon(
+                lambda: self._step(proc, Wakeup(index, source, value), None)
+            )
+
+        for index, source in enumerate(any_of.sources):
+            if state["settled"]:
+                break
+            if isinstance(source, Delay):
+                timer = self.schedule(
+                    source.ns,
+                    lambda i=index, s=source: settle(i, s, None),
+                )
+                timers.append(timer)
+            elif isinstance(source, Process):
+                callback = (
+                    lambda value, i=index, s=source: settle(i, s, value)
+                )
+                subscriptions.append((source.done, callback))
+                source.done.add_waiter(callback)
+            else:  # Event
+                callback = (
+                    lambda value, i=index, s=source: settle(i, s, value)
+                )
+                subscriptions.append((source, callback))
+                source.add_waiter(callback)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Process events until the heap drains or the clock passes ``until``.
+
+        Returns the simulated time at which the run stopped.
+        """
+        while self._heap:
+            timer = self._heap[0]
+            if timer.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and timer.when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            if timer.when < self.now:
+                raise SimulationError("time went backwards")
+            self.now = timer.when
+            timer.callback()
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def run_until_done(self, proc: Process, limit: Optional[int] = None) -> Any:
+        """Run until ``proc`` finishes; returns its result, raising its error."""
+        while not proc.finished:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: {proc.name!r} pending with no events queued"
+                )
+            if limit is not None and self.now > limit:
+                raise SimulationError(
+                    f"process {proc.name!r} still running at t={self.now}"
+                )
+            self.run_one()
+        if proc.failed is not None:
+            raise proc.failed
+        return proc.result
+
+    def run_one(self) -> None:
+        """Process exactly one (non-cancelled) event."""
+        while self._heap:
+            timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self.now = timer.when
+            timer.callback()
+            return
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for t in self._heap if not t.cancelled)

@@ -1,0 +1,38 @@
+"""Deterministic random number streams.
+
+Every stochastic element of the simulation draws from a named substream
+derived from one root seed, so adding a new consumer never perturbs the
+draws seen by existing ones and whole experiments replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+__all__ = ["RngFactory"]
+
+
+class RngFactory:
+    """Hands out independent, reproducible ``random.Random`` substreams."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the substream for ``name`` (created on first use)."""
+        if name not in self._streams:
+            digest = hashlib.sha256(
+                f"{self.seed}:{name}".encode("utf-8")
+            ).digest()
+            self._streams[name] = random.Random(
+                int.from_bytes(digest[:8], "big")
+            )
+        return self._streams[name]
+
+    def fork(self, name: str) -> "RngFactory":
+        """Derive a child factory with an independent seed space."""
+        digest = hashlib.sha256(f"{self.seed}:fork:{name}".encode()).digest()
+        return RngFactory(int.from_bytes(digest[:8], "big"))

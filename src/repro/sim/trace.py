@@ -1,0 +1,124 @@
+"""Trace recording for simulated schedules.
+
+The security auditor (``repro.security.audit``) consumes these traces to
+prove the core-gap invariant; the experiment harnesses use the counters
+for exit accounting (Table 4) and CPU-time conservation checks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["TraceRecord", "Tracer", "ExecutionSpan"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped trace event."""
+
+    time: int
+    kind: str
+    core: Optional[int] = None
+    domain: Optional[str] = None
+    detail: Optional[Any] = None
+
+
+@dataclass(frozen=True)
+class ExecutionSpan:
+    """A contiguous interval during which a domain occupied a core."""
+
+    core: int
+    domain: str
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+class Tracer:
+    """Records trace events, execution spans and named counters.
+
+    ``enabled=False`` keeps only the counters, so the large macro
+    benchmarks do not pay the cost of storing full schedules.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+        self.counters: Counter = Counter()
+        self._open_spans: Dict[int, Tuple[str, int]] = {}
+        self.spans: List[ExecutionSpan] = []
+        self._samples: Dict[str, List[float]] = defaultdict(list)
+
+    # -- events ---------------------------------------------------------
+
+    def record(
+        self,
+        time: int,
+        kind: str,
+        core: Optional[int] = None,
+        domain: Optional[str] = None,
+        detail: Optional[Any] = None,
+    ) -> None:
+        self.counters[kind] += 1
+        if self.enabled:
+            self.records.append(TraceRecord(time, kind, core, domain, detail))
+
+    def count(self, kind: str, amount: int = 1) -> None:
+        self.counters[kind] += amount
+
+    def sample(self, name: str, value: float) -> None:
+        """Record one scalar observation (latency, size, ...)."""
+        self._samples[name].append(value)
+
+    def samples(self, name: str) -> List[float]:
+        return self._samples.get(name, [])
+
+    # -- execution spans --------------------------------------------------
+
+    def begin_span(self, time: int, core: int, domain: str) -> None:
+        """Mark that ``domain`` starts executing on ``core``."""
+        if core in self._open_spans:
+            self.end_span(time, core)
+        self._open_spans[core] = (domain, time)
+
+    def end_span(self, time: int, core: int) -> None:
+        """Close the open execution span on ``core`` (no-op if none)."""
+        open_span = self._open_spans.pop(core, None)
+        if open_span is None:
+            return
+        domain, start = open_span
+        if time > start:
+            self.spans.append(ExecutionSpan(core, domain, start, time))
+
+    def close_all_spans(self, time: int) -> None:
+        for core in list(self._open_spans):
+            self.end_span(time, core)
+
+    # -- queries ----------------------------------------------------------
+
+    def spans_on_core(self, core: int) -> Iterator[ExecutionSpan]:
+        return (s for s in self.spans if s.core == core)
+
+    def domains_on_core(self, core: int) -> List[str]:
+        """Distinct domains that ever executed on ``core``, in order."""
+        seen: List[str] = []
+        for span in self.spans_on_core(core):
+            if span.domain not in seen:
+                seen.append(span.domain)
+        return seen
+
+    def busy_time(self, core: Optional[int] = None, domain: Optional[str] = None) -> int:
+        """Total span time, filtered by core and/or domain."""
+        total = 0
+        for span in self.spans:
+            if core is not None and span.core != core:
+                continue
+            if domain is not None and span.domain != domain:
+                continue
+            total += span.duration
+        return total

@@ -1,0 +1,97 @@
+"""Tests for statistics and report rendering."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Summary,
+    mean,
+    percentile,
+    render_comparison,
+    render_series,
+    render_table,
+    stdev,
+    summarize,
+)
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_stdev(self):
+        assert stdev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, rel=1e-3)
+        assert stdev([5]) == 0.0
+        assert stdev([]) == 0.0
+
+    def test_percentile_nearest_rank(self):
+        data = list(range(1, 101))
+        assert percentile(data, 50) == 50
+        assert percentile(data, 95) == 95
+        assert percentile(data, 99) == 99
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 100
+
+    def test_percentile_empty(self):
+        assert percentile([], 50) == 0.0
+
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.n == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.p50 == 2.0
+
+    def test_summarize_empty(self):
+        assert summarize([]).n == 0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+    @settings(max_examples=100, deadline=None)
+    def test_summary_bounds(self, samples):
+        summary = summarize(samples)
+        eps = 1e-9 * max(1.0, abs(summary.minimum), abs(summary.maximum))
+        assert summary.minimum - eps <= summary.mean <= summary.maximum + eps
+        assert summary.minimum <= summary.p50 <= summary.p95 <= summary.p99
+        assert summary.p99 <= summary.maximum
+        assert summary.stdev >= 0
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e6), min_size=2),
+        st.floats(min_value=0, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_percentile_monotone(self, samples, pct):
+        low = percentile(samples, pct / 2)
+        high = percentile(samples, pct)
+        assert low <= high
+
+
+class TestRendering:
+    def test_table_alignment(self):
+        text = render_table(["a", "bbbb"], [["xx", 1], ["y", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+        assert "xx" in lines[2]
+
+    def test_table_with_title(self):
+        text = render_table(["h"], [["v"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_series_merges_x_values(self):
+        text = render_series(
+            "x",
+            {"a": [(1, 10.0), (2, 20.0)], "b": [(2, 5.0), (3, 7.0)]},
+        )
+        lines = text.splitlines()
+        assert len(lines) == 5  # header, rule, x=1,2,3
+        assert "-" in lines[2]  # b missing at x=1
+
+    def test_comparison_ratio(self):
+        text = render_comparison([("metric", 2.0, 4.0)])
+        assert "0.50x" in text

@@ -1,0 +1,115 @@
+"""Fast end-to-end checks of the experiment harnesses.
+
+These run each table/figure harness at reduced scale and assert the
+paper's *qualitative* claims hold.  The full-scale numbers are produced
+by the benchmark suite (``benchmarks/``) and recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import PAPER_TARGETS, System, SystemConfig
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import INTERRUPT_EXITS, run_table4
+from repro.experiments.workbench import run_coremark, vcpus_for
+from repro.sim.clock import ms, sec
+
+
+class TestWorkbench:
+    def test_fair_core_accounting(self):
+        gapped = SystemConfig(mode="gapped", n_cores=16)
+        shared = SystemConfig(mode="shared", n_cores=16)
+        assert vcpus_for(gapped, 16) == 15
+        assert vcpus_for(shared, 16) == 16
+
+    def test_coremark_run_returns_score(self):
+        run = run_coremark(
+            SystemConfig(mode="gapped", n_cores=4, housekeeping=None),
+            duration_ns=ms(100),
+        )
+        assert run.score > 0
+        assert run.n_vcpus == 3
+
+
+class TestTable2:
+    def test_latency_ordering_and_magnitudes(self):
+        result = run_table2(iterations=50)
+        sync = result.sync_ns.mean
+        asynchronous = result.async_ns.mean
+        samecore = result.samecore_ns.mean
+        # the paper's ordering: sync << async << same-core
+        assert sync < asynchronous < samecore
+        # within 25% of the paper's absolute numbers
+        assert sync == pytest.approx(
+            PAPER_TARGETS["table2_sync_ns"], rel=0.25
+        )
+        assert asynchronous == pytest.approx(
+            PAPER_TARGETS["table2_async_ns"], rel=0.25
+        )
+        assert samecore > PAPER_TARGETS["table2_samecore_ns"]
+
+
+class TestTable3:
+    def test_delegation_slashes_vipi_latency(self):
+        result = run_table3(count=40)
+        nodeleg = result.latency_us["gapped-nodeleg"].mean
+        deleg = result.latency_us["gapped-deleg"].mean
+        shared = result.latency_us["shared"].mean
+        # ordering from the paper: deleg < shared < nodeleg
+        assert deleg < shared < nodeleg
+        # delegation buys an order of magnitude
+        assert nodeleg / deleg > 10
+
+
+class TestTable4:
+    def test_delegation_cuts_exits(self):
+        result = run_table4(duration_ns=sec(1))
+        assert result.interrupt_exits[False] > 5_000
+        assert result.interrupt_exits[True] < 500
+        assert result.reduction_factor() > 10
+
+
+class TestFig6:
+    def test_scaling_shapes(self):
+        result = run_fig6(
+            core_counts=[4, 8],
+            duration_ns=ms(300),
+            busywait_duration_ns=ms(200),
+        )
+        for label in ("shared", "gapped", "gapped-nodeleg"):
+            points = dict(result.series[label])
+            # near-linear scaling 4 -> 8 cores
+            assert points[8] > 1.7 * points[4]
+        # busy-waiting already lags at 8 cores
+        busy = dict(result.series["gapped-busywait"])
+        gapped = dict(result.series["gapped"])
+        assert busy[8] < 0.5 * gapped[8]
+
+    def test_run_to_run_latency_in_paper_range(self):
+        result = run_fig6(
+            core_counts=[8],
+            duration_ns=ms(400),
+            include_busywait=False,
+        )
+        r2r = result.run_to_run_us[8]
+        # paper: 26.18 +- 0.96 us; accept a generous band
+        assert 10 < r2r < 45
+
+
+class TestFig7:
+    def test_multi_vm_aggregate_scales(self):
+        result = run_fig7(vm_counts=[1, 2], duration_ns=ms(300))
+        for label in ("shared", "gapped"):
+            points = dict(result.series[label])
+            assert points[2] > 1.8 * points[1]
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        config = SystemConfig(mode="gapped", n_cores=4, housekeeping=None)
+        a = run_coremark(config, duration_ns=ms(100))
+        b = run_coremark(config, duration_ns=ms(100))
+        assert a.score == b.score
+        assert a.exit_counts == b.exit_counts

@@ -1,0 +1,115 @@
+"""Tests for the System builder and SystemConfig semantics."""
+
+import pytest
+
+from repro.experiments import System, SystemConfig
+from repro.guest.actions import Compute
+from repro.guest.vm import GuestVm
+from repro.isa import World
+from repro.sim.clock import ms
+
+
+def forever(vm, index):
+    def body():
+        while True:
+            yield Compute(100_000)
+
+    return body()
+
+
+class TestSystemConfig:
+    def test_labels(self):
+        assert SystemConfig(mode="shared").label() == "shared"
+        assert SystemConfig(mode="gapped").label() == "gapped"
+        assert (
+            SystemConfig(mode="gapped", busywait=True).label()
+            == "gapped+busywait"
+        )
+        assert (
+            SystemConfig(mode="gapped", delegation=False).label()
+            == "gapped+nodeleg"
+        )
+
+    def test_is_gapped(self):
+        assert SystemConfig(mode="gapped").is_gapped
+        assert not SystemConfig(mode="shared").is_gapped
+        assert not SystemConfig(mode="shared-cvm").is_gapped
+
+
+class TestSystemBuilder:
+    def test_gapped_reserves_host_cores(self):
+        system = System(
+            SystemConfig(mode="gapped", n_cores=8, n_host_cores=2)
+        )
+        assert system.host_cores == {0, 1}
+
+    def test_shared_uses_all_cores(self):
+        system = System(SystemConfig(mode="shared", n_cores=8))
+        assert system.host_cores == set(range(8))
+
+    def test_housekeeping_threads_created(self):
+        system = System(
+            SystemConfig(mode="shared", n_cores=4, housekeeping=(1_000_000, 1_000))
+        )
+        kworkers = [
+            t for t in system.kernel.threads if t.name.startswith("kworker")
+        ]
+        assert len(kworkers) == 4
+
+    def test_no_housekeeping_when_disabled(self):
+        system = System(
+            SystemConfig(mode="shared", n_cores=4, housekeeping=None)
+        )
+        assert not any(
+            t.name.startswith("kworker") for t in system.kernel.threads
+        )
+
+    def test_delegation_flag_reaches_rmm(self):
+        on = System(SystemConfig(mode="gapped", n_cores=4))
+        off = System(
+            SystemConfig(mode="gapped", n_cores=4, delegation=False)
+        )
+        assert on.rmm.delegation_enabled
+        assert not off.rmm.delegation_enabled
+
+    def test_device_intids_unique(self):
+        system = System(SystemConfig(mode="shared", n_cores=4))
+        vm = GuestVm("t", 2, forever)
+        kvm = system.launch(vm)
+        a = system.add_virtio_net(vm, kvm, "net0")
+        b = system.add_virtio_blk(vm, kvm, "blk0")
+        c = system.add_sriov_nic(vm, kvm, "vf0")
+        assert len({a.intid, b.intid, c.intid}) == 3
+
+    def test_multiple_launches_use_distinct_cores(self):
+        system = System(
+            SystemConfig(mode="gapped", n_cores=8, housekeeping=None)
+        )
+        kvm1 = system.launch(GuestVm("a", 3, forever))
+        kvm2 = system.launch(GuestVm("b", 3, forever))
+        cores1 = set(kvm1.planned_cores.values())
+        cores2 = set(kvm2.planned_cores.values())
+        assert not cores1 & cores2
+        assert 0 not in cores1 | cores2
+
+    def test_run_until_raises_on_deadlock(self):
+        from repro.sim import SimulationError
+
+        system = System(
+            SystemConfig(mode="shared", n_cores=2, housekeeping=None)
+        )
+        # drain all events, then wait for something impossible
+        system.sim.run()
+        with pytest.raises(SimulationError, match="deadlock"):
+            system.run_until(lambda: False)
+
+    def test_realm_cores_in_realm_world_while_running(self):
+        system = System(
+            SystemConfig(mode="gapped", n_cores=4, housekeeping=None)
+        )
+        vm = GuestVm("t", 2, forever)
+        kvm = system.launch(vm)
+        system.start(kvm)
+        system.run_for(ms(5))
+        for core_index in kvm.planned_cores.values():
+            assert system.machine.core(core_index).world is World.REALM

@@ -1,0 +1,151 @@
+"""Tests for CPU hotplug and the core planner."""
+
+import pytest
+
+from repro.experiments import System, SystemConfig
+from repro.guest.actions import Compute
+from repro.guest.vm import GuestVm
+from repro.host.hotplug import offline_core, online_core
+from repro.host.threads import HostThread, SchedClass
+from repro.hw.gic import SPI_BASE
+from repro.isa import World
+from repro.rmm.granule import GranuleState
+from repro.sim.clock import ms
+
+
+def run_thread_body(system, body_gen, name="op"):
+    thread = HostThread(name, body_gen, SchedClass.FAIR,
+                        affinity=system.host_cores)
+    system.kernel.add_thread(thread)
+    system.run_until_event(thread.done_event, limit_ns=ms(100))
+    return thread.result
+
+
+@pytest.fixture
+def system():
+    return System(SystemConfig(mode="gapped", n_cores=4, housekeeping=None))
+
+
+class TestHotplug:
+    def test_offline_marks_core_unusable(self, system):
+        run_thread_body(
+            system, offline_core(system.kernel, 2, fallback_core=0)
+        )
+        assert not system.machine.core(2).online
+        assert system.tracer.counters["hotplug_offline"] == 1
+
+    def test_offline_retargets_device_irqs(self, system):
+        system.machine.gic.route_spi(SPI_BASE + 5, 2)
+        run_thread_body(
+            system, offline_core(system.kernel, 2, fallback_core=0)
+        )
+        assert system.machine.gic.spi_route(SPI_BASE + 5) == 0
+
+    def test_online_restores_core(self, system):
+        run_thread_body(
+            system, offline_core(system.kernel, 2, fallback_core=0)
+        )
+        run_thread_body(system, online_core(system.kernel, 2))
+        assert system.machine.core(2).online
+        # the host scheduler uses it again
+        done = []
+
+        def body():
+            yield from ()
+            done.append(True)
+
+        thread = HostThread("t", body(), affinity={2})
+        system.kernel.add_thread(thread)
+        system.run_for(ms(1))
+        assert done
+
+    def test_double_offline_rejected(self, system):
+        run_thread_body(
+            system, offline_core(system.kernel, 2, fallback_core=0)
+        )
+        with pytest.raises(ValueError):
+            run_thread_body(
+                system, offline_core(system.kernel, 2, fallback_core=0)
+            )
+
+
+def forever(vm, index):
+    def body():
+        while True:
+            yield Compute(100_000)
+
+    return body()
+
+
+class TestPlanner:
+    def test_launch_builds_measured_realm(self, system):
+        vm = GuestVm("t", 2, forever)
+        kvm = system.launch(vm)
+        realm = system.rmm.realms[kvm.realm_id]
+        assert realm.measurement != 0
+        assert len(realm.recs) == 2
+        assert realm.rtt.n_mapped == system.planner.IMAGE_PAGES
+
+    def test_launch_delegates_granules(self, system):
+        vm = GuestVm("t", 2, forever)
+        system.launch(vm)
+        tracker = system.rmm.granules
+        assert tracker.count_in_state(GranuleState.RD) == 1
+        assert tracker.count_in_state(GranuleState.REC) == 2
+        assert tracker.count_in_state(GranuleState.RTT) == 3
+        assert (
+            tracker.count_in_state(GranuleState.DATA)
+            == system.planner.IMAGE_PAGES
+        )
+
+    def test_host_core_never_dedicated(self, system):
+        vm = GuestVm("t", 3, forever)
+        kvm = system.launch(vm)
+        assert 0 not in kvm.planned_cores.values()
+        assert system.machine.core(0).online
+
+    def test_free_cores_shrink_and_recover(self, system):
+        assert sorted(system.planner.free_cores()) == [1, 2, 3]
+        vm = GuestVm("t", 2, forever)
+        kvm = system.launch(vm)
+        assert sorted(system.planner.free_cores()) == [3]
+
+    def test_terminate_releases_granules(self):
+        system = System(
+            SystemConfig(mode="gapped", n_cores=4, housekeeping=None)
+        )
+
+        def finite(vm, index):
+            def body():
+                yield Compute(50_000)
+
+            return body()
+
+        vm = GuestVm("t", 2, finite)
+        kvm = system.launch(vm)
+        system.start(kvm)
+        system.run_until_vm_done(kvm, limit_ns=ms(100))
+        system.terminate(kvm)
+        tracker = system.rmm.granules
+        for state in (
+            GranuleState.RD,
+            GranuleState.REC,
+            GranuleState.RTT,
+            GranuleState.DATA,
+        ):
+            assert tracker.count_in_state(state) == 0
+
+    def test_attestation_token_for_launched_realm(self, system):
+        from repro.rmm import verify_token
+
+        vm = GuestVm("t", 1, forever)
+        kvm = system.launch(vm)
+        token = system.rmm.attestation_token(kvm.realm_id, challenge=99)
+        verifier = system.rmm.root_of_trust.public_verifier()
+        realm = system.rmm.realms[kvm.realm_id]
+        assert verify_token(
+            token,
+            verifier,
+            expected_realm_measurement=realm.measurement,
+            require_core_gapped=True,
+        )

@@ -1,0 +1,287 @@
+"""Tests for the host kernel: scheduler classes, IRQs, migration."""
+
+import pytest
+
+from repro.costs import DEFAULT_COSTS
+from repro.hw import Machine, SocTopology
+from repro.host.kernel import HostKernel, RESCHED_SGI, WAKEUP_GRANULARITY_NS
+from repro.host.threads import (
+    HostThread,
+    SchedClass,
+    TBlock,
+    TCompute,
+    TSleep,
+    TSpin,
+    TYield,
+    ThreadState,
+)
+from repro.sim import Event, us, ms
+
+
+def make_kernel(n_cores=2):
+    machine = Machine(SocTopology(name="t", n_cores=n_cores, memory_gib=1))
+    kernel = HostKernel(machine, DEFAULT_COSTS)
+    kernel.start()
+    return machine, kernel
+
+
+class TestBasicScheduling:
+    def test_thread_runs_and_finishes(self):
+        machine, kernel = make_kernel(1)
+        log = []
+
+        def body():
+            yield TCompute(10_000)
+            log.append(machine.sim.now)
+            return "result"
+
+        thread = kernel.add_thread(HostThread("t", body()))
+        machine.sim.run(until=ms(1))
+        assert thread.state == ThreadState.DONE
+        assert thread.result == "result"
+        assert log and log[0] >= 10_000
+
+    def test_threads_spread_across_cores(self):
+        machine, kernel = make_kernel(4)
+
+        def body():
+            yield TCompute(ms(1))
+
+        threads = [
+            kernel.add_thread(HostThread(f"t{i}", body())) for i in range(4)
+        ]
+        machine.sim.run(until=ms(2))
+        cores = {t.last_core for t in threads}
+        assert len(cores) == 4  # one per core, not stacked
+
+    def test_block_and_wake(self):
+        machine, kernel = make_kernel(1)
+        event = Event("go")
+        log = []
+
+        def body():
+            value = yield TBlock(event)
+            log.append((machine.sim.now, value))
+
+        kernel.add_thread(HostThread("t", body()))
+        machine.sim.schedule(us(500), lambda: event.fire("hello"))
+        machine.sim.run(until=ms(1))
+        assert log[0][1] == "hello"
+        assert log[0][0] >= us(500)
+
+    def test_sleep(self):
+        machine, kernel = make_kernel(1)
+        log = []
+
+        def body():
+            yield TSleep(us(100))
+            log.append(machine.sim.now)
+
+        kernel.add_thread(HostThread("t", body()))
+        machine.sim.run(until=ms(1))
+        assert log[0] >= us(100)
+
+    def test_yield_round_robins(self):
+        machine, kernel = make_kernel(1)
+        order = []
+
+        def body(name):
+            for _ in range(2):
+                yield TCompute(1_000)
+                order.append(name)
+                yield TYield()
+
+        kernel.add_thread(HostThread("a", body("a")))
+        kernel.add_thread(HostThread("b", body("b")))
+        machine.sim.run(until=ms(1))
+        assert order[:4] == ["a", "b", "a", "b"]
+
+
+class TestPriorities:
+    def test_fifo_runs_before_fair(self):
+        machine, kernel = make_kernel(1)
+        order = []
+
+        def body(name):
+            yield TCompute(1_000)
+            order.append(name)
+
+        # queue both before the core picks either
+        kernel.add_thread(
+            HostThread("fair", body("fair"), SchedClass.FAIR)
+        )
+        kernel.add_thread(
+            HostThread("fifo", body("fifo"), SchedClass.FIFO)
+        )
+        machine.sim.run(until=ms(1))
+        assert order[0] == "fifo"
+
+    def test_fifo_preempts_running_fair(self):
+        machine, kernel = make_kernel(1)
+        log = []
+
+        def fair_body():
+            yield TCompute(ms(10))
+            log.append(("fair-done", machine.sim.now))
+
+        def fifo_body():
+            yield TCompute(1_000)
+            log.append(("fifo-done", machine.sim.now))
+
+        kernel.add_thread(HostThread("fair", fair_body(), SchedClass.FAIR))
+
+        def spawn_fifo():
+            kernel.add_thread(
+                HostThread("fifo", fifo_body(), SchedClass.FIFO)
+            )
+
+        machine.sim.schedule(ms(1), spawn_fifo)
+        machine.sim.run(until=ms(20))
+        names = [n for n, _ in log]
+        assert names[0] == "fifo-done"
+        # and the fair thread still completes afterwards
+        assert "fair-done" in names
+
+    def test_fifo_not_preempted_by_fifo(self):
+        machine, kernel = make_kernel(1)
+        order = []
+
+        def body(name, work):
+            yield TCompute(work)
+            order.append(name)
+
+        kernel.add_thread(HostThread("a", body("a", ms(2)), SchedClass.FIFO))
+        kernel.add_thread(HostThread("b", body("b", 1_000), SchedClass.FIFO))
+        machine.sim.run(until=ms(5))
+        assert order == ["a", "b"]  # FIFO order, no preemption
+
+
+class TestQuantum:
+    def test_fair_threads_share_core(self):
+        machine, kernel = make_kernel(1)
+        quantum = DEFAULT_COSTS.sched_quantum_ns
+        done = []
+
+        def body(name):
+            yield TCompute(3 * quantum)
+            done.append((name, machine.sim.now))
+
+        kernel.add_thread(HostThread("a", body("a")))
+        kernel.add_thread(HostThread("b", body("b")))
+        machine.sim.run(until=ms(40))
+        assert len(done) == 2
+        # interleaved: both finish within ~a quantum of each other
+        assert abs(done[0][1] - done[1][1]) <= 2 * quantum
+
+    def test_wakeup_preemption_of_long_runner(self):
+        machine, kernel = make_kernel(1)
+        log = []
+
+        def hog():
+            yield TCompute(ms(100))
+            log.append(("hog", machine.sim.now))
+
+        def sleeper():
+            yield TSleep(ms(2))
+            yield TCompute(10_000)
+            log.append(("sleeper", machine.sim.now))
+
+        kernel.add_thread(HostThread("hog", hog()))
+        kernel.add_thread(HostThread("sleeper", sleeper()))
+        machine.sim.run(until=ms(200))
+        sleeper_done = dict(log)["sleeper"]
+        # woken thread ran long before the hog finished its 100ms
+        assert sleeper_done < ms(10)
+
+
+class TestSpin:
+    def test_spin_occupies_core_until_event(self):
+        machine, kernel = make_kernel(1)
+        event = Event()
+        log = []
+
+        def spinner():
+            value = yield TSpin(event)
+            log.append((machine.sim.now, value))
+
+        thread = kernel.add_thread(
+            HostThread("spin", spinner(), SchedClass.FIFO)
+        )
+        machine.sim.schedule(us(300), lambda: event.fire("done"))
+        machine.sim.run(until=ms(1))
+        assert log[0][1] == "done"
+        assert log[0][0] >= us(300)
+        # the spinner burned CPU the whole time
+        assert thread.cpu_ns >= us(250)
+
+
+class TestIrq:
+    def test_registered_handler_called(self):
+        machine, kernel = make_kernel(1)
+        calls = []
+
+        def handler(core, intid):
+            calls.append((core, intid))
+            return 500
+
+        kernel.register_irq_handler(14, handler)
+        machine.gic.send_sgi(0, 14)
+        machine.sim.run(until=ms(1))
+        assert calls == [(0, 14)]
+
+    def test_irq_interrupts_running_thread(self):
+        machine, kernel = make_kernel(1)
+        log = []
+
+        def body():
+            yield TCompute(ms(5))
+            log.append(machine.sim.now)
+
+        kernel.add_thread(HostThread("t", body()))
+        calls = []
+        kernel.register_irq_handler(14, lambda c, i: calls.append(c) or 500)
+        machine.sim.schedule(ms(1), lambda: machine.gic.send_sgi(0, 14))
+        machine.sim.run(until=ms(10))
+        assert calls == [0]
+        assert log  # thread still completed
+
+
+class TestMigration:
+    def test_migrate_all_from_core(self):
+        machine, kernel = make_kernel(2)
+
+        def body():
+            yield TSleep(ms(50))
+
+        # force both onto core 1
+        t1 = HostThread("a", body(), affinity={0, 1})
+        t2 = HostThread("b", body(), affinity={0, 1})
+        kernel.add_thread(t1, core_hint=1)
+        kernel.add_thread(t2, core_hint=1)
+        machine.sim.run(until=us(10))
+        # queue more work on core 1 then migrate
+        t3 = HostThread("c", (TCompute(1_000) for _ in range(1)))
+        kernel._fair[1].append(t3)
+        moved = kernel.migrate_all_from(1)
+        assert moved >= 1
+
+    def test_per_cpu_thread_parks_when_core_offline(self):
+        machine, kernel = make_kernel(2)
+
+        def body():
+            while True:
+                yield TSleep(ms(5))
+                yield TCompute(1_000)
+
+        thread = HostThread("kworker/1", body(), affinity={1})
+        thread.per_cpu = True
+        kernel.add_thread(thread, core_hint=1)
+        machine.sim.run(until=ms(1))
+        machine.core(1).set_online(False)
+        kernel.migrate_all_from(1)
+        # re-enqueue attempt parks it
+        kernel._enqueue(thread)
+        assert thread in kernel._parked
+        machine.core(1).set_online(True)
+        kernel.unpark_for_core(1)
+        assert thread not in kernel._parked

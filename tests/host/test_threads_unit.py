@@ -1,0 +1,57 @@
+"""Unit tests for the host thread model."""
+
+import pytest
+
+from repro.host.threads import (
+    HostThread,
+    SchedClass,
+    TBlock,
+    TCompute,
+    ThreadState,
+)
+from repro.isa import realm_domain
+from repro.sim import Event
+
+
+class TestHostThread:
+    def test_unique_tids(self):
+        a = HostThread("a", iter(()))
+        b = HostThread("b", iter(()))
+        assert a.tid != b.tid
+
+    def test_affinity_semantics(self):
+        anywhere = HostThread("a", iter(()))
+        pinned = HostThread("p", iter(()), affinity={1, 3})
+        assert anywhere.allowed_on(0) and anywhere.allowed_on(99)
+        assert pinned.allowed_on(1) and pinned.allowed_on(3)
+        assert not pinned.allowed_on(0)
+
+    def test_defaults(self):
+        thread = HostThread("t", iter(()))
+        assert thread.sched_class == SchedClass.FAIR
+        assert thread.state == ThreadState.RUNNABLE
+        assert thread.cpu_ns == 0
+        assert not thread.per_cpu
+        assert isinstance(thread.done_event, Event)
+
+    def test_repr_mentions_state(self):
+        thread = HostThread("worker", iter(()), SchedClass.FIFO)
+        assert "worker" in repr(thread)
+        assert "fifo" in repr(thread)
+
+
+class TestActions:
+    def test_tcompute_defaults(self):
+        action = TCompute(1000)
+        assert action.domain is None
+        assert action.return_on_irq is False
+
+    def test_tcompute_guest_segment(self):
+        domain = realm_domain(1)
+        action = TCompute(1000, domain=domain, return_on_irq=True)
+        assert action.domain == domain
+        assert action.return_on_irq
+
+    def test_tblock_carries_event(self):
+        event = Event("x")
+        assert TBlock(event).event is event

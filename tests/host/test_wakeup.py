@@ -1,0 +1,104 @@
+"""Tests for the CVM-exit wake-up thread (fig. 4)."""
+
+import pytest
+
+from repro.costs import DEFAULT_COSTS
+from repro.host.kernel import CVM_EXIT_SGI, HostKernel
+from repro.host.threads import HostThread, SchedClass, TBlock, TCompute
+from repro.host.wakeup import ExitNotifier
+from repro.hw import Machine, SocTopology
+from repro.rpc import AsyncRpcPort
+from repro.sim.clock import ms, us
+
+
+def make_stack(n_ports=3):
+    machine = Machine(SocTopology(name="t", n_cores=2, memory_gib=1))
+    kernel = HostKernel(machine, DEFAULT_COSTS)
+    kernel.start()
+    notifier = ExitNotifier(kernel, target_core=0, costs=DEFAULT_COSTS)
+    ports = []
+    for i in range(n_ports):
+        port = AsyncRpcPort(machine.sim, f"p{i}", notifier.notify_exit)
+        notifier.register_port(port)
+        ports.append(port)
+    return machine, kernel, notifier, ports
+
+
+class TestExitNotifier:
+    def test_completion_claims_slot_and_wakes_waiter(self):
+        machine, kernel, notifier, ports = make_stack()
+        port = ports[1]
+        woken = []
+
+        def vcpu_thread():
+            slot = port.submit("run")
+            value = yield TBlock(slot.claimed)
+            woken.append((machine.sim.now, value))
+
+        kernel.add_thread(
+            HostThread("vcpu", vcpu_thread(), SchedClass.FIFO)
+        )
+        machine.sim.schedule(us(50), lambda: port.complete("exit-record"))
+        machine.sim.run(until=ms(1))
+        assert woken and woken[0][1] == "exit-record"
+        assert notifier.ipis_received == 1
+        assert notifier.wakeups_performed == 1
+
+    def test_one_ipi_can_wake_multiple_completions(self):
+        machine, kernel, notifier, ports = make_stack()
+        woken = []
+
+        def vcpu_thread(port, name):
+            slot = port.submit("run")
+            yield TBlock(slot.claimed)
+            woken.append(name)
+
+        for i, port in enumerate(ports):
+            kernel.add_thread(
+                HostThread(f"v{i}", vcpu_thread(port, i), SchedClass.FIFO)
+            )
+
+        def complete_all():
+            for port in ports:
+                port.complete("r")
+
+        machine.sim.schedule(us(50), complete_all)
+        machine.sim.run(until=ms(1))
+        # the scan loop finds every completed slot regardless of how
+        # many IPIs got coalesced
+        assert sorted(woken) == [0, 1, 2]
+        assert notifier.wakeups_performed == 3
+
+    def test_ipi_without_completion_is_harmless(self):
+        machine, kernel, notifier, ports = make_stack()
+        machine.gic.send_sgi(0, CVM_EXIT_SGI)
+        machine.sim.run(until=ms(1))
+        assert notifier.ipis_received == 1
+        assert notifier.wakeups_performed == 0
+
+    def test_repeated_cycles(self):
+        machine, kernel, notifier, ports = make_stack(1)
+        port = ports[0]
+        rounds = []
+
+        def vcpu_thread():
+            for i in range(5):
+                slot = port.submit(i)
+                yield TBlock(slot.claimed)
+                yield TCompute(1_000)
+                port.collect()
+                rounds.append(i)
+
+        kernel.add_thread(HostThread("v", vcpu_thread(), SchedClass.FIFO))
+
+        def auto_complete():
+            # an RMM stand-in answering every run call after 20 us
+            if port.slot.state == "submitted":
+                port.complete("r")
+            if len(rounds) < 5:
+                machine.sim.schedule(us(20), auto_complete)
+
+        machine.sim.schedule(us(20), auto_complete)
+        machine.sim.run(until=ms(5))
+        assert rounds == [0, 1, 2, 3, 4]
+        assert notifier.wakeups_performed == 5

@@ -1,0 +1,211 @@
+"""Tests for TLB, branch predictor, store buffer, pollution model."""
+
+from repro.hw import BranchPredictor, StoreBuffer, Tlb
+from repro.hw.uarch import CoreUarchState, PollutionCosts, PollutionModel
+from repro.isa import HOST_DOMAIN, MONITOR_DOMAIN, realm_domain
+
+REALM = realm_domain(1)
+REALM2 = realm_domain(2)
+
+
+class TestTlb:
+    def test_miss_then_fill_then_hit(self):
+        tlb = Tlb(entries=4)
+        assert tlb.lookup(0x1000, vmid=1) is None
+        tlb.fill(0x1000, 0x9000, vmid=1, domain=REALM)
+        assert tlb.lookup(0x1000, vmid=1) == 0x9
+
+    def test_vmid_isolation(self):
+        tlb = Tlb(entries=4)
+        tlb.fill(0x1000, 0x9000, vmid=1, domain=REALM)
+        assert tlb.lookup(0x1000, vmid=2) is None
+
+    def test_lru_eviction(self):
+        tlb = Tlb(entries=2)
+        tlb.fill(0x1000, 0xA000, 1, REALM)
+        tlb.fill(0x2000, 0xB000, 1, REALM)
+        tlb.lookup(0x1000, 1)  # refresh
+        evicted = tlb.fill(0x3000, 0xC000, 1, REALM)
+        assert evicted.vpn == 0x2
+        assert tlb.lookup(0x2000, 1) is None
+
+    def test_invalidate_vmid(self):
+        tlb = Tlb()
+        tlb.fill(0x1000, 0xA000, 1, REALM)
+        tlb.fill(0x2000, 0xB000, 2, REALM2)
+        assert tlb.invalidate_vmid(1) == 1
+        assert tlb.lookup(0x1000, 1) is None
+        assert tlb.lookup(0x2000, 2) is not None
+
+    def test_invalidate_page(self):
+        tlb = Tlb()
+        tlb.fill(0x1000, 0xA000, 1, REALM)
+        assert tlb.invalidate_page(0x1000, 1)
+        assert not tlb.invalidate_page(0x1000, 1)
+
+    def test_domains_present(self):
+        tlb = Tlb()
+        tlb.fill(0x1000, 0xA000, 1, REALM)
+        tlb.fill(0x2000, 0xB000, 0, HOST_DOMAIN)
+        assert tlb.domains_present() == {REALM, HOST_DOMAIN}
+        tlb.invalidate_all()
+        assert tlb.domains_present() == set()
+
+
+class TestBranchPredictor:
+    def test_train_then_predict(self):
+        bp = BranchPredictor()
+        bp.train(0x4000, 0x5000, HOST_DOMAIN)
+        # history changed after training, so compute index via same state:
+        entry = bp.predict(0x4000 ^ 0)  # direct query may alias; use internals
+        # at minimum the trained entry is somewhere in the BTB
+        assert bp.occupancy == 1
+
+    def test_cross_domain_injection_possible_same_core(self):
+        # Spectre-v2 shape: attacker trains a branch that aliases with the
+        # victim's; the victim's prediction comes from attacker state.
+        bp = BranchPredictor(btb_entries=16, history_bits=0)
+        attacker_pc = 0x100
+        victim_pc = 0x100 + 16  # aliases in a 16-entry direct-mapped BTB
+        bp.train(attacker_pc, 0xDEAD, REALM2)
+        entry = bp.predict(victim_pc)
+        assert entry is not None
+        assert entry.domain == REALM2  # foreign state steers prediction
+
+    def test_flush_removes_all(self):
+        bp = BranchPredictor()
+        bp.train(0x1, 0x2, HOST_DOMAIN)
+        assert bp.flush() == 1
+        assert bp.occupancy == 0
+        assert bp.domains_present() == set()
+
+    def test_history_tracks_last_domain(self):
+        bp = BranchPredictor()
+        bp.train(0x1, 0x3, REALM)
+        assert REALM in bp.domains_present()
+
+
+class TestStoreBuffer:
+    def test_forwarding_youngest_wins(self):
+        sb = StoreBuffer()
+        sb.push(0x10, 1, HOST_DOMAIN)
+        sb.push(0x10, 2, HOST_DOMAIN)
+        assert sb.forward(0x10).value == 2
+
+    def test_cross_domain_forwarding_is_the_leak(self):
+        sb = StoreBuffer()
+        sb.push(0x10, 0x5EC2E7, REALM)
+        leaked = sb.forward(0x10)
+        assert leaked is not None and leaked.domain == REALM
+
+    def test_capacity_drains_oldest(self):
+        sb = StoreBuffer(entries=2)
+        sb.push(0x1, 1, HOST_DOMAIN)
+        sb.push(0x2, 2, HOST_DOMAIN)
+        sb.push(0x3, 3, HOST_DOMAIN)
+        assert sb.forward(0x1) is None
+        assert sb.occupancy == 2
+
+    def test_drain(self):
+        sb = StoreBuffer()
+        sb.push(0x1, 1, HOST_DOMAIN)
+        assert sb.drain() == 1
+        assert sb.forward(0x1) is None
+
+
+class TestCoreUarchState:
+    def test_flush_all_clears_every_structure(self):
+        state = CoreUarchState(0)
+        state.l1d.access(0x100, REALM)
+        state.l1i.access(0x200, REALM)
+        state.tlb.fill(0x1000, 0x2000, 1, REALM)
+        state.branch.train(0x1, 0x2, REALM)
+        state.store_buffer.push(0x1, 1, REALM)
+        state.flush_all()
+        # L2 is not flushed by the mitigation path, everything else is
+        assert state.l1d.filled_lines == 0
+        assert state.tlb.occupancy == 0
+        assert state.branch.occupancy == 0
+        assert state.store_buffer.occupancy == 0
+        assert state.flush_count == 1
+
+    def test_domains_present_aggregates(self):
+        state = CoreUarchState(0)
+        state.l1d.access(0x100, REALM)
+        state.branch.train(0x1, 0x2, HOST_DOMAIN)
+        present = state.domains_present()
+        assert REALM in present and HOST_DOMAIN in present
+
+    def test_structures_enumeration(self):
+        state = CoreUarchState(0)
+        names = [name for name, _ in state.structures()]
+        assert names == ["l1d", "l1i", "l2", "tlb", "branch", "store_buffer"]
+
+
+class TestPollutionModel:
+    def test_first_run_pays_nothing(self):
+        pm = PollutionModel()
+        assert pm.consume_penalty(REALM) == 0
+
+    def test_foreign_run_charges_victim(self):
+        pm = PollutionModel()
+        pm.note_run(REALM)
+        pm.note_run(HOST_DOMAIN)
+        pm.note_run_duration(HOST_DOMAIN, 100_000)
+        assert pm.pending_penalty(REALM) > 0
+
+    def test_penalty_consumed_once(self):
+        pm = PollutionModel()
+        pm.note_run(REALM)
+        pm.note_run_duration(HOST_DOMAIN, 100_000)
+        pm.consume_penalty(REALM)
+        assert pm.consume_penalty(REALM) == 0
+
+    def test_charge_proportional_to_duration(self):
+        costs = PollutionCosts()
+        pm = PollutionModel(costs)
+        pm.note_run(REALM)
+        pm.note_run_duration(HOST_DOMAIN, 1_000)  # brief irq handler
+        brief = pm.consume_penalty(REALM)
+        pm.note_run_duration(HOST_DOMAIN, 4_000_000)  # full quantum
+        long = pm.consume_penalty(REALM)
+        assert brief == int(1_000 * costs.pollution_rate)
+        assert long == costs.foreign_run_penalty_ns  # capped
+        assert brief < long
+
+    def test_monitor_run_is_cheap(self):
+        costs = PollutionCosts()
+        pm_foreign = PollutionModel(costs)
+        pm_foreign.note_run(REALM)
+        pm_foreign.note_run_duration(HOST_DOMAIN, 1_000_000)
+        pm_monitor = PollutionModel(costs)
+        pm_monitor.note_run(REALM)
+        pm_monitor.note_run_duration(MONITOR_DOMAIN, 1_000_000)
+        # compare the pending penalties right before the victim resumes
+        assert (
+            pm_monitor.pending_penalty(REALM)
+            < pm_foreign.pending_penalty(REALM)
+        )
+        assert pm_monitor.pending_penalty(REALM) == costs.monitor_penalty_ns
+
+    def test_flush_charges_everyone(self):
+        pm = PollutionModel()
+        pm.note_run(REALM)
+        pm.consume_penalty(REALM)
+        pm.note_flush()
+        assert pm.pending_penalty(REALM) > 0
+
+    def test_penalty_capped(self):
+        costs = PollutionCosts()
+        pm = PollutionModel(costs)
+        pm.note_run(REALM)
+        for _ in range(100):
+            pm.note_run_duration(HOST_DOMAIN, 4_000_000)
+            pm.note_flush()
+        assert pm.pending_penalty(REALM) <= costs.max_pending_penalty_ns
+
+    def test_own_run_charges_nothing_to_self(self):
+        pm = PollutionModel()
+        pm.note_run(REALM)
+        pm.note_run_duration(REALM, 10_000_000)
+        assert pm.consume_penalty(REALM) == 0

@@ -1,0 +1,45 @@
+"""Additional ISA-level tests: flush asymmetry and cost composition."""
+
+import pytest
+
+from repro.isa import World, WorldSwitchCosts, crossing_needs_flush
+from repro.isa.smc import TRUST_BOUNDARY
+
+
+class TestTrustBoundaryTable:
+    def test_every_normal_world_edge_flushes(self):
+        """Any transition touching the untrusted normal world crosses
+        the trust boundary and must flush (the S2.1 cost the core-gapped
+        design avoids entirely)."""
+        for (src, dst), flush in TRUST_BOUNDARY.items():
+            touches_normal = World.NORMAL in (src, dst)
+            assert flush == touches_normal, (src, dst)
+
+    def test_realm_root_edges_do_not_flush(self):
+        assert not crossing_needs_flush(World.REALM, World.ROOT)
+        assert not crossing_needs_flush(World.ROOT, World.REALM)
+
+    def test_unlisted_edges_default_safe(self):
+        # secure world is unused by CVMs; unknown edges don't flush in
+        # the model (they never occur on the simulated paths)
+        assert not crossing_needs_flush(World.SECURE, World.SECURE)
+
+
+class TestWorldSwitchComposition:
+    def test_flushless_round_trip_is_cheap(self):
+        costs = WorldSwitchCosts()
+        # within the guest TCB (realm <-> root) no mitigation flushing:
+        # an order of magnitude cheaper than a trust-boundary crossing
+        assert costs.round_trip(flush=False) * 4 < costs.round_trip(flush=True)
+
+    def test_component_sum(self):
+        costs = WorldSwitchCosts(
+            context_save_ns=1,
+            context_restore_ns=2,
+            el3_dispatch_ns=3,
+            mitigation_flush_ns=100,
+            world_reconfig_ns=4,
+        )
+        assert costs.one_way(flush=False) == 10
+        assert costs.one_way(flush=True) == 110
+        assert costs.round_trip() == 220

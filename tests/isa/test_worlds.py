@@ -1,0 +1,112 @@
+"""Tests for worlds, domains, SMC costs, and Table 1 terminology."""
+
+import pytest
+
+from repro.isa import (
+    HOST_DOMAIN,
+    IDLE_DOMAIN,
+    MONITOR_DOMAIN,
+    ROOT_DOMAIN,
+    SmcCall,
+    SmcFunction,
+    World,
+    WorldSwitchCosts,
+    crossing_needs_flush,
+    realm_domain,
+    render_table1,
+)
+from repro.isa.terminology import TERMINOLOGY, lookup, unified_concepts
+
+
+class TestDomains:
+    def test_host_distrusts_realm(self):
+        realm = realm_domain(1)
+        assert HOST_DOMAIN.distrusts(realm)
+        assert realm.distrusts(HOST_DOMAIN)
+
+    def test_realms_distrust_each_other(self):
+        assert realm_domain(1).distrusts(realm_domain(2))
+
+    def test_domain_trusts_itself(self):
+        assert not HOST_DOMAIN.distrusts(HOST_DOMAIN)
+        assert not realm_domain(3).distrusts(realm_domain(3))
+
+    def test_monitor_trusted_by_all(self):
+        assert not MONITOR_DOMAIN.distrusts(HOST_DOMAIN)
+        assert not HOST_DOMAIN.distrusts(MONITOR_DOMAIN)
+        assert not realm_domain(1).distrusts(MONITOR_DOMAIN)
+        assert not ROOT_DOMAIN.distrusts(realm_domain(1))
+
+    def test_idle_is_benign(self):
+        assert not IDLE_DOMAIN.distrusts(realm_domain(1))
+        assert not realm_domain(1).distrusts(IDLE_DOMAIN)
+
+    def test_realm_domain_identity(self):
+        assert realm_domain(5) == realm_domain(5)
+        assert realm_domain(5) != realm_domain(6)
+        assert realm_domain(5).is_realm
+        assert not MONITOR_DOMAIN.is_realm
+        assert not HOST_DOMAIN.is_realm
+
+
+class TestSmcCosts:
+    def test_round_trip_is_double_one_way(self):
+        costs = WorldSwitchCosts()
+        assert costs.round_trip() == 2 * costs.one_way()
+
+    def test_mitigation_flush_dominates(self):
+        costs = WorldSwitchCosts()
+        assert costs.mitigation_flush_ns > costs.one_way(flush=False)
+
+    def test_unflushed_switch_is_cheaper(self):
+        costs = WorldSwitchCosts()
+        assert costs.one_way(flush=False) < costs.one_way(flush=True)
+
+    def test_null_el3_call_exceeds_paper_floor(self):
+        # Table 2: a same-core null call takes >12.8 us; the EL3 round
+        # trip is only *part* of that path, so the full monitor call
+        # (two boundary crossings) must exceed it.
+        costs = WorldSwitchCosts()
+        assert costs.round_trip() >= 12_800 * 0.9
+
+    def test_smc_call_repr(self):
+        call = SmcCall(SmcFunction.RMI, 0x150, (1, 2))
+        assert "rmi" in str(call)
+
+
+class TestTrustBoundary:
+    @pytest.mark.parametrize(
+        "src,dst,expected",
+        [
+            (World.NORMAL, World.REALM, True),
+            (World.REALM, World.NORMAL, True),
+            (World.REALM, World.ROOT, False),
+            (World.ROOT, World.REALM, False),
+            (World.NORMAL, World.ROOT, True),
+        ],
+    )
+    def test_flush_required(self, src, dst, expected):
+        assert crossing_needs_flush(src, dst) is expected
+
+
+class TestTerminology:
+    def test_all_three_isas_present(self):
+        assert set(TERMINOLOGY) == {"Arm CCA", "Intel TDX", "CoVE"}
+
+    def test_table1_values(self):
+        assert lookup("Arm CCA", "Confidential VM") == "realm VM"
+        assert lookup("Intel TDX", "Security monitor") == "TDX module"
+        assert lookup("CoVE", "Privileged mode") == "confidential"
+        assert lookup("Arm CCA", "Security monitor") == "RMM"
+        assert lookup("Intel TDX", "Privileged mode") == "SEAM"
+        assert lookup("CoVE", "Confidential VM") == "TVM"
+
+    def test_render_contains_all_cells(self):
+        table = render_table1()
+        for terms in TERMINOLOGY.values():
+            assert terms.confidential_vm in table
+            assert terms.security_monitor in table
+            assert terms.privileged_mode in table
+
+    def test_three_concepts(self):
+        assert len(unified_concepts()) == 3

@@ -1,0 +1,69 @@
+"""Tests for attestation: RMM measurement, token signing, guest policy."""
+
+from repro.rmm.attestation import (
+    BASELINE_RMM,
+    CORE_GAPPED_RMM,
+    PlatformRootOfTrust,
+    RmmImage,
+    verify_token,
+)
+
+
+def test_rmm_measurement_distinguishes_builds():
+    assert BASELINE_RMM.measurement != CORE_GAPPED_RMM.measurement
+
+
+def test_measurement_stable():
+    again = RmmImage("tf-rmm", "0.3.0", core_gapped=False)
+    assert again.measurement == BASELINE_RMM.measurement
+
+
+def test_token_verifies():
+    rot = PlatformRootOfTrust()
+    token = rot.sign_token(CORE_GAPPED_RMM, realm_measurement=0xABC, challenge=7)
+    assert verify_token(token, rot.public_verifier())
+
+
+def test_tampered_token_rejected():
+    rot = PlatformRootOfTrust()
+    token = rot.sign_token(CORE_GAPPED_RMM, 0xABC, 7)
+    forged = type(token)(
+        platform_id=token.platform_id,
+        rmm_measurement=token.rmm_measurement,
+        rmm_core_gapped=token.rmm_core_gapped,
+        realm_measurement=0xEE11,
+        challenge=token.challenge,
+        signature=token.signature,
+    )
+    assert not verify_token(forged, rot.public_verifier())
+
+
+def test_wrong_platform_key_rejected():
+    token = PlatformRootOfTrust(1).sign_token(CORE_GAPPED_RMM, 0xABC, 7)
+    other_verifier = PlatformRootOfTrust(2).public_verifier()
+    assert not verify_token(token, other_verifier)
+
+
+def test_guest_can_require_core_gapped_monitor():
+    """The key policy from S6.1: a guest refuses to run under a monitor
+    that does not implement core gapping, because the build is measured."""
+    rot = PlatformRootOfTrust()
+    baseline = rot.sign_token(BASELINE_RMM, 0xABC, 7)
+    gapped = rot.sign_token(CORE_GAPPED_RMM, 0xABC, 7)
+    assert not verify_token(
+        baseline, rot.public_verifier(), require_core_gapped=True
+    )
+    assert verify_token(
+        gapped, rot.public_verifier(), require_core_gapped=True
+    )
+
+
+def test_realm_measurement_policy():
+    rot = PlatformRootOfTrust()
+    token = rot.sign_token(CORE_GAPPED_RMM, 0x123, 7)
+    assert verify_token(
+        token, rot.public_verifier(), expected_realm_measurement=0x123
+    )
+    assert not verify_token(
+        token, rot.public_verifier(), expected_realm_measurement=0x999
+    )

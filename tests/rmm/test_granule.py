@@ -1,0 +1,153 @@
+"""Tests for the granule delegation state machine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import GptFault, PhysicalMemory
+from repro.isa import World
+from repro.rmm.granule import (
+    GRANULE_SIZE,
+    GranuleError,
+    GranuleState,
+    GranuleTracker,
+)
+
+
+@pytest.fixture
+def tracker():
+    return GranuleTracker(PhysicalMemory(256 * GRANULE_SIZE))
+
+
+G0 = 0 * GRANULE_SIZE
+G1 = 1 * GRANULE_SIZE
+G2 = 2 * GRANULE_SIZE
+
+
+class TestDelegation:
+    def test_delegate_changes_pas(self, tracker):
+        tracker.delegate(G0)
+        assert tracker.state_of(G0) is GranuleState.DELEGATED
+        assert tracker.memory.pas_of(G0) is World.REALM
+
+    def test_host_loses_access_on_delegate(self, tracker):
+        tracker.memory.write(G0 + 8, 7, World.NORMAL)
+        tracker.delegate(G0)
+        with pytest.raises(GptFault):
+            tracker.memory.read(G0 + 8, World.NORMAL)
+
+    def test_double_delegate_rejected(self, tracker):
+        tracker.delegate(G0)
+        with pytest.raises(GranuleError):
+            tracker.delegate(G0)
+
+    def test_unaligned_rejected(self, tracker):
+        with pytest.raises(GranuleError):
+            tracker.delegate(123)
+
+    def test_undelegate_restores_host_access(self, tracker):
+        tracker.delegate(G0)
+        tracker.undelegate(G0)
+        assert tracker.memory.pas_of(G0) is World.NORMAL
+        tracker.memory.read(G0, World.NORMAL)
+
+    def test_undelegate_scrubs_contents(self, tracker):
+        tracker.delegate(G0)
+        tracker.memory.write(G0 + 16, 0x5EC2E7, World.REALM)
+        tracker.undelegate(G0)
+        assert tracker.memory.read(G0 + 16, World.NORMAL) == 0
+
+    def test_undelegate_undelegated_rejected(self, tracker):
+        with pytest.raises(GranuleError):
+            tracker.undelegate(G0)
+
+
+class TestConsume:
+    def test_consume_requires_delegated(self, tracker):
+        with pytest.raises(GranuleError):
+            tracker.consume(G0, GranuleState.DATA, realm_id=1)
+
+    def test_consume_assigns_owner(self, tracker):
+        tracker.delegate(G0)
+        tracker.consume(G0, GranuleState.REC, realm_id=3)
+        assert tracker.get(G0).owner_realm == 3
+        assert tracker.state_of(G0) is GranuleState.REC
+
+    def test_consumed_granule_cannot_be_undelegated(self, tracker):
+        tracker.delegate(G0)
+        tracker.consume(G0, GranuleState.DATA, realm_id=1)
+        with pytest.raises(GranuleError):
+            tracker.undelegate(G0)
+
+    def test_consume_into_undelegated_rejected(self, tracker):
+        tracker.delegate(G0)
+        with pytest.raises(GranuleError):
+            tracker.consume(G0, GranuleState.UNDELEGATED, realm_id=1)
+
+    def test_release_then_undelegate(self, tracker):
+        tracker.delegate(G0)
+        tracker.consume(G0, GranuleState.DATA, realm_id=1)
+        tracker.release(G0)
+        tracker.undelegate(G0)
+        assert tracker.state_of(G0) is GranuleState.UNDELEGATED
+
+    def test_release_scrubs(self, tracker):
+        tracker.delegate(G0)
+        tracker.consume(G0, GranuleState.DATA, realm_id=1)
+        tracker.memory.write(G0, 42, World.REALM)
+        tracker.release(G0)
+        assert tracker.memory.read(G0, World.REALM) == 0
+
+    def test_release_unconsumed_rejected(self, tracker):
+        tracker.delegate(G0)
+        with pytest.raises(GranuleError):
+            tracker.release(G0)
+
+
+class TestQueries:
+    def test_owned_by(self, tracker):
+        for addr, realm in [(G0, 1), (G1, 1), (G2, 2)]:
+            tracker.delegate(addr)
+            tracker.consume(addr, GranuleState.DATA, realm_id=realm)
+        assert len(tracker.owned_by(1)) == 2
+        assert len(tracker.owned_by(2)) == 1
+
+    def test_counts(self, tracker):
+        tracker.delegate(G0)
+        tracker.delegate(G1)
+        tracker.consume(G1, GranuleState.RTT, realm_id=1)
+        assert tracker.count_in_state(GranuleState.DELEGATED) == 1
+        assert tracker.count_in_state(GranuleState.RTT) == 1
+        assert tracker.delegate_count == 2
+
+
+class TestStateMachineProperties:
+    @given(
+        st.lists(
+            st.sampled_from(["delegate", "undelegate", "consume", "release"]),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_gpt_always_consistent_with_ledger(self, ops):
+        """Whatever sequence of (possibly illegal) ops the host attempts,
+        the hardware PAS always agrees with the RMM ledger."""
+        tracker = GranuleTracker(PhysicalMemory(16 * GRANULE_SIZE))
+        for op in ops:
+            try:
+                if op == "delegate":
+                    tracker.delegate(G0)
+                elif op == "undelegate":
+                    tracker.undelegate(G0)
+                elif op == "consume":
+                    tracker.consume(G0, GranuleState.DATA, realm_id=1)
+                else:
+                    tracker.release(G0)
+            except GranuleError:
+                pass
+            state = tracker.state_of(G0)
+            pas = tracker.memory.pas_of(G0)
+            if state is GranuleState.UNDELEGATED:
+                assert pas is World.NORMAL
+            else:
+                assert pas is World.REALM

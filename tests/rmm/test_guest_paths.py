@@ -1,0 +1,148 @@
+"""Integration tests for guest action paths through the RMM/KVM stack:
+WFI handled locally on dedicated cores, MMIO reads, memory-encryption
+accounting, and the shared-CVM flush behaviour."""
+
+import pytest
+
+from repro.experiments import System, SystemConfig
+from repro.guest.actions import Compute, MmioRead, SendIpi, Wfi, WaitIo
+from repro.guest.vm import GuestVm
+from repro.sim.clock import ms, us
+
+
+def run_vm(mode, factory, n_vcpus=2, duration=ms(50), n_cores=4,
+           delegation=True):
+    system = System(
+        SystemConfig(
+            mode=mode, n_cores=n_cores, housekeeping=None,
+            delegation=delegation,
+        )
+    )
+    vm = GuestVm("t", n_vcpus, factory)
+    kvm = system.launch(vm)
+    system.add_virtio_net(vm, kvm, "virtio-net0")
+    system.start(kvm)
+    system.run_for(duration)
+    return system, vm, kvm
+
+
+class TestWfi:
+    def test_gapped_wfi_handled_locally_without_exits(self):
+        """On a dedicated core, WFI waits locally: the next timer tick
+        (delegated) wakes the guest with no host involvement."""
+
+        def factory(vm, index):
+            def body():
+                for _ in range(5):
+                    yield Wfi()  # each tick (4 ms) wakes it
+                    yield Compute(us(50))
+                while True:
+                    yield Compute(ms(1))
+
+            return body()
+
+        system, vm, kvm = run_vm("gapped", factory, n_vcpus=1, duration=ms(40))
+        counts = system.exit_counts()
+        assert counts.get("exit:wfi", 0) == 0
+        assert counts.get("exits_total", 0) == 0
+        assert vm.vcpu(0).ticks_handled >= 5
+
+    def test_shared_wfi_exits_and_wakes_on_tick(self):
+        def factory(vm, index):
+            def body():
+                for _ in range(3):
+                    yield Wfi()
+                    yield Compute(us(50))
+                while True:
+                    yield Compute(ms(1))
+
+            return body()
+
+        system, vm, kvm = run_vm("shared", factory, n_vcpus=1, duration=ms(40))
+        assert system.exit_counts().get("exit:wfi", 0) >= 3
+        assert vm.vcpu(0).ticks_handled >= 3
+
+
+class TestMmioRead:
+    @pytest.mark.parametrize("mode", ["shared", "gapped"])
+    def test_mmio_read_returns_device_register(self, mode):
+        values = []
+
+        def factory(vm, index):
+            def body():
+                value = yield MmioRead(0x1000, "virtio-net0")
+                values.append(value)
+                while True:
+                    yield Compute(ms(1))
+
+            return body()
+
+        system, vm, kvm = run_vm(mode, factory, n_vcpus=1, duration=ms(20))
+        assert values == [0]  # the emulated config register
+        assert system.exit_counts().get("exit:mmio_read", 0) == 1
+
+
+class TestSharedCvm:
+    def test_exits_flush_microarchitectural_state(self):
+        def factory(vm, index):
+            def body():
+                while True:
+                    yield Compute(us(300))
+
+            return body()
+
+        system, vm, kvm = run_vm("shared-cvm", factory, duration=ms(30))
+        flushed_cores = [
+            core.index
+            for core in system.machine.cores
+            if core.uarch.flush_count > 0
+        ]
+        assert flushed_cores  # every trust-boundary exit flushed
+
+    def test_shared_cvm_slower_than_shared(self):
+        from repro.guest.workloads import (
+            CoremarkStats,
+            coremark_score,
+            coremark_workload_factory,
+        )
+
+        scores = {}
+        for mode in ("shared", "shared-cvm"):
+            system = System(SystemConfig(mode=mode, n_cores=4))
+            stats = CoremarkStats()
+            vm = GuestVm("cm", 4, coremark_workload_factory(stats))
+            kvm = system.launch(vm)
+            system.start(kvm)
+            start = system.sim.now
+            system.run_for(ms(400))
+            scores[mode] = coremark_score(stats, system.sim.now - start)
+        assert scores["shared-cvm"] < scores["shared"]
+
+
+class TestDelegationMatrix:
+    def test_undelegated_gapped_still_delivers_everything(self):
+        """With delegation off, ticks and IPIs flow through the host
+        (TIMER / IPI_REQUEST / HOST_KICK exits) but the guest sees the
+        same virtual interrupts."""
+
+        def factory(vm, index):
+            def body():
+                if index == 0:
+                    for _ in range(4):
+                        yield SendIpi(1)
+                        yield Compute(us(500))
+                while True:
+                    yield Compute(us(500))
+
+            return body()
+
+        system, vm, kvm = run_vm(
+            "gapped", factory, duration=ms(40), delegation=False
+        )
+        counts = system.exit_counts()
+        assert counts.get("exit:timer", 0) > 0
+        assert counts.get("exit:ipi", 0) == 4
+        assert vm.vcpu(1).ipis_handled == 4
+        expected_ticks = 40 // 4
+        for vcpu in vm.vcpus:
+            assert vcpu.ticks_handled >= expected_ticks - 3

@@ -1,0 +1,133 @@
+"""Adversarial tests: a hostile host fuzzing the RMI interface.
+
+The monitor's contract is that *no* sequence of host calls -- malformed,
+out-of-order, replayed, or malicious -- crashes it, corrupts another
+realm, or desynchronises the hardware GPT from the granule ledger.
+Errors must come back as statuses (the host is allowed to be wrong; it
+is not allowed to win).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import Machine, SocTopology
+from repro.isa import World
+from repro.rmm.granule import GRANULE_SIZE, GranuleState
+from repro.rmm.monitor import Rmm
+from repro.rmm.rmi import RmiCommand, RmiResult, RmiStatus
+
+
+def make_rmm():
+    machine = Machine(SocTopology(name="fuzz", n_cores=2, memory_gib=1))
+    return Rmm(machine)
+
+
+GRANULES = [i * GRANULE_SIZE for i in range(16)]
+
+command_strategy = st.sampled_from(list(RmiCommand))
+args_strategy = st.lists(
+    st.one_of(
+        st.sampled_from(GRANULES),
+        st.integers(min_value=-5, max_value=5),
+        st.none(),
+    ),
+    max_size=4,
+).map(tuple)
+
+
+class TestRmiFuzz:
+    @given(st.lists(st.tuples(command_strategy, args_strategy), max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_no_sequence_crashes_the_monitor(self, calls):
+        rmm = make_rmm()
+        for cmd, args in calls:
+            result = rmm.handle_rmi(cmd, args)
+            assert isinstance(result, RmiResult)
+
+    @given(st.lists(st.tuples(command_strategy, args_strategy), max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_gpt_ledger_consistency_survives_fuzzing(self, calls):
+        rmm = make_rmm()
+        for cmd, args in calls:
+            rmm.handle_rmi(cmd, args)
+        for addr in GRANULES:
+            state = rmm.granules.state_of(addr)
+            pas = rmm.machine.memory.pas_of(addr)
+            if state is GranuleState.UNDELEGATED:
+                assert pas is World.NORMAL
+            else:
+                assert pas is World.REALM
+
+    @given(st.lists(st.tuples(command_strategy, args_strategy), max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_realm_ledger_never_leaks_across_realms(self, calls):
+        """Granules consumed by one realm are never reachable from
+        another realm's RTT, whatever the host tries."""
+        rmm = make_rmm()
+        for cmd, args in calls:
+            rmm.handle_rmi(cmd, args)
+        for realm_id, realm in rmm.realms.items():
+            for entry in realm.rtt.mapped_pages():
+                owner = rmm.granules.get(entry.pa).owner_realm
+                assert owner == realm_id
+
+
+class TestTargetedHostility:
+    def test_undelegate_while_mapped_fails(self):
+        rmm = make_rmm()
+        g = GRANULES
+        assert rmm.handle_rmi(RmiCommand.GRANULE_DELEGATE, (g[0],)).ok
+        realm_id = rmm.handle_rmi(RmiCommand.REALM_CREATE, (g[0],)).value
+        for level, gran in ((1, g[1]), (2, g[2]), (3, g[3])):
+            assert rmm.handle_rmi(RmiCommand.GRANULE_DELEGATE, (gran,)).ok
+            assert rmm.handle_rmi(
+                RmiCommand.RTT_CREATE, (realm_id, 0, level, gran)
+            ).ok
+        assert rmm.handle_rmi(RmiCommand.GRANULE_DELEGATE, (g[4],)).ok
+        assert rmm.handle_rmi(
+            RmiCommand.DATA_CREATE, (realm_id, 0, g[4], 0)
+        ).ok
+        # now the attack: reclaim the mapped data granule
+        result = rmm.handle_rmi(RmiCommand.GRANULE_UNDELEGATE, (g[4],))
+        assert not result.ok
+        # and the RTT table granule
+        result = rmm.handle_rmi(RmiCommand.GRANULE_UNDELEGATE, (g[3],))
+        assert not result.ok
+
+    def test_double_realm_on_same_rd_granule_fails(self):
+        rmm = make_rmm()
+        assert rmm.handle_rmi(RmiCommand.GRANULE_DELEGATE, (GRANULES[0],)).ok
+        assert rmm.handle_rmi(RmiCommand.REALM_CREATE, (GRANULES[0],)).ok
+        result = rmm.handle_rmi(RmiCommand.REALM_CREATE, (GRANULES[0],))
+        assert result.status is RmiStatus.ERROR_IN_USE
+
+    def test_mapping_foreign_data_fails(self):
+        rmm = make_rmm()
+        g = GRANULES
+        ids = []
+        for rd in (g[0], g[8]):
+            assert rmm.handle_rmi(RmiCommand.GRANULE_DELEGATE, (rd,)).ok
+            ids.append(rmm.handle_rmi(RmiCommand.REALM_CREATE, (rd,)).value)
+        # build realm 1's walk and a data page
+        for level, gran in ((1, g[1]), (2, g[2]), (3, g[3])):
+            rmm.handle_rmi(RmiCommand.GRANULE_DELEGATE, (gran,))
+            rmm.handle_rmi(RmiCommand.RTT_CREATE, (ids[0], 0, level, gran))
+        rmm.handle_rmi(RmiCommand.GRANULE_DELEGATE, (g[4],))
+        rmm.handle_rmi(RmiCommand.DATA_CREATE, (ids[0], 0, g[4], 0))
+        # realm 2 tries to map realm 1's data page into itself
+        for level, gran in ((1, g[9]), (2, g[10]), (3, g[11])):
+            rmm.handle_rmi(RmiCommand.GRANULE_DELEGATE, (gran,))
+            rmm.handle_rmi(RmiCommand.RTT_CREATE, (ids[1], 0, level, gran))
+        result = rmm.handle_rmi(RmiCommand.DATA_CREATE, (ids[1], 0, g[4], 0))
+        assert not result.ok
+
+    def test_destroy_realm_with_garbage_id(self):
+        rmm = make_rmm()
+        assert not rmm.handle_rmi(RmiCommand.REALM_DESTROY, (42,)).ok
+        assert not rmm.handle_rmi(RmiCommand.REALM_DESTROY, (None,)).ok
+
+    def test_unknown_command_args_types(self):
+        rmm = make_rmm()
+        result = rmm.handle_rmi(RmiCommand.GRANULE_DELEGATE, ("junk",))
+        assert not result.ok

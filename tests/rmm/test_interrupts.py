@@ -1,0 +1,109 @@
+"""Tests for RMM-side interrupt virtualization (fig. 5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.guest.vcpu import VIPI_VIRQ, VTIMER_VIRQ
+from repro.hw.gic import ListRegister, LrState, N_LIST_REGISTERS
+from repro.rmm.interrupts import DELEGATED_DEFAULT, VirtualGic
+
+
+class TestInjection:
+    def test_rmm_injects_delegated(self):
+        vgic = VirtualGic(DELEGATED_DEFAULT)
+        assert vgic.inject(VTIMER_VIRQ, from_host=False)
+        assert VTIMER_VIRQ in vgic.pending_intids()
+        assert vgic.injected_by_rmm == 1
+
+    def test_host_injects_nondelegated(self):
+        vgic = VirtualGic(DELEGATED_DEFAULT)
+        assert vgic.inject(33, from_host=True)
+        assert 33 in vgic.pending_intids()
+        assert vgic.injected_by_host == 1
+
+    def test_host_cannot_inject_delegated_intid(self):
+        """A confused or malicious host writing a delegated intid into
+        the run page must be ignored, not trusted (fig. 5)."""
+        vgic = VirtualGic(DELEGATED_DEFAULT)
+        assert not vgic.inject(VTIMER_VIRQ, from_host=True)
+        assert not vgic.inject(VIPI_VIRQ, from_host=True)
+        assert vgic.pending_intids() == []
+
+    def test_pending_interrupts_coalesce(self):
+        vgic = VirtualGic(DELEGATED_DEFAULT)
+        vgic.inject(VTIMER_VIRQ, from_host=False)
+        vgic.inject(VTIMER_VIRQ, from_host=False)
+        assert vgic.pending_intids().count(VTIMER_VIRQ) == 1
+
+    def test_overflow_drops_when_no_free_slot(self):
+        vgic = VirtualGic(set())
+        for intid in range(32, 32 + N_LIST_REGISTERS):
+            assert vgic.inject(intid, from_host=True)
+        assert not vgic.inject(99, from_host=True)
+        assert vgic.overflow_drops == 1
+
+    def test_deliver_retires_slot(self):
+        vgic = VirtualGic(DELEGATED_DEFAULT)
+        vgic.inject(VTIMER_VIRQ, from_host=False)
+        vgic.deliver(VTIMER_VIRQ)
+        assert vgic.pending_intids() == []
+        # slot is free again
+        assert vgic.inject(VTIMER_VIRQ, from_host=False)
+
+
+class TestFiltering:
+    def test_filtered_view_hides_delegated(self):
+        vgic = VirtualGic(DELEGATED_DEFAULT)
+        vgic.inject(VTIMER_VIRQ, from_host=False)
+        vgic.inject(VIPI_VIRQ, from_host=False)
+        vgic.inject(40, from_host=True)
+        visible = [
+            lr.vintid for lr in vgic.filtered_view() if not lr.free
+        ]
+        assert VTIMER_VIRQ not in visible
+        assert VIPI_VIRQ not in visible
+        assert 40 in visible
+
+    def test_sync_from_host_installs_pending(self):
+        vgic = VirtualGic(DELEGATED_DEFAULT)
+        host_list = [ListRegister(40, LrState.PENDING)]
+        assert vgic.sync_from_host(host_list) == 1
+        assert 40 in vgic.pending_intids()
+
+    def test_sync_from_host_rejects_delegated(self):
+        vgic = VirtualGic(DELEGATED_DEFAULT)
+        host_list = [ListRegister(VTIMER_VIRQ, LrState.PENDING)]
+        assert vgic.sync_from_host(host_list) == 0
+
+    def test_sync_skips_invalid_slots(self):
+        vgic = VirtualGic(DELEGATED_DEFAULT)
+        host_list = [ListRegister(), ListRegister(40, LrState.ACTIVE)]
+        assert vgic.sync_from_host(host_list) == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=64),
+                st.booleans(),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_filtered_view_invariant(self, operations):
+        """Whatever mix of host and RMM injections and deliveries
+        happens, the host's view never contains a delegated intid and
+        is always a subset of the true list (key fig. 5 property)."""
+        vgic = VirtualGic(DELEGATED_DEFAULT)
+        for intid, from_host in operations:
+            vgic.inject(intid, from_host=from_host)
+            if intid % 3 == 0:
+                vgic.deliver(intid)
+            assert vgic.invariant_filtered_is_subset()
+
+    def test_no_delegation_shows_everything(self):
+        vgic = VirtualGic(set())
+        vgic.inject(VTIMER_VIRQ, from_host=True)
+        visible = [lr.vintid for lr in vgic.filtered_view() if not lr.free]
+        assert VTIMER_VIRQ in visible

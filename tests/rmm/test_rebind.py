@@ -1,0 +1,152 @@
+"""Tests for the rebinding extension (the paper's S3 future work).
+
+Coarse-grained, monitor-mediated changes of the vCPU-to-core binding:
+legal only between run calls, always scrubbing the old core, never
+weakening the core-gap invariant.
+"""
+
+import pytest
+
+from repro.experiments import System, SystemConfig
+from repro.guest.actions import Compute
+from repro.guest.vm import GuestVm
+from repro.host.threads import HostThread, SchedClass
+from repro.isa import World
+from repro.rmm.core_gap import RebindCall
+from repro.rmm.rmi import RmiStatus
+from repro.security import CoreGapAuditor
+from repro.sim import Event, SimulationError
+from repro.sim.clock import ms
+
+
+def bursty_factory(vm, index):
+    """Computes in bursts with idle gaps, so RECs are regularly READY."""
+
+    def body():
+        while True:
+            yield Compute(100_000)
+
+    return body()
+
+
+def run_planner_op(system, body_gen, expect_error=False):
+    thread = HostThread(
+        "op", body_gen, SchedClass.FAIR, affinity=system.host_cores
+    )
+    system.kernel.add_thread(thread)
+    if expect_error:
+        with pytest.raises(SimulationError):
+            system.run_until_event(thread.done_event, limit_ns=ms(200))
+        return None
+    system.run_until_event(thread.done_event, limit_ns=ms(200))
+    return thread.result
+
+
+@pytest.fixture
+def system():
+    return System(SystemConfig(mode="gapped", n_cores=6, housekeeping=None))
+
+
+class TestRebind:
+    def _launch(self, system, n_vcpus=2):
+        vm = GuestVm("vm0", n_vcpus, bursty_factory)
+        kvm = system.launch(vm)
+        system.start(kvm)
+        system.run_for(ms(5))
+        return vm, kvm
+
+    def _quiesce(self, system, kvm, idx):
+        """Wait until the REC is between run calls (kick it out)."""
+        from repro.rmm.core_gap import HOST_KICK_SGI
+        from repro.rmm.realm import RecState
+
+        rec = system.rmm.find_rec(kvm.realm_id, idx)
+
+        def ready():
+            if rec.state is not RecState.READY:
+                system.machine.gic.send_sgi(rec.bound_core, HOST_KICK_SGI)
+                return False
+            return True
+
+        return rec
+
+    def test_successful_rebind_moves_binding(self, system):
+        vm, kvm = self._launch(system)
+        old_core = kvm.planned_cores[0]
+        new_core = 5  # free: vcpus took 1,2; host has 0
+        result = run_planner_op(
+            system, system.planner.rebind_vcpu(kvm, 0, new_core)
+        )
+        assert result == new_core
+        rec = system.rmm.find_rec(kvm.realm_id, 0)
+        assert rec.bound_core == new_core
+        assert kvm.planned_cores[0] == new_core
+        # old core returned to the host, new core in realm world
+        assert system.machine.core(old_core).online
+        assert system.machine.core(old_core).world is World.NORMAL
+        assert system.machine.core(new_core).world is World.REALM
+        assert system.tracer.counters["rec_rebind"] == 1
+
+    def test_guest_keeps_running_after_rebind(self, system):
+        vm, kvm = self._launch(system)
+        before = vm.vcpu(0).compute_ns_done
+        run_planner_op(system, system.planner.rebind_vcpu(kvm, 0, 5))
+        system.run_for(ms(20))
+        assert vm.vcpu(0).compute_ns_done > before
+
+    def test_audit_clean_across_rebind(self, system):
+        vm, kvm = self._launch(system)
+        run_planner_op(system, system.planner.rebind_vcpu(kvm, 0, 5))
+        system.run_for(ms(20))
+        report = CoreGapAuditor().audit(system.machine, system.tracer)
+        assert report.clean, report.summary()
+
+    def test_rebind_onto_bound_core_refused(self, system):
+        vm, kvm = self._launch(system)
+        # vcpu1's core is already bound: engine must refuse
+        rec1 = system.rmm.find_rec(kvm.realm_id, 1)
+        rebind = RebindCall(
+            kvm.realm_id, 0, rec1.bound_core, Event("rebind")
+        )
+        rec0 = system.rmm.find_rec(kvm.realm_id, 0)
+        from repro.rmm.core_gap import HOST_KICK_SGI
+
+        system.engine.dedicated[rec0.bound_core].inbox.try_put(rebind)
+        system.machine.gic.send_sgi(rec0.bound_core, HOST_KICK_SGI)
+        system.run_until(lambda: rebind.done.fired, limit_ns=ms(100))
+        assert rebind.done.value.status in (
+            RmiStatus.ERROR_IN_USE,
+            RmiStatus.ERROR_REC,  # when caught mid-run
+        )
+
+    def test_rebind_wrong_rec_refused(self, system):
+        vm, kvm = self._launch(system)
+        rec1 = system.rmm.find_rec(kvm.realm_id, 1)
+        # ask vcpu1's core to rebind vcpu0 (not bound there)
+        rebind = RebindCall(kvm.realm_id, 0, 5, Event("rebind"))
+        from repro.rmm.core_gap import HOST_KICK_SGI
+
+        system.engine.dedicated[rec1.bound_core].inbox.try_put(rebind)
+        system.machine.gic.send_sgi(rec1.bound_core, HOST_KICK_SGI)
+        system.run_until(lambda: rebind.done.fired, limit_ns=ms(100))
+        assert rebind.done.value.status in (
+            RmiStatus.ERROR_CORE_BINDING,
+            RmiStatus.ERROR_IN_USE,
+        )
+
+    def test_rebind_onto_host_core_rejected(self, system):
+        vm, kvm = self._launch(system)
+        with pytest.raises(SimulationError):
+            # consumed eagerly: generator construction + first step
+            gen = system.planner.rebind_vcpu(kvm, 0, 0)
+            run_planner_op(system, gen, expect_error=True)
+            raise SimulationError("unreachable")
+
+    def test_old_core_scrubbed_after_rebind(self, system):
+        vm, kvm = self._launch(system)
+        old_core = kvm.planned_cores[0]
+        # make sure the guest left residue (simulated accesses)
+        system.machine.core(old_core).access_memory(0x1234, vm.domain)
+        run_planner_op(system, system.planner.rebind_vcpu(kvm, 0, 5))
+        present = system.machine.core(old_core).uarch.domains_present()
+        assert vm.domain not in present

@@ -1,0 +1,233 @@
+"""Tests for realm translation tables and realm/REC lifecycle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import PhysicalMemory
+from repro.rmm.granule import GRANULE_SIZE, GranuleState, GranuleTracker
+from repro.rmm.realm import Realm, RealmError, RealmState, RecState
+from repro.rmm.rtt import PAGE_SIZE, RealmTranslationTable, RttError
+
+
+def make_tracker(n=4096):
+    return GranuleTracker(PhysicalMemory(n * GRANULE_SIZE))
+
+
+def delegated(tracker, index):
+    addr = index * GRANULE_SIZE
+    tracker.delegate(addr)
+    return addr
+
+
+def build_walk(rtt, tracker, ipa, start_granule=100):
+    """Install L1..L3 tables covering ``ipa``."""
+    for level in range(1, 4):
+        if not rtt.has_table(ipa, level):
+            rtt.create_table(ipa, level, delegated(tracker, start_granule))
+            start_granule += 1
+    return start_granule
+
+
+class TestRtt:
+    def test_map_requires_walk(self):
+        tracker = make_tracker()
+        rtt = RealmTranslationTable(1, tracker)
+        data = delegated(tracker, 50)
+        tracker.consume(data, GranuleState.DATA, 1)
+        with pytest.raises(RttError, match="walk fault"):
+            rtt.map_page(0x0, data)
+
+    def test_map_and_walk(self):
+        tracker = make_tracker()
+        rtt = RealmTranslationTable(1, tracker)
+        build_walk(rtt, tracker, 0x0)
+        data = delegated(tracker, 50)
+        tracker.consume(data, GranuleState.DATA, 1)
+        rtt.map_page(0x0, data)
+        entry = rtt.walk(0x123)  # same page
+        assert entry is not None and entry.pa == data
+
+    def test_walk_fault_returns_none(self):
+        rtt = RealmTranslationTable(1, make_tracker())
+        assert rtt.walk(0x5000) is None
+
+    def test_double_map_rejected(self):
+        tracker = make_tracker()
+        rtt = RealmTranslationTable(1, tracker)
+        build_walk(rtt, tracker, 0x0)
+        for i in (50, 51):
+            addr = delegated(tracker, i)
+            tracker.consume(addr, GranuleState.DATA, 1)
+        rtt.map_page(0x0, 50 * GRANULE_SIZE)
+        with pytest.raises(RttError, match="already mapped"):
+            rtt.map_page(0x0, 51 * GRANULE_SIZE)
+
+    def test_cannot_map_foreign_realms_granule(self):
+        tracker = make_tracker()
+        rtt = RealmTranslationTable(1, tracker)
+        build_walk(rtt, tracker, 0x0)
+        foreign = delegated(tracker, 60)
+        tracker.consume(foreign, GranuleState.DATA, realm_id=2)
+        with pytest.raises(RttError, match="belongs to realm 2"):
+            rtt.map_page(0x0, foreign)
+
+    def test_cannot_map_non_data_granule(self):
+        tracker = make_tracker()
+        rtt = RealmTranslationTable(1, tracker)
+        build_walk(rtt, tracker, 0x0)
+        raw = delegated(tracker, 61)
+        with pytest.raises(RttError, match="expected a DATA granule"):
+            rtt.map_page(0x0, raw)
+
+    def test_unmap_then_walk_faults(self):
+        tracker = make_tracker()
+        rtt = RealmTranslationTable(1, tracker)
+        build_walk(rtt, tracker, 0x0)
+        data = delegated(tracker, 50)
+        tracker.consume(data, GranuleState.DATA, 1)
+        rtt.map_page(0x0, data)
+        assert rtt.unmap_page(0x0) == data
+        assert rtt.walk(0x0) is None
+
+    def test_unmap_unmapped_rejected(self):
+        rtt = RealmTranslationTable(1, make_tracker())
+        with pytest.raises(RttError):
+            rtt.unmap_page(0x0)
+
+    def test_table_create_requires_parent(self):
+        tracker = make_tracker()
+        rtt = RealmTranslationTable(1, tracker)
+        with pytest.raises(RttError, match="parent"):
+            rtt.create_table(0x0, 2, delegated(tracker, 70))
+
+    def test_duplicate_table_rejected(self):
+        tracker = make_tracker()
+        rtt = RealmTranslationTable(1, tracker)
+        rtt.create_table(0x0, 1, delegated(tracker, 70))
+        with pytest.raises(RttError, match="already exists"):
+            rtt.create_table(0x100, 1, delegated(tracker, 71))
+
+    def test_destroy_table_with_live_mappings_rejected(self):
+        tracker = make_tracker()
+        rtt = RealmTranslationTable(1, tracker)
+        build_walk(rtt, tracker, 0x0)
+        data = delegated(tracker, 50)
+        tracker.consume(data, GranuleState.DATA, 1)
+        rtt.map_page(0x0, data)
+        with pytest.raises(RttError, match="live mappings"):
+            rtt.destroy_table(0x0, 3)
+
+    def test_destroy_table_releases_granule(self):
+        tracker = make_tracker()
+        rtt = RealmTranslationTable(1, tracker)
+        granule = delegated(tracker, 70)
+        rtt.create_table(0x0, 1, granule)
+        rtt.destroy_table(0x0, 1)
+        assert tracker.state_of(granule) is GranuleState.DELEGATED
+
+    def test_destroy_all_releases_everything(self):
+        tracker = make_tracker()
+        rtt = RealmTranslationTable(1, tracker)
+        build_walk(rtt, tracker, 0x0)
+        data = delegated(tracker, 50)
+        tracker.consume(data, GranuleState.DATA, 1)
+        rtt.map_page(0x0, data)
+        rtt.destroy_all()
+        assert rtt.n_mapped == 0
+        assert tracker.count_in_state(GranuleState.RTT) == 0
+        assert tracker.count_in_state(GranuleState.DATA) == 0
+
+    @given(st.sets(st.integers(min_value=0, max_value=127), max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_mapped_ipas_resolve_uniquely(self, pages):
+        """Every mapped IPA translates to the PA it was mapped to."""
+        tracker = make_tracker(8192)
+        rtt = RealmTranslationTable(1, tracker)
+        next_granule = 200
+        mapping = {}
+        for i, page in enumerate(sorted(pages)):
+            ipa = page * PAGE_SIZE
+            next_granule = build_walk(rtt, tracker, ipa, next_granule)
+            pa = delegated(tracker, 1000 + i)
+            tracker.consume(pa, GranuleState.DATA, 1)
+            rtt.map_page(ipa, pa)
+            mapping[ipa] = pa
+        for ipa, pa in mapping.items():
+            assert rtt.walk(ipa).pa == pa
+        assert rtt.n_mapped == len(mapping)
+
+
+class TestRealmLifecycle:
+    def _realm(self, tracker):
+        rd = delegated(tracker, 10)
+        tracker.consume(rd, GranuleState.RD, 1)
+        return Realm(1, rd, tracker, vmid=7)
+
+    def test_new_realm_not_active(self):
+        tracker = make_tracker()
+        realm = self._realm(tracker)
+        assert realm.state is RealmState.NEW
+        with pytest.raises(RealmError):
+            realm.require_state(RealmState.ACTIVE)
+
+    def test_activate(self):
+        tracker = make_tracker()
+        realm = self._realm(tracker)
+        realm.activate()
+        assert realm.state is RealmState.ACTIVE
+        with pytest.raises(RealmError):
+            realm.activate()
+
+    def test_rec_create_only_while_new(self):
+        tracker = make_tracker()
+        realm = self._realm(tracker)
+        realm.activate()
+        with pytest.raises(RealmError):
+            realm.create_rec(delegated(tracker, 11))
+
+    def test_measurement_changes_with_recs(self):
+        tracker = make_tracker()
+        realm_a = self._realm(tracker)
+        m0 = realm_a.measurement
+        realm_a.create_rec(delegated(tracker, 11))
+        assert realm_a.measurement != m0
+
+    def test_measurement_sealed_after_activate(self):
+        tracker = make_tracker()
+        realm = self._realm(tracker)
+        realm.activate()
+        with pytest.raises(RealmError):
+            realm.extend_measurement(1)
+
+    def test_rec_binding_starts_unbound(self):
+        tracker = make_tracker()
+        realm = self._realm(tracker)
+        rec = realm.create_rec(delegated(tracker, 11))
+        assert rec.bound_core is None
+        assert rec.state is RecState.READY
+
+    def test_destroy_running_rec_rejected(self):
+        tracker = make_tracker()
+        realm = self._realm(tracker)
+        rec = realm.create_rec(delegated(tracker, 11))
+        rec.state = RecState.RUNNING
+        with pytest.raises(RealmError):
+            realm.destroy_rec(0)
+
+    def test_destroy_realm_releases_granules(self):
+        tracker = make_tracker()
+        realm = self._realm(tracker)
+        realm.create_rec(delegated(tracker, 11))
+        realm.activate()
+        realm.destroy()
+        assert tracker.count_in_state(GranuleState.REC) == 0
+        assert tracker.count_in_state(GranuleState.RD) == 0
+
+    def test_rec_index_lookup(self):
+        tracker = make_tracker()
+        realm = self._realm(tracker)
+        rec = realm.create_rec(delegated(tracker, 11))
+        assert realm.rec(0) is rec
+        with pytest.raises(RealmError):
+            realm.rec(1)

@@ -1,0 +1,83 @@
+"""Tests for the shared-memory RPC transports."""
+
+import pytest
+
+from repro.rpc import AsyncRpcPort, CompletionSlot, SyncRpcPort
+from repro.sim import SimulationError, Simulator
+
+
+class TestSyncPort:
+    def test_post_and_respond(self):
+        sim = Simulator()
+        port = SyncRpcPort(sim, "p")
+        request = port.post(("cmd", (1, 2)))
+        assert request.payload == ("cmd", (1, 2))
+        assert not request.done.fired
+        SyncRpcPort.respond(request, "result")
+        assert request.done.fired
+        assert request.response == "result"
+
+    def test_call_count(self):
+        sim = Simulator()
+        port = SyncRpcPort(sim, "p")
+        for _ in range(3):
+            port.post(None)
+        assert port.call_count == 3
+
+
+class TestAsyncPort:
+    def make_port(self, notifications):
+        sim = Simulator()
+        return sim, AsyncRpcPort(sim, "vcpu0", notifications.append)
+
+    def test_submit_complete_collect(self):
+        notifications = []
+        sim, port = self.make_port(notifications)
+        slot = port.submit("run-args")
+        assert slot.state == "submitted"
+        assert slot.payload == "run-args"
+        port.complete("exit-record")
+        assert slot.completed
+        assert notifications == [port]
+        assert port.collect() == "exit-record"
+        assert slot.state == "idle"
+
+    def test_double_submit_rejected(self):
+        notifications = []
+        sim, port = self.make_port(notifications)
+        port.submit("a")
+        with pytest.raises(SimulationError, match="outstanding"):
+            port.submit("b")
+
+    def test_slot_timestamps(self):
+        notifications = []
+        sim, port = self.make_port(notifications)
+        sim.schedule(100, lambda: None)
+        sim.run()
+        port.submit("a")
+        assert port.slot.submitted_at == 100
+        sim.schedule(50, lambda: port.complete("r"))
+        sim.run()
+        assert port.slot.completed_at == 150
+
+    def test_counts(self):
+        notifications = []
+        sim, port = self.make_port(notifications)
+        for i in range(3):
+            port.submit(i)
+            port.complete(i)
+            port.collect()
+        assert port.submit_count == 3
+        assert port.complete_count == 3
+
+    def test_claimed_event_fresh_per_submit(self):
+        notifications = []
+        sim, port = self.make_port(notifications)
+        slot = port.submit("a")
+        first_claimed = slot.claimed
+        port.complete("r")
+        slot.claimed.fire("r")
+        port.collect()
+        slot = port.submit("b")
+        assert slot.claimed is not first_claimed
+        assert not slot.claimed.fired

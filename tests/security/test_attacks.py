@@ -1,0 +1,75 @@
+"""Tests for attack simulations: leaks on shared cores, silence across.
+
+These are the observed-outcome security claims: identical attacker code
+recovers the secret when co-located and fails when core-gapped.
+"""
+
+import pytest
+
+from repro.hw import Machine, SocTopology
+from repro.security import (
+    btb_injection_attack,
+    cache_covert_channel,
+    prime_probe_attack,
+    store_buffer_attack,
+)
+from repro.sim import RngFactory
+
+
+@pytest.fixture
+def machine():
+    return Machine(SocTopology(name="sec", n_cores=4, memory_gib=1))
+
+
+SECRET = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1] * 4
+
+
+class TestPrimeProbe:
+    def test_same_core_recovers_secret(self, machine):
+        result = prime_probe_attack(machine, 0, 0, SECRET)
+        assert result.scenario == "shared-core"
+        assert result.leaked
+        assert result.accuracy == 1.0
+
+    def test_cross_core_recovers_nothing(self, machine):
+        result = prime_probe_attack(machine, 0, 1, SECRET)
+        assert result.scenario == "core-gapped"
+        assert not result.leaked
+        # the attacker's probe sees its own lines still resident: every
+        # guess degenerates to 0
+        assert result.recovered_bits == [0] * len(SECRET)
+
+    def test_accuracy_metric(self, machine):
+        result = prime_probe_attack(machine, 0, 1, [1] * 10)
+        assert result.accuracy == 0.0
+
+
+class TestBtbInjection:
+    def test_same_core_steers_prediction(self, machine):
+        assert btb_injection_attack(machine, 0, 0)
+
+    def test_cross_core_cannot_steer(self, machine):
+        assert not btb_injection_attack(machine, 0, 1)
+
+
+class TestStoreBuffer:
+    def test_same_core_forwards_secret(self, machine):
+        leaked = store_buffer_attack(machine, 0, 0, secret=0xDEAD)
+        assert leaked == 0xDEAD
+
+    def test_cross_core_store_buffer_private(self, machine):
+        assert store_buffer_attack(machine, 0, 1, secret=0xDEAD) is None
+
+
+class TestCovertChannel:
+    MESSAGE = [1, 0, 0, 1, 1, 1, 0, 1] * 8
+
+    def test_time_sliced_channel_works(self, machine):
+        result = cache_covert_channel(machine, 0, 0, self.MESSAGE)
+        assert result.accuracy == 1.0
+
+    def test_core_gapped_channel_silent(self, machine):
+        result = cache_covert_channel(machine, 0, 1, self.MESSAGE)
+        # receiver sees no evictions: reads all zeros
+        assert result.recovered_bits == [0] * len(self.MESSAGE)
+        assert not result.leaked

@@ -1,0 +1,308 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import AnyOf, Delay, Event, SimulationError, Simulator, Wakeup
+
+
+def test_delay_advances_clock():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield Delay(100)
+        log.append(sim.now)
+        yield Delay(250)
+        log.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert log == [100, 350]
+
+
+def test_zero_delay_runs_at_current_time():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield Delay(0)
+        log.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert log == [0]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Delay(-1)
+
+
+def test_event_wait_and_fire():
+    sim = Simulator()
+    event = Event("go")
+    log = []
+
+    def waiter():
+        value = yield event
+        log.append((sim.now, value))
+
+    def firer():
+        yield Delay(500)
+        event.fire("payload")
+
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert log == [(500, "payload")]
+
+
+def test_wait_on_already_fired_event_resumes_immediately():
+    sim = Simulator()
+    event = Event()
+    event.fire(42)
+    log = []
+
+    def waiter():
+        yield Delay(10)
+        value = yield event
+        log.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert log == [(10, 42)]
+
+
+def test_event_cannot_fire_twice():
+    event = Event()
+    event.fire()
+    with pytest.raises(SimulationError):
+        event.fire()
+
+
+def test_multiple_waiters_all_wake():
+    sim = Simulator()
+    event = Event()
+    woken = []
+
+    def waiter(i):
+        yield event
+        woken.append(i)
+
+    for i in range(5):
+        sim.spawn(waiter(i))
+    sim.schedule(10, lambda: event.fire())
+    sim.run()
+    assert sorted(woken) == [0, 1, 2, 3, 4]
+
+
+def test_anyof_delay_wins():
+    sim = Simulator()
+    event = Event()
+    log = []
+
+    def proc():
+        wakeup = yield AnyOf([Delay(100), event])
+        log.append((sim.now, wakeup.index))
+
+    sim.spawn(proc())
+    sim.schedule(200, lambda: event.fire())
+    sim.run()
+    assert log == [(100, 0)]
+
+
+def test_anyof_event_wins_and_cancels_delay():
+    sim = Simulator()
+    event = Event()
+    log = []
+
+    def proc():
+        wakeup = yield AnyOf([Delay(1000), event])
+        log.append((sim.now, wakeup.index, wakeup.value))
+
+    sim.spawn(proc())
+    sim.schedule(30, lambda: event.fire("irq"))
+    end = None
+
+    sim.run()
+    end = sim.now
+    assert log == [(30, 1, "irq")]
+    # the losing 1000ns delay must not hold the clock open
+    assert end == 30
+
+
+def test_anyof_returns_wakeup_with_source():
+    sim = Simulator()
+    event = Event("e")
+    results = []
+
+    def proc():
+        wakeup = yield AnyOf([event, Delay(5)])
+        results.append(wakeup)
+
+    sim.spawn(proc())
+    sim.run()
+    assert isinstance(results[0], Wakeup)
+    assert results[0].index == 1
+
+
+def test_anyof_empty_rejected():
+    with pytest.raises(SimulationError):
+        AnyOf([])
+
+
+def test_anyof_bad_source_rejected():
+    with pytest.raises(SimulationError):
+        AnyOf([42])
+
+
+def test_process_return_value_propagates_to_parent():
+    sim = Simulator()
+    results = []
+
+    def child():
+        yield Delay(10)
+        return "child-result"
+
+    def parent():
+        proc = sim.spawn(child(), name="child")
+        value = yield proc
+        results.append((sim.now, value))
+
+    sim.spawn(parent())
+    sim.run()
+    assert results == [(10, "child-result")]
+
+
+def test_yield_from_composition():
+    sim = Simulator()
+    log = []
+
+    def inner(n):
+        yield Delay(n)
+        return n * 2
+
+    def outer():
+        a = yield from inner(10)
+        b = yield from inner(20)
+        log.append((sim.now, a + b))
+
+    sim.spawn(outer())
+    sim.run()
+    assert log == [(30, 60)]
+
+
+def test_child_exception_propagates_to_waiting_parent():
+    sim = Simulator()
+    caught = []
+
+    def child():
+        yield Delay(1)
+        raise ValueError("boom")
+
+    def parent():
+        proc = sim.spawn(child(), name="child")
+        try:
+            yield proc
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(parent())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unobserved_process_exception_raises_from_run():
+    sim = Simulator()
+
+    def bad():
+        yield Delay(1)
+        raise RuntimeError("unhandled")
+
+    sim.spawn(bad())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        sim.run()
+
+
+def test_run_until_bounded_time():
+    sim = Simulator()
+    log = []
+
+    def ticker():
+        while True:
+            yield Delay(100)
+            log.append(sim.now)
+
+    sim.spawn(ticker())
+    sim.run(until=450)
+    assert log == [100, 200, 300, 400]
+    assert sim.now == 450
+
+
+def test_run_until_done_returns_result():
+    sim = Simulator()
+
+    def proc():
+        yield Delay(7)
+        return "ok"
+
+    p = sim.spawn(proc())
+    assert sim.run_until_done(p) == "ok"
+
+
+def test_run_until_done_detects_deadlock():
+    sim = Simulator()
+    event = Event()  # never fired
+
+    def proc():
+        yield event
+
+    p = sim.spawn(proc())
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_done(p)
+
+
+def test_simultaneous_events_fifo_order():
+    sim = Simulator()
+    order = []
+
+    def proc(i):
+        yield Delay(100)
+        order.append(i)
+
+    for i in range(10):
+        sim.spawn(proc(i))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_determinism_same_structure_same_trace():
+    def build_and_run():
+        sim = Simulator()
+        log = []
+
+        def a():
+            for _ in range(3):
+                yield Delay(7)
+                log.append(("a", sim.now))
+
+        def b():
+            for _ in range(2):
+                yield Delay(11)
+                log.append(("b", sim.now))
+
+        sim.spawn(a())
+        sim.spawn(b())
+        sim.run()
+        return log
+
+    assert build_and_run() == build_and_run()
+
+
+def test_pending_events_counts_live_timers():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    timer = sim.schedule(20, lambda: None)
+    assert sim.pending_events == 2
+    timer.cancelled = True
+    assert sim.pending_events == 1

@@ -1,0 +1,154 @@
+"""Edge-case tests for the engine: AnyOf over processes, cancellation,
+re-entrancy, and the no-synchronous-recursion guarantee."""
+
+import pytest
+
+from repro.sim import (
+    AnyOf,
+    Delay,
+    Event,
+    Notify,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestAnyOfProcesses:
+    def test_anyof_with_child_process(self):
+        sim = Simulator()
+        log = []
+
+        def child():
+            yield Delay(30)
+            return "child-val"
+
+        def parent():
+            proc = sim.spawn(child(), name="c")
+            wakeup = yield AnyOf([Delay(100), proc])
+            log.append((sim.now, wakeup.index, wakeup.value))
+
+        sim.spawn(parent())
+        sim.run()
+        assert log == [(30, 1, "child-val")]
+
+    def test_anyof_delay_beats_slow_child(self):
+        sim = Simulator()
+        log = []
+
+        def child():
+            yield Delay(500)
+
+        def parent():
+            proc = sim.spawn(child(), name="c")
+            wakeup = yield AnyOf([Delay(100), proc])
+            log.append((sim.now, wakeup.index))
+
+        sim.spawn(parent())
+        sim.run()
+        assert log == [(100, 0)]
+
+
+class TestNoSynchronousRecursion:
+    def test_loop_on_prefired_sources_does_not_blow_the_stack(self):
+        """A process repeatedly waiting on already-fired conditions must
+        be resumed through the event loop, not by recursion (this was a
+        real crash under Redis-scale interrupt storms)."""
+        sim = Simulator()
+        iterations = []
+
+        def spinner():
+            for i in range(5000):  # far beyond the recursion limit
+                event = Event()
+                event.fire(i)
+                wakeup = yield AnyOf([event, Delay(10)])
+                iterations.append(wakeup.value)
+
+        sim.spawn(spinner())
+        sim.run()
+        assert len(iterations) == 5000
+
+    def test_zero_time_progress_is_still_ordered(self):
+        sim = Simulator()
+        order = []
+
+        def a():
+            event = Event()
+            event.fire("x")
+            yield AnyOf([event])
+            order.append("a")
+
+        def b():
+            yield Delay(0)
+            order.append("b")
+
+        sim.spawn(a())
+        sim.spawn(b())
+        sim.run()
+        assert sim.now == 0
+        assert set(order) == {"a", "b"}
+
+
+class TestNotifyCancellation:
+    def test_cancel_unfired_wait_removes_waiter(self):
+        notify = Notify()
+        event = notify.wait()
+        notify.cancel_wait(event)
+        notify.signal()
+        assert not event.fired
+        assert notify.pending  # the signal went to the pool instead
+
+    def test_cancel_fired_wait_returns_signal(self):
+        notify = Notify()
+        notify.signal()
+        event = notify.wait()
+        assert event.fired
+        notify.cancel_wait(event)  # we never consumed it
+        assert notify.pending
+        # a later waiter gets it back
+        assert notify.wait().fired
+
+    def test_cancel_twice_harmless(self):
+        notify = Notify()
+        event = notify.wait()
+        notify.cancel_wait(event)
+        notify.cancel_wait(event)
+        assert not notify.pending
+
+
+class TestRunControl:
+    def test_run_until_does_not_execute_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, lambda: fired.append(100))
+        sim.schedule(200, lambda: fired.append(200))
+        sim.run(until=150)
+        assert fired == [100]
+        assert sim.now == 150
+        sim.run()
+        assert fired == [100, 200]
+
+    def test_cancelled_timers_skipped(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule(50, lambda: fired.append("no"))
+        sim.schedule(60, lambda: fired.append("yes"))
+        timer.cancelled = True
+        sim.run()
+        assert fired == ["yes"]
+
+    def test_spawned_during_run(self):
+        sim = Simulator()
+        log = []
+
+        def child():
+            yield Delay(10)
+            log.append(("child", sim.now))
+
+        def parent():
+            yield Delay(5)
+            sim.spawn(child())
+            log.append(("parent", sim.now))
+
+        sim.spawn(parent())
+        sim.run()
+        assert log == [("parent", 5), ("child", 15)]

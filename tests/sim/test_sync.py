@@ -1,0 +1,267 @@
+"""Unit tests for sync primitives (Notify, Channel, Mutex, semaphore)."""
+
+import pytest
+
+from repro.sim import (
+    Channel,
+    CountingSemaphore,
+    Delay,
+    Mutex,
+    Notify,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestNotify:
+    def test_signal_wakes_waiter(self):
+        sim = Simulator()
+        notify = Notify("n")
+        log = []
+
+        def waiter():
+            yield notify.wait()
+            log.append(sim.now)
+
+        sim.spawn(waiter())
+        sim.schedule(50, notify.signal)
+        sim.run()
+        assert log == [50]
+
+    def test_signal_before_wait_is_remembered(self):
+        sim = Simulator()
+        notify = Notify()
+        log = []
+
+        def waiter():
+            yield Delay(100)
+            yield notify.wait()  # signal arrived at t=10, already pending
+            log.append(sim.now)
+
+        sim.spawn(waiter())
+        sim.schedule(10, notify.signal)
+        sim.run()
+        assert log == [100]
+
+    def test_each_wait_consumes_one_signal(self):
+        sim = Simulator()
+        notify = Notify()
+        notify.signal()
+        notify.signal()
+        log = []
+
+        def waiter():
+            yield notify.wait()
+            log.append("first")
+            yield notify.wait()
+            log.append("second")
+            yield notify.wait()  # third blocks until t=99
+            log.append(sim.now)
+
+        sim.spawn(waiter())
+        sim.schedule(99, notify.signal)
+        sim.run()
+        assert log == ["first", "second", 99]
+
+    def test_clear_drops_pending(self):
+        notify = Notify()
+        notify.signal()
+        assert notify.pending
+        notify.clear()
+        assert not notify.pending
+
+    def test_signal_count(self):
+        notify = Notify()
+        for _ in range(3):
+            notify.signal()
+        assert notify.signal_count == 3
+
+
+class TestChannel:
+    def test_put_then_get(self):
+        sim = Simulator()
+        chan = Channel("c")
+        log = []
+
+        def producer():
+            yield Delay(10)
+            yield from chan.put("msg")
+
+        def consumer():
+            item = yield from chan.get()
+            log.append((sim.now, item))
+
+        sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run()
+        assert log == [(10, "msg")]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        chan = Channel()
+        log = []
+
+        def consumer():
+            item = yield from chan.get()
+            log.append((sim.now, item))
+
+        sim.spawn(consumer())
+        sim.schedule(500, lambda: chan.try_put("late"))
+        sim.run()
+        assert log == [(500, "late")]
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        chan = Channel()
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield from chan.get()
+                got.append(item)
+
+        sim.spawn(consumer())
+        for i in range(3):
+            chan.try_put(i)
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_capacity_try_put_fails_when_full(self):
+        chan = Channel(capacity=2)
+        assert chan.try_put(1)
+        assert chan.try_put(2)
+        assert not chan.try_put(3)
+        assert chan.full
+
+    def test_blocking_put_waits_for_space(self):
+        sim = Simulator()
+        chan = Channel(capacity=1)
+        chan.try_put("occupying")
+        log = []
+
+        def producer():
+            yield from chan.put("second")
+            log.append(sim.now)
+
+        def consumer():
+            yield Delay(77)
+            ok, item = chan.try_get()
+            assert ok and item == "occupying"
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert log == [77]
+
+    def test_try_get_empty(self):
+        ok, item = Channel().try_get()
+        assert not ok and item is None
+
+    def test_peek(self):
+        chan = Channel()
+        chan.try_put("x")
+        assert chan.peek() == "x"
+        assert len(chan) == 1
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(SimulationError):
+            Channel().peek()
+
+    def test_counters(self):
+        sim = Simulator()
+        chan = Channel()
+        chan.try_put(1)
+        chan.try_put(2)
+
+        def consumer():
+            yield from chan.get()
+            yield from chan.get()
+
+        sim.spawn(consumer())
+        sim.run()
+        assert chan.put_count == 2
+        assert chan.get_count == 2
+
+
+class TestMutex:
+    def test_mutual_exclusion(self):
+        sim = Simulator()
+        mutex = Mutex()
+        log = []
+
+        def critical(name, hold):
+            yield from mutex.acquire()
+            log.append((name, "in", sim.now))
+            yield Delay(hold)
+            log.append((name, "out", sim.now))
+            mutex.release()
+
+        sim.spawn(critical("a", 100))
+        sim.spawn(critical("b", 50))
+        sim.run()
+        assert log == [
+            ("a", "in", 0),
+            ("a", "out", 100),
+            ("b", "in", 100),
+            ("b", "out", 150),
+        ]
+
+    def test_release_unlocked_raises(self):
+        with pytest.raises(SimulationError):
+            Mutex().release()
+
+    def test_fifo_handoff(self):
+        sim = Simulator()
+        mutex = Mutex()
+        order = []
+
+        def worker(i):
+            yield from mutex.acquire()
+            order.append(i)
+            yield Delay(1)
+            mutex.release()
+
+        for i in range(4):
+            sim.spawn(worker(i))
+        sim.run()
+        assert order == [0, 1, 2, 3]
+
+
+class TestSemaphore:
+    def test_limits_concurrency(self):
+        sim = Simulator()
+        sem = CountingSemaphore(2)
+        active = []
+        max_active = []
+
+        def worker(i):
+            yield from sem.acquire()
+            active.append(i)
+            max_active.append(len(active))
+            yield Delay(10)
+            active.remove(i)
+            sem.release()
+
+        for i in range(6):
+            sim.spawn(worker(i))
+        sim.run()
+        assert max(max_active) == 2
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(SimulationError):
+            CountingSemaphore(-1)
+
+    def test_release_wakes_waiter_directly(self):
+        sim = Simulator()
+        sem = CountingSemaphore(0)
+        log = []
+
+        def waiter():
+            yield from sem.acquire()
+            log.append(sim.now)
+
+        sim.spawn(waiter())
+        sim.schedule(42, sem.release)
+        sim.run()
+        assert log == [42]
+        assert sem.count == 0

@@ -1,0 +1,96 @@
+"""Tests for trace recording and reproducible RNG streams."""
+
+from repro.sim import RngFactory, Tracer
+
+
+class TestTracer:
+    def test_span_recording(self):
+        tracer = Tracer()
+        tracer.begin_span(0, 1, "host")
+        tracer.end_span(100, 1)
+        assert len(tracer.spans) == 1
+        span = tracer.spans[0]
+        assert (span.core, span.domain, span.duration) == (1, "host", 100)
+
+    def test_begin_implicitly_closes_previous(self):
+        tracer = Tracer()
+        tracer.begin_span(0, 1, "host")
+        tracer.begin_span(50, 1, "realm:1")
+        tracer.end_span(100, 1)
+        assert [s.domain for s in tracer.spans] == ["host", "realm:1"]
+        assert tracer.spans[0].end == 50
+
+    def test_zero_length_spans_dropped(self):
+        tracer = Tracer()
+        tracer.begin_span(10, 0, "host")
+        tracer.end_span(10, 0)
+        assert tracer.spans == []
+
+    def test_close_all(self):
+        tracer = Tracer()
+        tracer.begin_span(0, 0, "a")
+        tracer.begin_span(0, 1, "b")
+        tracer.close_all_spans(30)
+        assert len(tracer.spans) == 2
+
+    def test_busy_time_filters(self):
+        tracer = Tracer()
+        tracer.begin_span(0, 0, "a")
+        tracer.end_span(10, 0)
+        tracer.begin_span(0, 1, "a")
+        tracer.end_span(20, 1)
+        tracer.begin_span(20, 1, "b")
+        tracer.end_span(50, 1)
+        assert tracer.busy_time() == 60
+        assert tracer.busy_time(core=1) == 50
+        assert tracer.busy_time(domain="a") == 30
+        assert tracer.busy_time(core=1, domain="b") == 30
+
+    def test_domains_on_core_in_order(self):
+        tracer = Tracer()
+        for t, domain in [(0, "x"), (10, "y"), (20, "x")]:
+            tracer.begin_span(t, 0, domain)
+            tracer.end_span(t + 10, 0)
+        assert tracer.domains_on_core(0) == ["x", "y"]
+
+    def test_counters_and_samples(self):
+        tracer = Tracer()
+        tracer.count("exits", 3)
+        tracer.count("exits")
+        tracer.sample("lat", 5.0)
+        tracer.sample("lat", 7.0)
+        assert tracer.counters["exits"] == 4
+        assert tracer.samples("lat") == [5.0, 7.0]
+        assert tracer.samples("missing") == []
+
+    def test_disabled_tracer_keeps_counters_only(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(0, "ev", core=0)
+        assert tracer.counters["ev"] == 1
+        assert tracer.records == []
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = RngFactory(7).stream("x")
+        b = RngFactory(7).stream("x")
+        assert [a.random() for _ in range(5)] == [
+            b.random() for _ in range(5)
+        ]
+
+    def test_different_names_independent(self):
+        factory = RngFactory(7)
+        a = factory.stream("x")
+        b = factory.stream("y")
+        assert [a.random() for _ in range(5)] != [
+            b.random() for _ in range(5)
+        ]
+
+    def test_stream_cached(self):
+        factory = RngFactory(7)
+        assert factory.stream("x") is factory.stream("x")
+
+    def test_fork_changes_seed_space(self):
+        base = RngFactory(7)
+        fork = base.fork("child")
+        assert base.stream("x").random() != fork.stream("x").random()
