@@ -41,6 +41,10 @@ class SystemConfig:
     housekeeping: Optional[Tuple[int, int]] = (ms(10), us(150))
     seed: int = 0
     trace_schedules: bool = False
+    #: same-timestamp event ordering ("fifo" | "lifo" | "seeded:N").
+    #: Anything but the default exists for the schedule-race sanitizer
+    #: (repro.lint.sanitizer); results must not depend on it.
+    tie_break: str = "fifo"
 
     @property
     def is_gapped(self) -> bool:

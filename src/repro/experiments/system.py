@@ -19,7 +19,8 @@ from ..isa.worlds import SecurityDomain, World
 from ..rmm.attestation import CORE_GAPPED_RMM
 from ..rmm.core_gap import CoreGapEngine
 from ..rmm.monitor import Rmm
-from ..sim.engine import Event, SimulationError
+from ..sim.engine import Event, SimulationError, Simulator
+from ..sim.rng import RngFactory
 from ..sim.trace import Tracer
 from ..host.kernel import HostKernel
 from ..host.kvm import KvmVm, VmMode
@@ -48,7 +49,9 @@ class System:
         )
         self.machine = Machine(
             topology,
+            sim=Simulator(tie_break=config.tie_break),
             tracer=Tracer(enabled=config.trace_schedules),
+            rng=RngFactory(config.seed),
         )
         self.sim = self.machine.sim
         self.tracer = self.machine.tracer

@@ -26,7 +26,7 @@ it completed; positive when an interrupt preempted it).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
 __all__ = [
     "Compute",
@@ -38,7 +38,28 @@ __all__ = [
     "Wfi",
     "WaitIo",
     "PowerOff",
+    "IoRequest",
 ]
+
+
+@dataclass
+class IoRequest:
+    """One guest I/O request (virtqueue descriptor chain).
+
+    Built by guest drivers and carried opaquely through
+    :class:`MmioWrite`/:class:`DeviceDoorbell` to whichever device
+    backend (virtio or SR-IOV) services it.  Defined here, on the guest
+    side of the layering boundary, because guests produce requests and
+    every backend consumes them.
+    """
+
+    kind: str  # "blk_read" | "blk_write" | "net_tx"
+    size_bytes: int
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size_kib(self) -> float:
+        return self.size_bytes / 1024.0
 
 
 @dataclass

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Tuple
 
 from ...costs import CostModel, DEFAULT_COSTS
-from ..actions import Compute, MmioWrite, WaitIo
+from ..actions import Compute, IoRequest, MmioWrite, WaitIo
 from ..vm import GuestVm
 
 __all__ = ["IozoneStats", "iozone_workload_factory", "DEFAULT_RECORDS"]
@@ -90,7 +90,6 @@ def _iozone_vcpu(
     ops_per_record: int,
     costs: CostModel,
 ) -> Generator:
-    from ...host.virtio import IoRequest
 
     for record in records:
         for op in ("blk_write", "blk_read"):

@@ -19,7 +19,7 @@ from typing import Generator, Optional
 
 from ...costs import CostModel, DEFAULT_COSTS
 from ...sim.clock import ms
-from ..actions import Compute, MmioWrite, WaitIo
+from ..actions import Compute, IoRequest, MmioWrite, WaitIo
 from ..vm import GuestVm
 
 __all__ = ["KbuildConfig", "KbuildStats", "kbuild_workload_factory"]
@@ -88,7 +88,6 @@ def kbuild_workload_factory(
 def _make_job(
     vm: GuestVm, index: int, shared: _SharedBuild, device: str, costs: CostModel
 ) -> Generator:
-    from ...host.virtio import IoRequest
 
     config = shared.config
     while True:

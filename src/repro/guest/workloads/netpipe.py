@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Tuple
 
 from ...costs import CostModel, DEFAULT_COSTS
-from ..actions import Compute, DeviceDoorbell, MmioWrite, WaitIo
+from ..actions import Compute, DeviceDoorbell, IoRequest, MmioWrite, WaitIo
 from ..vm import GuestVm
 
 __all__ = ["NetpipeStats", "netpipe_workload_factory", "DEFAULT_SIZES"]
@@ -116,6 +116,5 @@ def _netpipe_vcpu(
 
 
 def _tx_request(size: int):
-    from ...host.virtio import IoRequest
 
     return IoRequest("net_tx", size, {"echo": True, "payload": b""})

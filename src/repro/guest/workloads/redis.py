@@ -17,9 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional
 
+from ...analysis.stats import percentile
 from ...costs import CostModel, DEFAULT_COSTS
 from ...sim.engine import Simulator
-from ..actions import Compute, DeviceDoorbell, WaitIo
+from ..actions import Compute, DeviceDoorbell, IoRequest, WaitIo
 from ..vm import GuestVm
 
 __all__ = ["RedisOp", "RedisStats", "RedisClientSim", "redis_server_factory"]
@@ -71,8 +72,6 @@ class RedisStats:
         return n / (elapsed / 1e9) / 1e3
 
     def percentile_ms(self, op: str, pct: float) -> float:
-        from ...analysis.stats import percentile
-
         return percentile(self.latencies.get(op, []), pct) / 1e6
 
     def mean_ms(self, op: str) -> float:
@@ -104,7 +103,6 @@ def _background_vcpu() -> Generator:
 def _server_vcpu(
     vm: GuestVm, index: int, device_name: str, costs: CostModel
 ) -> Generator:
-    from ...host.virtio import IoRequest
 
     while True:
         yield WaitIo(device_name, "rx", 1)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
 
 from ..costs import CostModel, DEFAULT_COSTS
+from ..guest.actions import IoRequest
 from ..sim.sync import Notify
 from .kernel import HostKernel
 from .threads import HostThread, SchedClass, TBlock, TCompute
@@ -22,19 +23,6 @@ from .threads import HostThread, SchedClass, TBlock, TCompute
 __all__ = ["IoRequest", "VirtioBackend"]
 
 Injector = Callable[[int, int, Any], None]
-
-
-@dataclass
-class IoRequest:
-    """One guest I/O request (virtqueue descriptor chain)."""
-
-    kind: str  # "blk_read" | "blk_write" | "net_tx"
-    size_bytes: int
-    meta: Dict[str, Any] = field(default_factory=dict)
-
-    @property
-    def size_kib(self) -> float:
-        return self.size_bytes / 1024.0
 
 
 class VirtioBackend:

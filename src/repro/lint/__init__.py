@@ -1,0 +1,39 @@
+"""repro.lint — determinism & layering static analysis + race sanitizer.
+
+Static passes (AST-based, no imports of the analysed code):
+
+* :mod:`repro.lint.determinism` — bans wall clocks, entropy escapes,
+  the global ``random`` stream, raw ``random.Random`` construction,
+  and iteration over sets (DET001–DET005).
+* :mod:`repro.lint.layering` — enforces the DESIGN.md subsystem import
+  DAG from the declarative table in ``pyproject.toml`` (LAY001–LAY003).
+* :mod:`repro.lint.units` — keeps floats away from the integer-ns
+  clock (UNIT001–UNIT002).
+
+Runtime pass:
+
+* :mod:`repro.lint.sanitizer` — replays a small experiment under a
+  permuted same-timestamp tie-break order and differing
+  ``PYTHONHASHSEED``, then diffs traces/metrics (SAN001–SAN003).
+
+Run everything with ``python -m repro.lint src benchmarks``.
+"""
+
+from .contract import LintContract, load_contract
+from .findings import Finding, RULES, Rule
+from .cli import STATIC_PASSES, collect_files, lint_paths, main
+from .reporter import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "LintContract",
+    "load_contract",
+    "lint_paths",
+    "collect_files",
+    "STATIC_PASSES",
+    "main",
+    "render_text",
+    "render_json",
+]

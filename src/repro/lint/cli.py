@@ -1,0 +1,170 @@
+"""``python -m repro.lint`` — run the static-analysis suite.
+
+Usage::
+
+    python -m repro.lint [paths ...] [options]
+
+With no paths, lints ``src`` and ``benchmarks`` relative to the
+current directory.  Exits 0 when clean, 1 when any pass reports a
+finding, 2 on usage errors.
+
+``--sanitize`` additionally runs the runtime schedule-race sanitizer
+(slower: it executes a small experiment several times, including in
+subprocesses with different ``PYTHONHASHSEED`` values).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from .contract import LintContract, load_contract
+from .determinism import check_determinism
+from .findings import Finding, RULES, SourceFile, load_source
+from .layering import check_layering
+from .reporter import render_json, render_text
+from .units import check_units
+
+__all__ = ["main", "lint_paths", "collect_files", "STATIC_PASSES"]
+
+STATIC_PASSES: Dict[
+    str, Callable[[SourceFile, LintContract], List[Finding]]
+] = {
+    "determinism": check_determinism,
+    "layering": check_layering,
+    "units": check_units,
+}
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist", "results"}
+
+
+def collect_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            files.append(path)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    files.append(candidate)
+    return sorted(set(files))
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    contract: Optional[LintContract] = None,
+    passes: Optional[Sequence[str]] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run the selected static passes over ``paths``; returns findings."""
+    if contract is None:
+        contract = load_contract(Path(paths[0]) if paths else None)
+    selected = list(passes) if passes else list(STATIC_PASSES)
+    findings: List[Finding] = []
+    for path in collect_files([Path(p) for p in paths]):
+        try:
+            source = load_source(path)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    str(path),
+                    exc.lineno or 0,
+                    "PARSE",
+                    f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        for name in selected:
+            findings.extend(STATIC_PASSES[name](source, contract))
+    if rules:
+        wanted = set(rules)
+        findings = [f for f in findings if f.rule in wanted]
+    return findings
+
+
+def _list_rules() -> str:
+    lines = ["rule     summary / invariant guarded", "-" * 64]
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        lines.append(f"{rule_id:8s} {rule.summary}")
+        lines.append(f"{'':8s}   guards: {rule.guards}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="determinism / layering / units static analysis",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text"
+    )
+    parser.add_argument(
+        "--passes",
+        default=None,
+        help="comma-separated subset of: " + ",".join(STATIC_PASSES),
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="only report these comma-separated rule ids",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="also run the runtime schedule-race sanitizer",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    paths = [Path(p) for p in (args.paths or ["src", "benchmarks"])]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            "repro.lint: no such path(s): "
+            + ", ".join(str(p) for p in missing),
+            file=sys.stderr,
+        )
+        return 2
+    passes = args.passes.split(",") if args.passes else None
+    if passes:
+        unknown = [p for p in passes if p not in STATIC_PASSES]
+        if unknown:
+            print(
+                f"repro.lint: unknown pass(es): {', '.join(unknown)}",
+                file=sys.stderr,
+            )
+            return 2
+    rules = args.rules.split(",") if args.rules else None
+    contract = load_contract(paths[0])
+    findings = lint_paths(paths, contract=contract, passes=passes, rules=rules)
+
+    if args.sanitize:
+        from .sanitizer import run_sanitizer
+
+        findings.extend(run_sanitizer())
+
+    output = (
+        render_json(findings)
+        if args.format == "json"
+        else render_text(findings)
+    )
+    print(output)
+    return 1 if findings else 0

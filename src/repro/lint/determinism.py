@@ -1,0 +1,267 @@
+"""Determinism pass: no wall clocks, no unseeded entropy, no set order.
+
+Rules (see :mod:`repro.lint.findings` for the registry):
+
+* **DET001** — wall-clock reads (``time.time``, ``datetime.now``, ...).
+  Simulated components must read the :class:`~repro.sim.engine.Simulator`
+  clock; a wall-clock read makes traces differ between runs.
+* **DET002** — entropy escapes (``os.urandom``, ``uuid.uuid4``,
+  ``secrets``, ``random.SystemRandom``).
+* **DET003** — use of the *global* ``random`` module stream
+  (``random.random()``, ``from random import randint``): draws become
+  coupled across unrelated consumers, so adding one perturbs all.
+* **DET004** — constructing ``random.Random(...)`` anywhere but the
+  sanctioned RNG module (``repro.sim.rng``): every substream must be
+  derived from the run seed through ``RngFactory``.
+* **DET005** — iterating a ``set``/``frozenset`` value: iteration order
+  depends on PYTHONHASHSEED and insertion history, so anything ordered
+  by it (event dispatch, trace emission) silently breaks replay.  Wrap
+  in ``sorted(...)`` (or use an order-insensitive reduction).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from .contract import LintContract
+from .findings import Finding, SourceFile
+
+__all__ = ["check_determinism"]
+
+#: fully-qualified callables that read a wall clock
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: fully-qualified callables that draw OS entropy
+_ENTROPY = {
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "random.SystemRandom",
+}
+
+#: ``random`` module attributes that are *not* the global stream
+_RANDOM_NON_GLOBAL = {"Random", "SystemRandom"}
+
+#: reductions whose result does not depend on iteration order
+_ORDER_INSENSITIVE = {"sorted", "min", "max", "len", "sum", "any", "all"}
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Reconstruct ``a.b.c`` from an attribute/name chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return ".".join(parts)
+    return None
+
+
+class _ImportMap:
+    """Resolves local names to the canonical dotted names they bind."""
+
+    def __init__(self) -> None:
+        #: local alias -> real dotted target ("dt" -> "datetime",
+        #: "urandom" -> "os.urandom")
+        self.aliases: Dict[str, str] = {}
+
+    def add_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.aliases[local] = target
+
+    def add_import_from(self, node: ast.ImportFrom) -> None:
+        if node.level or node.module is None:
+            return  # relative imports never reach stdlib modules
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, dotted: str) -> str:
+        head, sep, rest = dotted.partition(".")
+        real = self.aliases.get(head, head)
+        return real + sep + rest if rest else real
+
+
+class _SetTracker:
+    """Best-effort local inference of which names hold sets."""
+
+    def __init__(self) -> None:
+        self.set_names: Set[str] = set()
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        return False
+
+    @staticmethod
+    def _is_set_annotation(node: Optional[ast.AST]) -> bool:
+        if node is None:
+            return False
+        target = node
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        name = _dotted(target)
+        return name in (
+            "set",
+            "frozenset",
+            "Set",
+            "FrozenSet",
+            "typing.Set",
+            "typing.FrozenSet",
+        )
+
+    def observe(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign) and self._is_set_expr(node.value):
+            for target in node.targets:
+                name = _dotted(target)
+                if name:
+                    self.set_names.add(name)
+        elif isinstance(node, ast.AnnAssign):
+            name = _dotted(node.target)
+            if name and (
+                self._is_set_annotation(node.annotation)
+                or (node.value is not None and self._is_set_expr(node.value))
+            ):
+                self.set_names.add(name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = list(node.args.args) + list(node.args.kwonlyargs)
+            for arg in args:
+                if self._is_set_annotation(arg.annotation):
+                    self.set_names.add(arg.arg)
+
+    def is_set_valued(self, node: ast.AST) -> bool:
+        if self._is_set_expr(node):
+            return True
+        name = _dotted(node)
+        return name is not None and name in self.set_names
+
+
+def check_determinism(
+    source: SourceFile, contract: LintContract
+) -> List[Finding]:
+    findings: List[Finding] = []
+    imports = _ImportMap()
+    sets = _SetTracker()
+    module = source.module or ""
+    in_rng_module = module == contract.rng_module
+    path = str(source.path)
+
+    def report(node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if not source.suppressed(line, rule):
+            findings.append(Finding(path, line, rule, message))
+
+    # first sweep: imports + set-typed names (order-independent facts)
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Import):
+            imports.add_import(node)
+        elif isinstance(node, ast.ImportFrom):
+            imports.add_import_from(node)
+        sets.observe(node)
+
+    # `from random import X` (except Random, policed by DET004 at the
+    # construction site) pulls in the global stream by name
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ImportFrom) or node.level:
+            continue
+        if node.module == "random" and not in_rng_module:
+            for alias in node.names:
+                if alias.name not in _RANDOM_NON_GLOBAL:
+                    report(
+                        node,
+                        "DET003",
+                        f"'from random import {alias.name}' uses the global "
+                        "random stream; draw from repro.sim.rng.RngFactory",
+                    )
+
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            resolved = imports.resolve(dotted) if dotted else None
+            if resolved in _WALL_CLOCK:
+                report(
+                    node,
+                    "DET001",
+                    f"wall-clock call {resolved}(); use the simulated "
+                    "integer-ns clock (Simulator.now)",
+                )
+            elif resolved in _ENTROPY:
+                report(
+                    node,
+                    "DET002",
+                    f"entropy escape {resolved}(); all randomness must "
+                    "derive from the run seed via RngFactory",
+                )
+            elif resolved == "random.Random" and not in_rng_module:
+                report(
+                    node,
+                    "DET004",
+                    "raw random.Random() constructed outside "
+                    f"{contract.rng_module}; use RngFactory.stream()/fork()",
+                )
+            elif (
+                resolved is not None
+                and resolved.startswith("random.")
+                and resolved.split(".")[1] not in _RANDOM_NON_GLOBAL
+                and not in_rng_module
+            ):
+                report(
+                    node,
+                    "DET003",
+                    f"global random stream call {resolved}(); draw from a "
+                    "named RngFactory substream instead",
+                )
+
+        iter_exprs: List[ast.AST] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iter_exprs.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            iter_exprs.extend(gen.iter for gen in node.generators)
+        for iter_expr in iter_exprs:
+            if sets.is_set_valued(iter_expr):
+                report(
+                    iter_expr,
+                    "DET005",
+                    "iterating a set/frozenset: order depends on "
+                    "PYTHONHASHSEED; wrap in sorted(...)",
+                )
+
+    # order-insensitive reductions over sets are fine; drop findings on
+    # expressions that only appear as sorted(x)/min(x)/... arguments
+    safe_lines: Set[int] = set()
+    for node in ast.walk(source.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_INSENSITIVE
+        ):
+            for arg in node.args:
+                safe_lines.add(getattr(arg, "lineno", -1))
+    findings = [
+        f
+        for f in findings
+        if not (f.rule == "DET005" and f.line in safe_lines)
+    ]
+    return findings

@@ -1,0 +1,169 @@
+"""Finding model, rule registry and per-line suppression pragmas.
+
+Every lint pass — static or runtime — reports :class:`Finding` objects
+carrying (path, line, rule id, message).  The rule registry maps each
+rule id to a one-line description and the DESIGN.md invariant it
+guards, so reports and docs stay in sync.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+__all__ = ["Finding", "Rule", "RULES", "SourceFile", "load_source"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint violation at a source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule and the invariant it protects."""
+
+    rule_id: str
+    summary: str
+    #: DESIGN.md invariant (or architectural property) the rule guards
+    guards: str
+
+
+RULES: Dict[str, Rule] = {
+    rule.rule_id: rule
+    for rule in [
+        Rule(
+            "DET001",
+            "wall-clock read (time.time, datetime.now, ...)",
+            "invariant #6: simulated time only; wall clocks break replay",
+        ),
+        Rule(
+            "DET002",
+            "entropy escape (os.urandom, uuid.uuid4, secrets, SystemRandom)",
+            "invariant #6: all randomness must derive from the run seed",
+        ),
+        Rule(
+            "DET003",
+            "global random-module stream use",
+            "invariant #6: shared global stream couples unrelated draws",
+        ),
+        Rule(
+            "DET004",
+            "raw random.Random() outside repro.sim.rng",
+            "invariant #6: RngFactory is the only sanctioned seed deriver",
+        ),
+        Rule(
+            "DET005",
+            "iteration over set/frozenset values",
+            "invariant #6: set order varies with PYTHONHASHSEED / history",
+        ),
+        Rule(
+            "LAY001",
+            "import violates the subsystem layering contract",
+            "DESIGN.md import DAG (sim -> hw -> rmm/host -> experiments)",
+        ),
+        Rule(
+            "LAY002",
+            "forbidden subsystem combination imported together",
+            "only repro.experiments composes workloads + host + rmm",
+        ),
+        Rule(
+            "LAY003",
+            "module imports a subsystem absent from the contract",
+            "the layering table must name every subsystem explicitly",
+        ),
+        Rule(
+            "UNIT001",
+            "float literal used as a delay/schedule argument",
+            "integer-ns clock: fractional nanoseconds do not exist",
+        ),
+        Rule(
+            "UNIT002",
+            "float-producing expression flows into a delay argument",
+            "integer-ns clock: divisions/float() must be rounded first",
+        ),
+        Rule(
+            "SAN001",
+            "same-seed replay diverged (in-process)",
+            "invariant #6: same seed => identical traces and metrics",
+        ),
+        Rule(
+            "SAN002",
+            "run diverged under a different PYTHONHASHSEED",
+            "invariant #6: results must not depend on hash ordering",
+        ),
+        Rule(
+            "SAN003",
+            "metrics diverged under permuted same-timestamp tie-breaking",
+            "schedule races: results must not ride on arbitrary tie order",
+        ),
+    ]
+}
+
+_PRAGMA = re.compile(r"#\s*lint:\s*allow\(\s*([A-Z0-9_,\s]+?)\s*\)")
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file plus lint metadata."""
+
+    path: Path
+    text: str
+    tree: ast.Module
+    #: dotted module name when the file sits under a package root
+    #: (``src/repro/hw/core.py`` -> ``repro.hw.core``), else None
+    module: Optional[str]
+    #: whether the file is a package ``__init__.py``
+    is_package: bool
+    #: line number -> rule ids suppressed on that line via pragma
+    allow: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        return rule in self.allow.get(line, ())
+
+
+def _module_name(path: Path) -> Optional[str]:
+    """Dotted module name by walking up through ``__init__.py`` parents."""
+    parts: List[str] = []
+    if path.name != "__init__.py":
+        parts.append(path.stem)
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if not parts:
+        return None
+    parts.reverse()
+    return ".".join(parts)
+
+
+def load_source(path: Path) -> SourceFile:
+    """Parse one Python file into a :class:`SourceFile` (raises on syntax errors)."""
+    text = path.read_text(encoding="utf-8")
+    tree = ast.parse(text, filename=str(path))
+    allow: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match:
+            rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+            allow[lineno] = rules
+    module = _module_name(path)
+    return SourceFile(
+        path=path,
+        text=text,
+        tree=tree,
+        module=module,
+        is_package=path.name == "__init__.py",
+        allow=allow,
+    )

@@ -1,0 +1,170 @@
+"""Layering pass: enforce the DESIGN.md import DAG.
+
+The contract table (``[tool.repro.lint.layering]`` in pyproject.toml)
+names every subsystem and the subsystems it may import.  This pass
+resolves both absolute (``import repro.host``) and relative
+(``from ...host.virtio import X``) imports — including lazy imports
+inside function bodies, which hide cycles from the interpreter but not
+from the architecture — to the subsystem level and checks each edge.
+
+* **LAY001** — an import edge absent from the contract (an upward or
+  sideways dependency: e.g. ``repro.hw`` importing ``repro.host``).
+* **LAY002** — a module outside the designated composition roots
+  imports a forbidden *combination* of subsystems together (e.g.
+  workloads + host + rmm anywhere but ``repro.experiments``).
+* **LAY003** — a ``repro`` module whose subsystem does not appear in
+  the contract at all: new subsystems must be added to the table
+  deliberately, with their allowed imports spelled out.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from .contract import LintContract
+from .findings import Finding, SourceFile
+
+__all__ = ["check_layering", "resolve_imports"]
+
+
+def _resolve_relative(
+    source: SourceFile, node: ast.ImportFrom
+) -> Optional[str]:
+    """Absolute dotted target of a relative import, or None."""
+    if source.module is None:
+        return None
+    parts = source.module.split(".")
+    package = parts if source.is_package else parts[:-1]
+    if node.level - 1 > len(package):
+        return None  # escapes the tree; the interpreter would fail too
+    base = package[: len(package) - (node.level - 1)]
+    if node.module:
+        return ".".join(base + node.module.split("."))
+    return ".".join(base) if base else None
+
+
+def resolve_imports(source: SourceFile) -> List[Tuple[int, str]]:
+    """All imported module targets as ``(line, absolute_dotted_name)``.
+
+    ``from pkg import name`` reports ``pkg`` (whether ``name`` is a
+    submodule or an attribute, the dependency edge lands on ``pkg``
+    or deeper; we conservatively also report ``pkg.name`` when the
+    import is relative inside the tree, so contract prefixes match
+    submodule imports like ``from ..guest import workloads``).
+    """
+    targets: List[Tuple[int, str]] = []
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                targets.append((node.lineno, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                resolved = _resolve_relative(source, node)
+            else:
+                resolved = node.module
+            if resolved is None:
+                continue
+            targets.append((node.lineno, resolved))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                targets.append((node.lineno, f"{resolved}.{alias.name}"))
+    return targets
+
+
+def check_layering(
+    source: SourceFile, contract: LintContract
+) -> List[Finding]:
+    findings: List[Finding] = []
+    path = str(source.path)
+    module = source.module
+    imports = resolve_imports(source)
+    repro_imports = [
+        (line, target)
+        for line, target in imports
+        if target == "repro" or target.startswith("repro.")
+    ]
+
+    in_tree = module is not None and (
+        module == "repro" or module.startswith("repro.")
+    )
+    if in_tree:
+        subsystem = contract.subsystem_of(module)  # type: ignore[arg-type]
+        if subsystem is None:
+            if not source.suppressed(1, "LAY003"):
+                findings.append(
+                    Finding(
+                        path,
+                        1,
+                        "LAY003",
+                        f"module {module} belongs to no subsystem in the "
+                        "layering contract; add it to "
+                        "[tool.repro.lint.layering]",
+                    )
+                )
+            return findings
+        seen: Dict[Tuple[str, str], int] = {}
+        for line, target in repro_imports:
+            target_subsystem = contract.subsystem_of(target)
+            if target_subsystem is None:
+                # one finding per import line, not per dotted sub-target
+                key = ("LAY003", str(line))
+                if key not in seen and not source.suppressed(line, "LAY003"):
+                    seen[key] = line
+                    findings.append(
+                        Finding(
+                            path,
+                            line,
+                            "LAY003",
+                            f"import of {target}: no subsystem in the "
+                            "layering contract covers it",
+                        )
+                    )
+                continue
+            if not contract.allows(subsystem, target_subsystem):
+                key = ("LAY001", target_subsystem)
+                if key not in seen and not source.suppressed(line, "LAY001"):
+                    seen[key] = line
+                    findings.append(
+                        Finding(
+                            path,
+                            line,
+                            "LAY001",
+                            f"{subsystem} may not import {target_subsystem} "
+                            f"(via {target}); allowed: "
+                            f"{contract.layers.get(subsystem, [])}",
+                        )
+                    )
+
+    # forbidden combinations bind modules inside the repro tree; scripts
+    # outside it (benchmarks/, examples/) are composition roots by nature
+    if not in_tree:
+        return findings
+    for combo in contract.forbidden_combos:
+        if module is not None and any(
+            module == root or module.startswith(root + ".")
+            for root in combo.allowed_in
+        ):
+            continue
+        hits: Dict[str, int] = {}
+        for line, target in repro_imports:
+            for member in combo.modules:
+                if target == member or target.startswith(member + "."):
+                    hits.setdefault(member, line)
+        if len(hits) == len(combo.modules):
+            line = max(hits.values())
+            if not source.suppressed(line, "LAY002"):
+                findings.append(
+                    Finding(
+                        path,
+                        line,
+                        "LAY002",
+                        "imports "
+                        + " + ".join(sorted(hits))
+                        + " together; only "
+                        + ", ".join(combo.allowed_in)
+                        + " may compose these",
+                    )
+                )
+    return findings

@@ -1,0 +1,48 @@
+"""Shared rendering for lint findings (text and JSON)."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from .findings import Finding, RULES
+
+__all__ = ["render_text", "render_json", "sort_findings"]
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.message))
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """One ``path:line: RULE message`` per finding, plus a summary."""
+    ordered = sort_findings(findings)
+    lines = [finding.render() for finding in ordered]
+    if not ordered:
+        lines.append("repro.lint: clean (0 findings)")
+        return "\n".join(lines)
+    by_rule: Dict[str, int] = {}
+    for finding in ordered:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    summary = ", ".join(
+        f"{rule}×{count}" for rule, count in sorted(by_rule.items())
+    )
+    lines.append(f"repro.lint: {len(ordered)} finding(s) [{summary}]")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    ordered = sort_findings(findings)
+    payload = [
+        {
+            "path": finding.path,
+            "line": finding.line,
+            "rule": finding.rule,
+            "summary": RULES[finding.rule].summary
+            if finding.rule in RULES
+            else "",
+            "message": finding.message,
+        }
+        for finding in ordered
+    ]
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,204 @@
+"""Integer-ns units pass: no floats may reach the simulated clock.
+
+The event loop keeps time as integer nanoseconds (DESIGN.md §2): float
+deltas accumulate rounding error, and worse, make event *ordering*
+depend on floating-point artifacts.  ``Delay``/``Simulator.schedule``
+truncate via ``int(...)``, so a float slips through silently — this
+pass rejects it at the source.
+
+* **UNIT001** — a float literal passed directly as a delay argument
+  (``Delay(1.5)``, ``sim.schedule(0.5, cb)``).
+* **UNIT002** — a float-*producing* expression flowing into a delay
+  argument: true division, ``float(...)``, arithmetic with a float
+  literal, or a local variable assigned such an expression.  Wrap the
+  expression in ``int(...)``/``round(...)`` or use the unit helpers
+  (``ns``/``us``/``ms``/``sec`` from ``repro.sim.clock``), which
+  round once, explicitly.
+
+Sinks checked: ``Delay(ns)``, ``*.schedule(delay_ns, ...)``,
+``*.run_for(ns)``, ``SetTimer(delta_ns)``, ``Compute(work_ns)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from .contract import LintContract
+from .findings import Finding, SourceFile
+
+__all__ = ["check_units"]
+
+#: call name (last path component) -> index of the nanosecond argument
+#: and its keyword name
+_SINKS: Dict[str, Tuple[int, str]] = {
+    "Delay": (0, "ns"),
+    "schedule": (0, "delay_ns"),
+    "run_for": (0, "duration_ns"),
+    "SetTimer": (0, "delta_ns"),
+    "Compute": (0, "work_ns"),
+}
+
+#: calls that launder a float back into an int (stop taint propagation)
+_SANCTIONERS = {"int", "round", "ns", "us", "ms", "sec", "max", "min", "len"}
+
+
+def _call_basename(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _float_taint(
+    node: ast.AST, float_vars: Dict[str, int]
+) -> Optional[Tuple[str, str]]:
+    """Why ``node`` may produce a float: (rule, reason) or None."""
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, float):
+            return ("UNIT001", f"float literal {node.value!r}")
+        return None
+    if isinstance(node, ast.Name):
+        if node.id in float_vars:
+            return (
+                "UNIT002",
+                f"variable {node.id!r} holds a float "
+                f"(assigned at line {float_vars[node.id]})",
+            )
+        return None
+    if isinstance(node, ast.Call):
+        basename = _call_basename(node)
+        if basename in _SANCTIONERS:
+            return None
+        if basename == "float":
+            return ("UNIT002", "float(...) call")
+        if basename in ("to_us", "to_ms", "to_sec"):
+            return ("UNIT002", f"{basename}() returns a float")
+        return None  # unknown calls assumed int-valued
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return ("UNIT002", "true division '/' (use '//')")
+        for side in (node.left, node.right):
+            taint = _float_taint(side, float_vars)
+            if taint:
+                # a float literal *inside* arithmetic is a float-producing
+                # expression (UNIT002), not a bare literal (UNIT001)
+                return ("UNIT002", taint[1])
+        return None
+    if isinstance(node, ast.UnaryOp):
+        return _float_taint(node.operand, float_vars)
+    if isinstance(node, ast.IfExp):
+        for branch in (node.body, node.orelse):
+            taint = _float_taint(branch, float_vars)
+            if taint:
+                return taint
+        return None
+    return None
+
+
+class _Scope(ast.NodeVisitor):
+    """Collects float-tainted local assignments within one function."""
+
+    def __init__(self) -> None:
+        self.float_vars: Dict[str, int] = {}
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        taint = _float_taint(node.value, self.float_vars)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if taint:
+                    self.float_vars[target.id] = node.lineno
+                else:
+                    self.float_vars.pop(target.id, None)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested scopes analysed separately
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+def _iter_scope(body_node: ast.AST):
+    """Walk a scope without descending into nested functions/classes."""
+    stack = list(ast.iter_child_nodes(body_node))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _check_body(
+    body_node: ast.AST,
+    source: SourceFile,
+    findings: List[Finding],
+) -> None:
+    scope = _Scope()
+    for child in ast.iter_child_nodes(body_node):
+        scope.visit(child)
+    float_vars = scope.float_vars
+
+    for node in _iter_scope(body_node):
+        if not isinstance(node, ast.Call):
+            continue
+        basename = _call_basename(node)
+        if basename not in _SINKS:
+            continue
+        position, keyword = _SINKS[basename]
+        arg: Optional[ast.AST] = None
+        if len(node.args) > position:
+            arg = node.args[position]
+        else:
+            for kw in node.keywords:
+                if kw.arg == keyword:
+                    arg = kw.value
+        if arg is None:
+            continue
+        taint = _float_taint(arg, float_vars)
+        if taint is None:
+            continue
+        rule, reason = taint
+        line = getattr(arg, "lineno", getattr(node, "lineno", 0))
+        if source.suppressed(line, rule):
+            continue
+        findings.append(
+            Finding(
+                str(source.path),
+                line,
+                rule,
+                f"{reason} flows into {basename}({keyword}=...); the "
+                "clock is integer nanoseconds — round explicitly "
+                "(int/round or repro.sim.clock.ns/us/ms/sec)",
+            )
+        )
+
+
+def check_units(source: SourceFile, contract: LintContract) -> List[Finding]:
+    findings: List[Finding] = []
+    # analyse each function scope independently (local float tracking),
+    # then the module top level
+    for node in ast.walk(source.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _check_body(node, source, findings)
+    module_scope = ast.Module(body=[], type_ignores=[])
+    module_scope.body = [
+        stmt
+        for stmt in source.tree.body
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+    ]
+    _check_body(module_scope, source, findings)
+    # class bodies outside methods (dataclass defaults etc.)
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ClassDef):
+            class_scope = ast.Module(body=[], type_ignores=[])
+            class_scope.body = [
+                stmt
+                for stmt in node.body
+                if not isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+            ]
+            _check_body(class_scope, source, findings)
+    return findings

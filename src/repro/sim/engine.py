@@ -155,16 +155,23 @@ class Process:
 class _Timer:
     """A cancellable entry in the event heap."""
 
-    __slots__ = ("when", "seq", "callback", "cancelled")
+    __slots__ = ("when", "key", "seq", "callback", "cancelled")
 
-    def __init__(self, when: int, seq: int, callback: Callable[[], None]):
+    def __init__(
+        self, when: int, key: int, seq: int, callback: Callable[[], None]
+    ):
         self.when = when
+        self.key = key
         self.seq = seq
         self.callback = callback
         self.cancelled = False
 
     def __lt__(self, other: "_Timer") -> bool:
-        return (self.when, self.seq) < (other.when, other.seq)
+        return (self.when, self.key, self.seq) < (
+            other.when,
+            other.key,
+            other.seq,
+        )
 
 
 class Simulator:
@@ -177,11 +184,51 @@ class Simulator:
         sim.run(until=1_000_000)   # or sim.run() to drain all events
     """
 
-    def __init__(self) -> None:
+    #: multiplier for the "seeded" tie-break hash (splitmix64 constant);
+    #: pure integer math so permutations replay identically everywhere
+    _TIE_MIX = 0x9E3779B97F4A7C15
+
+    def __init__(self, tie_break: str = "fifo") -> None:
         self.now: int = 0
         self._heap: List[_Timer] = []
         self._seq: int = 0
         self._live_processes: int = 0
+        self.tie_break = tie_break
+        self._tie_key = self._make_tie_key(tie_break)
+
+    @classmethod
+    def _make_tie_key(cls, tie_break: str) -> Callable[[int], int]:
+        """Key function ordering same-timestamp timers.
+
+        The default ``"fifo"`` preserves schedule order — the engine's
+        documented semantics.  The alternatives exist for the schedule-
+        race sanitizer (:mod:`repro.lint.sanitizer`): they permute the
+        order of *causally unrelated* same-timestamp events (a timer
+        can only run after it was created, so causal chains survive any
+        key).  Results that change under a permuted key were riding on
+        arbitrary tie order.
+
+        * ``"fifo"``   -- schedule order (default semantics)
+        * ``"lifo"``   -- reverse schedule order
+        * ``"seeded:N"`` -- deterministic pseudo-random order from salt N
+        """
+        if tie_break == "fifo":
+            return lambda seq: 0
+        if tie_break == "lifo":
+            return lambda seq: -seq
+        if tie_break.startswith("seeded:"):
+            salt = int(tie_break.split(":", 1)[1])
+            mask = (1 << 64) - 1
+            mix = cls._TIE_MIX
+
+            def seeded(seq: int) -> int:
+                value = (seq + salt) & mask
+                value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & mask
+                value = ((value ^ (value >> 27)) * mix) & mask
+                return value ^ (value >> 31)
+
+            return seeded
+        raise SimulationError(f"unknown tie_break: {tie_break!r}")
 
     # ------------------------------------------------------------------
     # scheduling primitives
@@ -192,7 +239,12 @@ class Simulator:
         if delay_ns < 0:
             raise SimulationError(f"negative delay: {delay_ns}")
         self._seq += 1
-        timer = _Timer(self.now + int(delay_ns), self._seq, callback)
+        timer = _Timer(
+            self.now + int(delay_ns),
+            self._tie_key(self._seq),
+            self._seq,
+            callback,
+        )
         heapq.heappush(self._heap, timer)
         return timer
 

@@ -3,6 +3,13 @@
 Every stochastic element of the simulation draws from a named substream
 derived from one root seed, so adding a new consumer never perturbs the
 draws seen by existing ones and whole experiments replay bit-identically.
+
+Substream seeds are derived by hashing an *injection-proof* encoding of
+``(root seed, kind, name)``: every component is length-prefixed before
+hashing, so no choice of stream name can collide with a fork name (or
+vice versa).  In particular ``fork("x")`` and ``stream("fork:x")`` --
+which collided under the old ``f"{seed}:{name}"`` scheme -- now derive
+from distinct key encodings.
 """
 
 from __future__ import annotations
@@ -11,7 +18,23 @@ import hashlib
 import random
 from typing import Dict
 
-__all__ = ["RngFactory"]
+__all__ = ["RngFactory", "derive_seed"]
+
+
+def derive_seed(root_seed: int, kind: str, name: str) -> int:
+    """Derive a 64-bit child seed from ``(root_seed, kind, name)``.
+
+    Each component is UTF-8 encoded and length-prefixed (8-byte big
+    endian) before hashing, making the encoding injective: there is no
+    pair of distinct ``(kind, name)`` tuples that hash the same bytes,
+    regardless of separators appearing inside the strings.
+    """
+    digest = hashlib.sha256()
+    for part in (str(root_seed), kind, name):
+        data = part.encode("utf-8")
+        digest.update(len(data).to_bytes(8, "big"))
+        digest.update(data)
+    return int.from_bytes(digest.digest()[:8], "big")
 
 
 class RngFactory:
@@ -24,15 +47,11 @@ class RngFactory:
     def stream(self, name: str) -> random.Random:
         """Return the substream for ``name`` (created on first use)."""
         if name not in self._streams:
-            digest = hashlib.sha256(
-                f"{self.seed}:{name}".encode("utf-8")
-            ).digest()
             self._streams[name] = random.Random(
-                int.from_bytes(digest[:8], "big")
+                derive_seed(self.seed, "stream", name)
             )
         return self._streams[name]
 
     def fork(self, name: str) -> "RngFactory":
         """Derive a child factory with an independent seed space."""
-        digest = hashlib.sha256(f"{self.seed}:fork:{name}".encode()).digest()
-        return RngFactory(int.from_bytes(digest[:8], "big"))
+        return RngFactory(derive_seed(self.seed, "fork", name))

@@ -1,0 +1,48 @@
+"""Invariant #6 end-to-end: same seed => bit-identical traces & metrics.
+
+Runs the fig. 6 harness twice (small parameterisation) and asserts the
+results are *exactly* equal — not approximately: determinism means the
+float bit patterns match.  Trace-level identity is checked through the
+sanitizer's digest/diff helpers, reused here as a test library.
+"""
+
+from repro.experiments.fig6 import run_fig6
+from repro.lint.sanitizer import diff_digests, run_probe
+from repro.sim.clock import ms
+
+
+def small_fig6():
+    return run_fig6(
+        core_counts=[2, 4],
+        duration_ns=ms(30),
+        busywait_duration_ns=ms(10),
+        include_busywait=True,
+    )
+
+
+class TestFig6Determinism:
+    def test_fig6_twice_bit_identical(self):
+        first = small_fig6()
+        second = small_fig6()
+        assert first.series == second.series
+        assert first.run_to_run_us == second.run_to_run_us
+        # exact float equality on every score, spelled out for clarity
+        for label, points in first.series.items():
+            for (n_a, score_a), (n_b, score_b) in zip(
+                points, second.series[label]
+            ):
+                assert n_a == n_b
+                assert score_a == score_b, (
+                    f"{label} @ {n_a} cores: {score_a!r} != {score_b!r}"
+                )
+
+    def test_traces_bit_identical_across_replays(self):
+        first = run_probe(seed=42, n_cores=3, duration_ms=10)
+        second = run_probe(seed=42, n_cores=3, duration_ms=10)
+        assert diff_digests(first, second) == []
+
+    def test_fig6_shape_sane(self):
+        result = small_fig6()
+        assert set(result.series) >= {"shared", "gapped", "gapped-nodeleg"}
+        for label, points in result.series.items():
+            assert all(score > 0 for _, score in points), label

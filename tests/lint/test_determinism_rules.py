@@ -1,0 +1,162 @@
+"""Fixture snippets for the determinism pass (DET001–DET005)."""
+
+import textwrap
+
+import pytest
+
+from repro.lint.contract import LintContract
+from repro.lint.determinism import check_determinism
+from repro.lint.findings import load_source
+
+
+def lint_snippet(tmp_path, code, module_path="snippet.py", contract=None):
+    path = tmp_path / module_path
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(code))
+    return check_determinism(load_source(path), contract or LintContract())
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestWallClock:
+    @pytest.mark.parametrize(
+        "call",
+        [
+            "import time\ntime.time()",
+            "import time\ntime.monotonic_ns()",
+            "import time as t\nt.perf_counter()",
+            "from time import time\ntime()",
+            "import datetime\ndatetime.datetime.now()",
+            "from datetime import datetime\ndatetime.now()",
+            "from datetime import date\ndate.today()",
+        ],
+    )
+    def test_triggers(self, tmp_path, call):
+        assert "DET001" in rules_of(lint_snippet(tmp_path, call))
+
+    def test_clean_simulated_clock(self, tmp_path):
+        code = """
+        def run(sim):
+            return sim.now
+        """
+        assert lint_snippet(tmp_path, code) == []
+
+    def test_unrelated_attribute_named_time(self, tmp_path):
+        code = """
+        class Record:
+            time = 0
+        def f(record):
+            return record.time
+        """
+        assert lint_snippet(tmp_path, code) == []
+
+
+class TestEntropy:
+    @pytest.mark.parametrize(
+        "call",
+        [
+            "import os\nos.urandom(8)",
+            "import uuid\nuuid.uuid4()",
+            "import uuid\nuuid.uuid1()",
+            "import random\nrandom.SystemRandom()",
+        ],
+    )
+    def test_triggers(self, tmp_path, call):
+        assert "DET002" in rules_of(lint_snippet(tmp_path, call))
+
+
+class TestGlobalRandom:
+    def test_module_level_call(self, tmp_path):
+        findings = lint_snippet(tmp_path, "import random\nx = random.randint(0, 9)")
+        assert rules_of(findings) == ["DET003"]
+
+    def test_from_import(self, tmp_path):
+        findings = lint_snippet(tmp_path, "from random import shuffle")
+        assert rules_of(findings) == ["DET003"]
+
+    def test_from_import_random_class_ok(self, tmp_path):
+        # importing the class is fine; constructing it is DET004
+        findings = lint_snippet(tmp_path, "from random import Random")
+        assert findings == []
+
+    def test_substream_draw_clean(self, tmp_path):
+        code = """
+        def f(rng_factory):
+            rng = rng_factory.stream("noise")
+            return rng.random()
+        """
+        assert lint_snippet(tmp_path, code) == []
+
+
+class TestRawRandomConstruction:
+    def test_triggers(self, tmp_path):
+        findings = lint_snippet(tmp_path, "import random\nr = random.Random(42)")
+        assert rules_of(findings) == ["DET004"]
+
+    def test_from_import_construction(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "from random import Random\nr = Random(42)"
+        )
+        assert rules_of(findings) == ["DET004"]
+
+    def test_rng_module_exempt(self, tmp_path):
+        # the sanctioned module may construct Random freely
+        (tmp_path / "repro" / "sim").mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (tmp_path / "repro" / "sim" / "__init__.py").write_text("")
+        findings = lint_snippet(
+            tmp_path,
+            "import random\nr = random.Random(1)\n",
+            module_path="repro/sim/rng.py",
+        )
+        assert findings == []
+
+
+class TestSetIteration:
+    @pytest.mark.parametrize(
+        "code",
+        [
+            "for x in {1, 2, 3}:\n    pass",
+            "for x in set([1, 2]):\n    pass",
+            "for x in frozenset([1]):\n    pass",
+            "s = set()\nfor x in s:\n    pass",
+            "s = {1, 2}\nout = [x for x in s]",
+            "def f(cores: set):\n    return [c for c in cores]",
+        ],
+    )
+    def test_triggers(self, tmp_path, code):
+        assert "DET005" in rules_of(lint_snippet(tmp_path, code))
+
+    def test_annotated_param(self, tmp_path):
+        code = """
+        from typing import Set
+        def f(cores: Set[int]):
+            for c in cores:
+                pass
+        """
+        assert "DET005" in rules_of(lint_snippet(tmp_path, code))
+
+    @pytest.mark.parametrize(
+        "code",
+        [
+            "s = {1, 2}\nfor x in sorted(s):\n    pass",
+            "s = set()\nn = len(s)",
+            "s = {3, 1}\nm = min(s)",
+            "s = {3, 1}\nif 3 in s:\n    pass",
+            "d = {}\nfor k in d:\n    pass",  # dicts are insertion-ordered
+        ],
+    )
+    def test_clean(self, tmp_path, code):
+        assert lint_snippet(tmp_path, code) == []
+
+
+class TestPragma:
+    def test_allow_suppresses(self, tmp_path):
+        code = "import time\nnow = time.time()  # lint: allow(DET001)\n"
+        assert lint_snippet(tmp_path, code) == []
+
+    def test_allow_is_rule_specific(self, tmp_path):
+        code = "import time\nnow = time.time()  # lint: allow(DET002)\n"
+        assert "DET001" in rules_of(lint_snippet(tmp_path, code))

@@ -1,0 +1,177 @@
+"""Fixture package trees for the layering pass (LAY001–LAY003)."""
+
+import textwrap
+
+from repro.lint.contract import ForbiddenCombo, LintContract
+from repro.lint.findings import load_source
+from repro.lint.layering import check_layering, resolve_imports
+
+
+def write_module(root, dotted, code=""):
+    """Create ``root/a/b/c.py`` (with __init__.py chain) for ``a.b.c``."""
+    parts = dotted.split(".")
+    directory = root
+    for part in parts[:-1]:
+        directory = directory / part
+        directory.mkdir(exist_ok=True)
+        init = directory / "__init__.py"
+        if not init.exists():
+            init.write_text("")
+    path = directory / f"{parts[-1]}.py"
+    path.write_text(textwrap.dedent(code))
+    return path
+
+
+def lint_module(path, contract):
+    return check_layering(load_source(path), contract)
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestLay001:
+    def test_upward_import_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path, "repro.hw.core", "from repro.host import kernel\n"
+        )
+        findings = lint_module(path, LintContract())
+        assert rules_of(findings) == ["LAY001"]
+        assert "repro.hw may not import repro.host" in findings[0].message
+
+    def test_relative_upward_import_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro.guest.workloads.fake",
+            "def lazy():\n    from ...host.virtio import IoRequest\n",
+        )
+        findings = lint_module(path, LintContract())
+        assert rules_of(findings) == ["LAY001"]
+
+    def test_downward_import_clean(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro.host.kernel",
+            "from repro.hw.machine import Machine\n"
+            "from ..guest.vm import GuestVm\n",
+        )
+        assert lint_module(path, LintContract()) == []
+
+    def test_intra_subsystem_import_clean(self, tmp_path):
+        path = write_module(
+            tmp_path, "repro.hw.machine", "from .core import PhysicalCore\n"
+        )
+        assert lint_module(path, LintContract()) == []
+
+    def test_wildcard_layer(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro.experiments.fig99",
+            "from repro.hw import machine\nfrom repro.host import kvm\n"
+            "from repro.rmm import monitor\n",
+        )
+        assert lint_module(path, LintContract()) == []
+
+    def test_one_finding_per_target_subsystem(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro.hw.core",
+            "from repro.host import kernel\nfrom repro.host import kvm\n",
+        )
+        findings = lint_module(path, LintContract())
+        assert rules_of(findings) == ["LAY001"]  # deduplicated
+
+    def test_pragma_suppression(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro.hw.core",
+            "from repro.host import kernel  # lint: allow(LAY001)\n",
+        )
+        assert lint_module(path, LintContract()) == []
+
+
+class TestLay002:
+    def contract(self):
+        contract = LintContract()
+        contract.forbidden_combos = [
+            ForbiddenCombo(
+                ["repro.guest.workloads", "repro.host", "repro.rmm"],
+                ["repro.experiments"],
+            )
+        ]
+        # give the fixture module a subsystem with permissive layering so
+        # only the combination rule fires
+        contract.layers["repro.experiments"] = ["*"]
+        contract.layers["repro.host"] = ["*"]
+        return contract
+
+    def test_combo_flagged_outside_experiments(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro.host.glue",
+            "from repro.guest.workloads import coremark\n"
+            "from repro.host import kvm\n"
+            "from repro.rmm import monitor\n",
+        )
+        findings = lint_module(path, self.contract())
+        assert "LAY002" in rules_of(findings)
+
+    def test_combo_allowed_in_experiments(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro.experiments.fig99",
+            "from repro.guest.workloads import coremark\n"
+            "from repro.host import kvm\n"
+            "from repro.rmm import monitor\n",
+        )
+        assert lint_module(path, self.contract()) == []
+
+    def test_partial_combo_clean(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro.host.glue",
+            "from repro.host import kvm\nfrom repro.rmm import monitor\n",
+        )
+        assert lint_module(path, self.contract()) == []
+
+
+class TestLay003:
+    def test_unknown_subsystem_flagged(self, tmp_path):
+        path = write_module(tmp_path, "repro.newthing.engine", "x = 1\n")
+        findings = lint_module(path, LintContract())
+        assert rules_of(findings) == ["LAY003"]
+
+    def test_import_of_unknown_subsystem_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro.experiments.fig99",
+            "from repro.newthing import engine\n",
+        )
+        findings = lint_module(path, LintContract())
+        assert rules_of(findings) == ["LAY003"]
+
+    def test_out_of_tree_script_skipped(self, tmp_path):
+        path = tmp_path / "bench_script.py"
+        path.write_text(
+            "from repro.hw import machine\nfrom repro.host import kvm\n"
+        )
+        assert lint_module(path, LintContract()) == []
+
+
+class TestResolveImports:
+    def test_relative_resolution(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro.guest.workloads.fake",
+            "from ...sim.clock import ms\nfrom ..vm import GuestVm\n",
+        )
+        targets = {t for _, t in resolve_imports(load_source(path))}
+        assert "repro.sim.clock" in targets
+        assert "repro.guest.vm" in targets
+
+    def test_package_init_relative(self, tmp_path):
+        write_module(tmp_path, "repro.hw.core", "")
+        init = tmp_path / "repro" / "hw" / "__init__.py"
+        init.write_text("from .core import x\n")
+        targets = {t for _, t in resolve_imports(load_source(init))}
+        assert "repro.hw.core" in targets

@@ -1,0 +1,86 @@
+"""End-to-end gate: the whole tree must lint clean, and deliberately
+planted violations must be caught (the acceptance criteria, as a test)."""
+
+from pathlib import Path
+
+from repro.lint import lint_paths, load_contract
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def repo_contract():
+    contract = load_contract(REPO_ROOT)
+    # the real pyproject must be the source of the table — guard against
+    # silently falling back to the built-in defaults
+    assert "repro.hw" in contract.layers
+    return contract
+
+
+class TestTreeClean:
+    def test_src_and_benchmarks_lint_clean(self):
+        findings = lint_paths(
+            [REPO_ROOT / "src", REPO_ROOT / "benchmarks"],
+            contract=repo_contract(),
+        )
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_contract_covers_every_src_subsystem(self):
+        contract = repo_contract()
+        src = REPO_ROOT / "src" / "repro"
+        for entry in src.iterdir():
+            if entry.name.startswith("_") or entry.suffix == ".py":
+                continue
+            dotted = f"repro.{entry.name}"
+            assert contract.subsystem_of(dotted) is not None, (
+                f"subsystem {dotted} missing from [tool.repro.lint.layering]"
+            )
+
+
+class TestPlantedViolations:
+    """DESIGN acceptance: each planted defect must produce a file:line
+    finding naming the rule."""
+
+    def plant_and_lint(self, tmp_path, relpath, code):
+        # recreate the package chain so module resolution works
+        parts = Path(relpath).parts
+        directory = tmp_path
+        for part in parts[:-1]:
+            directory = directory / part
+            directory.mkdir(exist_ok=True)
+            (directory / "__init__.py").touch()
+        path = directory / parts[-1]
+        path.write_text(code)
+        return lint_paths([tmp_path], contract=repo_contract())
+
+    def test_wall_clock_caught(self, tmp_path):
+        findings = self.plant_and_lint(
+            tmp_path,
+            "repro/hw/planted.py",
+            "import time\n\nSTART = time.time()\n",
+        )
+        assert any(
+            f.rule == "DET001" and f.line == 3 and "planted.py" in f.path
+            for f in findings
+        )
+
+    def test_upward_import_caught(self, tmp_path):
+        findings = self.plant_and_lint(
+            tmp_path,
+            "repro/hw/planted.py",
+            "from repro.host.kernel import HostKernel\n",
+        )
+        assert any(
+            f.rule == "LAY001" and f.line == 1 and "planted.py" in f.path
+            for f in findings
+        )
+
+    def test_float_delay_caught(self, tmp_path):
+        findings = self.plant_and_lint(
+            tmp_path,
+            "repro/hw/planted.py",
+            "def proc():\n    yield Delay(0.5)\n",
+        )
+        assert any(
+            f.rule == "UNIT001" and f.line == 2 and "planted.py" in f.path
+            for f in findings
+        )

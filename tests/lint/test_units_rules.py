@@ -1,0 +1,113 @@
+"""Fixture snippets for the integer-ns units pass (UNIT001–UNIT002)."""
+
+import textwrap
+
+import pytest
+
+from repro.lint.contract import LintContract
+from repro.lint.findings import load_source
+from repro.lint.units import check_units
+
+
+def lint_snippet(tmp_path, code):
+    path = tmp_path / "snippet.py"
+    path.write_text(textwrap.dedent(code))
+    return check_units(load_source(path), LintContract())
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestFloatLiteral:
+    @pytest.mark.parametrize(
+        "code",
+        [
+            "def f(sim):\n    yield Delay(1.5)",
+            "def f(sim):\n    sim.schedule(0.5, cb)",
+            "def f(sim):\n    yield Delay(ns=2.0)",
+            "def f(vm):\n    yield SetTimer(1e6)",
+            "def f(vm):\n    yield Compute(0.5)",
+            "def f(system):\n    system.run_for(1.0)",
+        ],
+    )
+    def test_triggers(self, tmp_path, code):
+        assert "UNIT001" in rules_of(lint_snippet(tmp_path, code))
+
+    def test_int_literal_clean(self, tmp_path):
+        assert lint_snippet(tmp_path, "def f():\n    yield Delay(1500)") == []
+
+
+class TestFloatExpression:
+    @pytest.mark.parametrize(
+        "code",
+        [
+            "def f(n):\n    yield Delay(n / 2)",
+            "def f(sim, n):\n    sim.schedule(n / 4, cb)",
+            "def f(n):\n    yield Delay(float(n))",
+            "def f(n):\n    yield Delay(n * 1.5)",
+            "def f(ns):\n    yield Delay(to_us(ns))",
+        ],
+    )
+    def test_triggers(self, tmp_path, code):
+        assert "UNIT002" in rules_of(lint_snippet(tmp_path, code))
+
+    def test_local_variable_taint(self, tmp_path):
+        code = """
+        def f(n):
+            half = n / 2
+            yield Delay(half)
+        """
+        findings = lint_snippet(tmp_path, code)
+        assert rules_of(findings) == ["UNIT002"]
+        assert "half" in findings[0].message
+
+    def test_reassignment_clears_taint(self, tmp_path):
+        code = """
+        def f(n):
+            half = n / 2
+            half = n // 2
+            yield Delay(half)
+        """
+        assert lint_snippet(tmp_path, code) == []
+
+    @pytest.mark.parametrize(
+        "code",
+        [
+            "def f(n):\n    yield Delay(n // 2)",
+            "def f(n):\n    yield Delay(int(n / 2))",
+            "def f(n):\n    yield Delay(round(n / 2))",
+            "def f(n):\n    yield Delay(ms(1.5))",  # unit helpers round
+            "def f(n):\n    yield Delay(us(0.5))",
+            "def f(n):\n    yield Delay(max(0, n))",
+            "def f(costs):\n    yield Delay(costs.sync_rpc_ns)",
+        ],
+    )
+    def test_sanctioned_clean(self, tmp_path, code):
+        assert lint_snippet(tmp_path, code) == []
+
+    def test_float_outside_sink_clean(self, tmp_path):
+        # floats are fine anywhere that is not a clock sink
+        code = """
+        def f(score, n):
+            ratio = score / n
+            return ratio * 1.5
+        """
+        assert lint_snippet(tmp_path, code) == []
+
+    def test_nested_function_not_double_reported(self, tmp_path):
+        code = """
+        def outer(n):
+            def inner():
+                yield Delay(n / 2)
+            return inner
+        """
+        findings = lint_snippet(tmp_path, code)
+        assert len(findings) == 1
+
+    def test_pragma(self, tmp_path):
+        code = """
+        def f(n):
+            yield Delay(n / 2)  # lint: allow(UNIT002)
+        """
+        assert lint_snippet(tmp_path, code) == []
