@@ -1,0 +1,113 @@
+"""Chaos audit: workloads under fault injection keep every invariant.
+
+The fault plans in :mod:`repro.experiments.chaos` stress each transport
+of the core-gapping design -- exit IPIs, completion slots, the wake-up
+thread, hotplug, dedicated cores, virtio completions -- with the
+hardening layer (watchdog, bounded retries, sync timeouts) enabled.
+
+The contract asserted for every (plan, scenario) cell:
+
+* the core-gap auditor stays clean and conservation holds (faults may
+  cost performance, never isolation or accounting);
+* no cell hangs: every workload completes, is refused admission, or
+  fails with a recorded host-side run error (invariant #2);
+* plans with fault opportunities actually inject.
+"""
+
+import pytest
+
+from repro.experiments.chaos import (
+    ChaosOutcome,
+    default_fault_plans,
+    plan_scenarios,
+    run_chaos_case,
+    run_chaos_matrix,
+)
+
+SEED = 7
+
+PLANS = {plan.name: plan for plan in default_fault_plans()}
+
+MATRIX = [
+    (scenario, plan.name)
+    for plan in default_fault_plans()
+    for scenario in plan_scenarios(plan)
+]
+
+#: plans whose faults have opportunities in every scenario they run in
+ALWAYS_INJECTS = {
+    "drop-exit-ipi",
+    "jitter-ipi",
+    "stall-completion",
+    "corrupt-completion",
+    "wakeup-stall",
+    "hotplug-flaky",
+    "hotplug-storm",
+    "dead-core",
+    "virtio-delay",
+}
+
+
+@pytest.mark.parametrize(("scenario", "plan_name"), MATRIX)
+def test_chaos_cell(scenario, plan_name):
+    outcome = run_chaos_case(scenario, PLANS[plan_name], seed=SEED)
+
+    # never a hang, never an unhandled exception (reaching here at all
+    # covers the latter)
+    assert outcome.status != "hung", outcome.detail
+    assert outcome.status in ("completed", "host_error", "refused")
+
+    # zero isolation or accounting violations under any fault plan
+    assert outcome.audit_problems == []
+
+    # failures are clean and host-visible
+    if outcome.status == "host_error":
+        assert outcome.host_errors
+    if outcome.status == "refused":
+        assert outcome.detail
+
+    if plan_name == "control":
+        assert outcome.status == "completed"
+        assert outcome.injections == {}
+    elif plan_name in ALWAYS_INJECTS:
+        assert sum(outcome.injections.values()) > 0, (
+            f"plan {plan_name} never injected on {scenario}"
+        )
+
+
+def test_chaos_expected_failure_modes():
+    """The fault plans that must degrade do, and degrade cleanly."""
+    dead = run_chaos_case("coremark", PLANS["dead-core"], seed=SEED)
+    assert dead.status == "host_error"
+    assert any("unanswered" in err for err in dead.host_errors)
+    assert dead.recoveries["run_retries"] > 0
+
+    corrupt = run_chaos_case("coremark", PLANS["corrupt-completion"], seed=SEED)
+    assert corrupt.status == "host_error"
+    assert any("corrupted" in err for err in corrupt.host_errors)
+
+    storm = run_chaos_case("coremark", PLANS["hotplug-storm"], seed=SEED)
+    assert storm.status == "refused"
+    assert "aborted hotplug" in storm.detail
+
+    flaky = run_chaos_case("coremark", PLANS["hotplug-flaky"], seed=SEED)
+    assert flaky.status == "completed"  # spare cores absorb one abort
+
+
+def test_chaos_matrix_summary(record):
+    outcomes = run_chaos_matrix(seed=SEED)
+    assert all(isinstance(o, ChaosOutcome) for o in outcomes)
+    assert all(o.survived for o in outcomes)
+
+    lines = [
+        "Chaos audit matrix (seed {})".format(SEED),
+        "",
+        f"{'plan':<20} {'scenario':<10} {'status':<12} "
+        f"{'injections':<12} {'ms':>8}",
+    ]
+    for o in outcomes:
+        lines.append(
+            f"{o.plan:<20} {o.scenario:<10} {o.status:<12} "
+            f"{sum(o.injections.values()):<12} {o.duration_ns / 1e6:>8.1f}"
+        )
+    record("chaos_audit", "\n".join(lines))

@@ -1,6 +1,22 @@
 """Experiment harnesses: system builder, configs, per-table/figure runners."""
 
+from .chaos import (
+    ChaosOutcome,
+    default_fault_plans,
+    plan_scenarios,
+    run_chaos_case,
+    run_chaos_matrix,
+)
 from .config import PAPER_TARGETS, SystemConfig
 from .system import System
 
-__all__ = ["PAPER_TARGETS", "System", "SystemConfig"]
+__all__ = [
+    "ChaosOutcome",
+    "PAPER_TARGETS",
+    "System",
+    "SystemConfig",
+    "default_fault_plans",
+    "plan_scenarios",
+    "run_chaos_case",
+    "run_chaos_matrix",
+]

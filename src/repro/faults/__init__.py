@@ -1,0 +1,17 @@
+"""Seeded fault injection for the core-gapping stack.
+
+The paper's design moves every host/guest interaction onto explicit
+asynchronous transports -- IPIs, completion slots, a wake-up thread,
+hotplug transitions.  Each transport is a place where real hardware
+and real kernels fail.  This package injects those failures
+deterministically (every probabilistic choice via
+:class:`~repro.sim.rng.RngFactory` streams) so the hardening paths --
+watchdogs, bounded retries, sync timeouts, planner degradation -- can
+be exercised and audited under the exact same invariants as the happy
+path.  See DESIGN.md "Fault model & hardening".
+"""
+
+from .injector import FaultInjector
+from .plan import FaultKind, FaultPlan, FaultSpec
+
+__all__ = ["FaultInjector", "FaultKind", "FaultPlan", "FaultSpec"]

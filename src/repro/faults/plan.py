@@ -1,0 +1,124 @@
+"""Declarative fault plans: what goes wrong, where, when, how often.
+
+A :class:`FaultPlan` is an immutable recipe of :class:`FaultSpec`
+entries.  It carries no randomness of its own: every probabilistic
+decision is made by the :class:`~repro.faults.injector.FaultInjector`
+drawing from named :class:`~repro.sim.rng.RngFactory` streams, so the
+same (plan, seed) pair replays the exact same fault sequence
+(DESIGN.md invariant #6 holds *under* fault injection, not just
+without it).
+
+The taxonomy follows the transports the paper's design leans on
+(S4.2-S4.4): IPIs at the GIC, async completion slots, the wake-up
+thread, hotplug transitions, dedicated cores, and virtio completions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..sim.engine import SimulationError
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan"]
+
+
+class FaultKind:
+    """The fault taxonomy (see DESIGN.md "Fault model & hardening")."""
+
+    #: an SGI vanishes on the wire (lost exit IPI / lost host kick)
+    IPI_DROP = "ipi_drop"
+    #: an SGI arrives late by ``delay_ns``
+    IPI_DELAY = "ipi_delay"
+    #: an SGI is delivered twice (spurious duplicate)
+    IPI_DUPLICATE = "ipi_duplicate"
+    #: the exit record's publication is stalled by ``delay_ns``
+    RPC_COMPLETION_STALL = "rpc_completion_stall"
+    #: the completion slot is corrupted (host reads garbage)
+    RPC_COMPLETION_CORRUPT = "rpc_completion_corrupt"
+    #: the wake-up thread burns ``delay_ns`` before scanning
+    WAKEUP_STALL = "wakeup_stall"
+    #: one virtio device completion is delayed by ``delay_ns``
+    VIRTIO_COMPLETION_DELAY = "virtio_completion_delay"
+    #: a hotplug transition aborts mid-way
+    HOTPLUG_ABORT = "hotplug_abort"
+    #: a dedicated core hard-stalls after ``after_runs`` run calls
+    CORE_STALL = "core_stall"
+
+    ALL = frozenset(
+        {
+            IPI_DROP,
+            IPI_DELAY,
+            IPI_DUPLICATE,
+            RPC_COMPLETION_STALL,
+            RPC_COMPLETION_CORRUPT,
+            WAKEUP_STALL,
+            VIRTIO_COMPLETION_DELAY,
+            HOTPLUG_ABORT,
+            CORE_STALL,
+        }
+    )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault source within a plan.
+
+    ``rate`` is the per-opportunity injection probability (1.0 =
+    always, drawn from a dedicated rng stream otherwise); ``count``
+    caps total injections; ``start_ns``/``end_ns`` bound the active
+    window in simulated time.  The remaining fields scope the fault to
+    its site: ``target`` a physical core index, ``intids`` an SGI
+    filter, ``port_substr`` a completion-port name filter,
+    ``after_runs`` the run-call count a stalling core survives.
+    """
+
+    kind: str
+    rate: float = 1.0
+    count: Optional[int] = None
+    delay_ns: int = 0
+    start_ns: int = 0
+    end_ns: Optional[int] = None
+    target: Optional[int] = None
+    intids: Optional[Tuple[int, ...]] = None
+    port_substr: Optional[str] = None
+    after_runs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FaultKind.ALL:
+            raise SimulationError(f"unknown fault kind {self.kind!r}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise SimulationError(f"fault rate {self.rate} not in [0, 1]")
+        if self.delay_ns < 0:
+            raise SimulationError(f"negative fault delay {self.delay_ns}")
+
+    def active_at(self, now_ns: int) -> bool:
+        if now_ns < self.start_ns:
+            return False
+        return self.end_ns is None or now_ns < self.end_ns
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, immutable set of fault specs."""
+
+    name: str
+    specs: Tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def of(cls, name: str, *specs: FaultSpec) -> "FaultPlan":
+        return cls(name=name, specs=tuple(specs))
+
+    def of_kind(self, *kinds: str) -> List[Tuple[int, FaultSpec]]:
+        """(index, spec) pairs matching any of ``kinds``; the index is
+        stable and keys the injector's per-spec rng stream/counter."""
+        wanted = set(kinds)
+        return [
+            (index, spec)
+            for index, spec in enumerate(self.specs)
+            if spec.kind in wanted
+        ]
+
+    @property
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(sorted({spec.kind for spec in self.specs}))

@@ -6,16 +6,39 @@ interrupts, and marks a core unusable.  The prototype's only changes
 are (1) skipping the frequency-scaling clean-up so "offline" cores stay
 at full clock, and (2) ending the shutdown path with a call into the
 monitor instead of halting the core.
+
+Both transitions are symmetric and idempotence-safe: a wrong-state
+request (offlining an offline core, onlining an online one) raises a
+typed :class:`HotplugError` *before* any state is touched, and a
+fault-injected mid-transition abort (``kernel.fault_hooks["hotplug"]``)
+likewise fires before the first mutation, so an aborted transition
+leaves the core exactly as it found it.
 """
 
 from __future__ import annotations
 
 from ..costs import CostModel, DEFAULT_COSTS
-from ..hw.machine import Machine
+from ..sim.engine import SimulationError
 from .kernel import HostKernel
 from .threads import TCompute, TSleep
 
-__all__ = ["offline_core", "online_core"]
+__all__ = ["HotplugError", "offline_core", "online_core"]
+
+
+class HotplugError(SimulationError):
+    """A hotplug transition was requested from the wrong state, or was
+    aborted mid-way (fault injection).  Host-visible only."""
+
+
+def _check_abort(kernel: HostKernel, direction: str, index: int) -> None:
+    """Consult the fault-injection hook; placed before any mutation so
+    an abort needs no rollback."""
+    hook = kernel.fault_hooks.get("hotplug")
+    if hook is not None and hook(direction, index):
+        kernel.machine.tracer.count("hotplug_abort")
+        raise HotplugError(
+            f"hotplug {direction} of core {index} aborted mid-transition"
+        )
 
 
 def offline_core(
@@ -33,11 +56,12 @@ def offline_core(
     machine = kernel.machine
     core = machine.core(index)
     if not core.online:
-        raise ValueError(f"core {index} already offline")
+        raise HotplugError(f"core {index} already offline")
     # the hotplug state machine runs work on several CPUs and waits for
     # RCU grace periods; we charge a little CPU and mostly wall time
     yield TCompute(50_000)
     yield TSleep(costs.hotplug_offline_ns)
+    _check_abort(kernel, "offline", index)
     kernel.migrate_all_from(index)
     machine.gic.retarget_spis_away_from(index, fallback=fallback_core)
     core.set_online(False)
@@ -58,9 +82,10 @@ def online_core(
     machine = kernel.machine
     core = machine.core(index)
     if core.online:
-        raise ValueError(f"core {index} already online")
+        raise HotplugError(f"core {index} already online")
     yield TCompute(30_000)
     yield TSleep(costs.hotplug_online_ns)
+    _check_abort(kernel, "online", index)
     core.irq.reset()
     core.set_online(True)
     kernel.start_core(index)

@@ -74,6 +74,9 @@ class HostKernel:
         }
         self._dispatched_at: Dict[int, int] = {i: 0 for i in range(n)}
         self.irq_handlers: Dict[int, IrqHandler] = {}
+        #: fault-injection hooks (repro.faults), keyed by site name
+        #: (e.g. "hotplug"); empty in normal operation
+        self.fault_hooks: Dict[str, Callable[..., object]] = {}
         self.threads: List[HostThread] = []
         self._parked: List[HostThread] = []
         self._started = False

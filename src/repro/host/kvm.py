@@ -36,8 +36,9 @@ from ..guest.actions import (
 from ..guest.vcpu import VIPI_VIRQ, VTIMER_VIRQ
 from ..guest.vm import GuestVm
 from ..rmm.core_gap import CoreGapEngine, HOST_KICK_SGI, RunCall
-from ..rmm.rmi import ExitReason, RecRunPage, RmiResult
+from ..rmm.rmi import ExitReason, RecRunPage, RmiResult, RmiStatus
 from ..sim.engine import Event, SimulationError
+from ..sim.timeout import TIMED_OUT, RetryPolicy, with_timeout
 from .kernel import HostKernel, RESCHED_SGI
 from .threads import HostThread, SchedClass, TBlock, TCompute, TYield
 from .wakeup import ExitNotifier
@@ -88,6 +89,16 @@ class KvmVm:
         self.finished_vcpus = 0
         self.done_event = Event(f"vm-done:{vm.name}")
         self.run_errors: List[RmiResult] = []
+        #: bounded-retry policy for async run-call waits (gapped mode):
+        #: None (default) keeps the paper's unbounded TBlock.  When set,
+        #: each wait is raced against a timeout; on expiry the thread
+        #: re-checks its slot (self-claiming a completion whose exit IPI
+        #: was lost), re-kicks the dedicated core if an injection is
+        #: pending, and backs off exponentially.  Exhaustion surfaces a
+        #: host-side run error -- never a guest-visible one.
+        self.run_wait_retry: Optional[RetryPolicy] = None
+        self.run_retries = 0
+        self.run_self_claims = 0
         #: vCPU index -> dedicated core chosen by the planner (gapped)
         self.planned_cores: Dict[int, int] = {}
         #: vCPU index -> (acked, resume) pause handshake (gapped)
@@ -233,8 +244,23 @@ class KvmVm:
                 while not slot.completed:
                     yield TCompute(costs.busywait_yield_slice_ns)
                     yield TYield()
-            else:
+            elif self.run_wait_retry is None:
                 yield TBlock(slot.claimed)
+            else:
+                claimed = yield from self._guarded_wait(idx, port, slot)
+                if not claimed:
+                    # retry budget exhausted: the dedicated core is gone
+                    # (or the transport is); fail this vCPU host-side
+                    self.tracer.count("runwait_exhausted")
+                    self.run_errors.append(
+                        RmiResult(
+                            RmiStatus.ERROR_INPUT,
+                            f"vcpu {idx}: run call unanswered after "
+                            f"{self.run_wait_retry.max_retries} retries",
+                        )
+                    )
+                    self._vcpu_finished()
+                    return
             yield TCompute(costs.rpc_read_ns)
             result = port.collect()
             last_return = port.slot.completed_at
@@ -270,6 +296,45 @@ class KvmVm:
                 self._mmio_data[idx] = device.read_register()
             elif reason in (ExitReason.HOST_KICK, ExitReason.IRQ):
                 pass  # injections are drained at the top of the loop
+
+    def _guarded_wait(self, idx: int, port, slot):
+        """Bounded-retry wait on a run-call completion (hardening).
+
+        Thread-body generator; returns True once the completion is
+        claimed, False when the retry budget is exhausted.  Handles the
+        two lost-IPI shapes: a completed-but-unnotified slot is claimed
+        directly, and a lost *host kick* (injection pending while the
+        guest runs on) is re-sent.
+        """
+        policy = self.run_wait_retry
+        for attempt, timeout_ns in enumerate(policy.timeouts()):
+            guarded = with_timeout(
+                self.sim, slot.claimed, timeout_ns,
+                name=f"runwait:{port.name}",
+            )
+            value = yield TBlock(guarded)
+            if value is not TIMED_OUT:
+                return True
+            self.run_retries += 1
+            self.tracer.count("runwait_retry")
+            yield TCompute(self.costs.wakeup_scan_slot_ns)
+            if slot.claimed.fired:
+                return True
+            if slot.completed:
+                # the exit record is published but the exit IPI (or the
+                # wake-up thread) went missing: claim it ourselves
+                self.run_self_claims += 1
+                self.tracer.count("runwait_self_claim")
+                slot.claimed.fire(slot.result)
+                return True
+            if self._injections[idx]:
+                # our earlier host kick may have been dropped while the
+                # guest keeps running: kick again
+                rec = self.engine.rmm.find_rec(self.realm_id, idx)
+                if rec.bound_core is not None:
+                    self.tracer.count("runwait_rekick")
+                    self.machine.gic.send_sgi(rec.bound_core, HOST_KICK_SGI)
+        return False
 
     def _dedicated_inbox(self, idx: int):
         rec = self.engine.rmm.find_rec(self.realm_id, idx)

@@ -21,9 +21,10 @@ from ..guest.vm import GuestVm
 from ..hw.memory import GRANULE_SIZE
 from ..rmm.core_gap import CoreGapEngine, ReleaseCall, RmiCall
 from ..rmm.rmi import RmiCommand, RmiResult
-from ..rpc.ports import AsyncRpcPort, SyncRpcPort
+from ..rpc.ports import AsyncRpcPort, RpcTimeoutError, SyncRpcPort
 from ..sim.engine import Event, SimulationError
-from .hotplug import offline_core, online_core
+from ..sim.timeout import TIMED_OUT, with_timeout
+from .hotplug import HotplugError, offline_core, online_core
 from .kernel import HostKernel
 from .kvm import KvmVm, VmMode
 from .threads import TCompute, TSpin
@@ -58,6 +59,11 @@ class CorePlanner:
         self.host_cores = set(host_cores)
         self.costs = costs
         self.sync_port = SyncRpcPort(kernel.sim, "planner")
+        #: deadline for one sync RMI busy-wait: None (default) spins
+        #: forever (the paper's happy path); when set, an unanswered
+        #: call raises a host-visible RpcTimeoutError instead of
+        #: wedging the planner on a dead dedicated core
+        self.sync_timeout_ns: Optional[int] = None
         #: vm name -> dedicated core list
         self.allocations: Dict[str, List[int]] = {}
         #: bump allocator for granules handed to the RMM
@@ -100,11 +106,29 @@ class CorePlanner:
     # ------------------------------------------------------------------
 
     def rmi(self, inbox, cmd: RmiCommand, args=()):
-        """Issue one synchronous RMI call (thread-body generator)."""
+        """Issue one synchronous RMI call (thread-body generator).
+
+        With ``sync_timeout_ns`` set the busy-wait is bounded: a call a
+        dead dedicated core never answers raises a host-visible
+        :class:`RpcTimeoutError` (invariant #2: the guest never sees
+        transport failures; the planner does, and degrades).
+        """
         yield TCompute(self.costs.rpc_write_ns)
         request = self.sync_port.post((cmd, args))
         inbox.try_put(RmiCall(request))
-        result = yield TSpin(request.done)
+        if self.sync_timeout_ns is None:
+            result = yield TSpin(request.done)
+        else:
+            guarded = with_timeout(
+                self.kernel.sim, request.done, self.sync_timeout_ns,
+                name=f"rmi-timeout:{cmd.name}",
+            )
+            result = yield TSpin(guarded)
+            if result is TIMED_OUT:
+                self.machine.tracer.count("rmi_sync_timeout")
+                raise RpcTimeoutError(
+                    f"RMI {cmd} unanswered after {self.sync_timeout_ns} ns"
+                )
         yield TCompute(self.costs.rpc_poll_detect_ns + self.costs.rpc_read_ns)
         if not isinstance(result, RmiResult) or not result.ok:
             raise SimulationError(f"RMI {cmd} failed: {result}")
@@ -114,19 +138,62 @@ class CorePlanner:
     # CVM launch / teardown (thread-body generators)
     # ------------------------------------------------------------------
 
+    def _acquire_cores(self, n_vcpus: int):
+        """Offline + dedicate ``n_vcpus`` cores (thread-body generator).
+
+        Hardened against mid-transition hotplug aborts: a core whose
+        offline transition aborts is skipped and the next free core is
+        tried; if the pool runs dry, every already-dedicated core is
+        rolled back (released + onlined) and admission is refused.
+        """
+        self.admit(n_vcpus)  # fail fast before touching any core
+        fallback = min(self.host_cores)
+        acquired: List[int] = []
+        abandoned: Set[int] = set()
+        while len(acquired) < n_vcpus:
+            candidates = [
+                c for c in self.free_cores() if c not in abandoned
+            ]
+            if not candidates:
+                yield from self._rollback_cores(acquired)
+                raise AdmissionError(
+                    f"need {n_vcpus} cores, acquisition failed after "
+                    f"{len(abandoned)} aborted hotplug transition(s)"
+                )
+            index = candidates[0]
+            try:
+                yield from offline_core(
+                    self.kernel, index, fallback, self.costs
+                )
+            except HotplugError:
+                self.machine.tracer.count("planner_hotplug_retry")
+                abandoned.add(index)
+                continue
+            self.engine.dedicate(index)
+            acquired.append(index)
+        return acquired
+
+    def _rollback_cores(self, acquired: List[int]):
+        """Release + online cores dedicated by a failed acquisition."""
+        for index in acquired:
+            release = ReleaseCall(done=Event(f"release:{index}"))
+            self.engine.dedicated[index].inbox.try_put(release)
+            yield TSpin(release.done)
+            try:
+                yield from online_core(self.kernel, index, self.costs)
+            except HotplugError:
+                # an abort during rollback leaves the core parked
+                # offline; it is unusable but in a consistent state
+                self.machine.tracer.count("planner_rollback_parked")
+
     def launch_cvm(self, vm: GuestVm, busywait: bool = False):
         """Dedicate cores, build the realm, start the vCPU threads.
 
         Returns the :class:`KvmVm`; run as (part of) a host thread body.
         """
-        cores = self.admit(vm.n_vcpus)
-        self.allocations[vm.name] = cores
-        fallback = min(self.host_cores)
-
         # 1. hotplug the cores away from the host, hand them to the RMM
-        for index in cores:
-            yield from offline_core(self.kernel, index, fallback, self.costs)
-            self.engine.dedicate(index)
+        cores = yield from self._acquire_cores(vm.n_vcpus)
+        self.allocations[vm.name] = cores
         inbox = self.engine.dedicated[cores[0]].inbox
 
         # 2. create and populate the realm over sync RPC
@@ -241,6 +308,41 @@ class CorePlanner:
         cores[cores.index(old_core)] = new_core
         resume.fire(None)
         return new_core
+
+    def evacuate_vcpu(self, kvm: KvmVm, vcpu_idx: int):
+        """Graceful degradation: move a vCPU off its (suspect) core.
+
+        Thread-body generator.  Picks a spare free core and rebinds the
+        REC onto it via the existing :class:`RebindCall` path; with no
+        spare core available the evacuation is *cleanly refused* with
+        an :class:`AdmissionError` (host-visible, never guest-visible).
+        """
+        spares = self.free_cores()
+        if not spares:
+            self.machine.tracer.count("planner_evacuate_refused")
+            raise AdmissionError(
+                f"no spare core to evacuate vcpu {vcpu_idx} of "
+                f"{kvm.vm.name}"
+            )
+        new_core = yield from self.rebind_vcpu(kvm, vcpu_idx, spares[0])
+        self.machine.tracer.count("planner_evacuate")
+        return new_core
+
+    def handle_core_failure(self, kvm: KvmVm, vcpu_idx: int):
+        """Best-effort response to a dedicated-core failure report.
+
+        Thread-body generator: try to evacuate the vCPU to a spare
+        core; any failure along the way (no spare, rebind refused,
+        sync-RPC timeout against a dead core) is absorbed into a clean
+        host-side refusal -- ``(False, reason)`` -- instead of an
+        unhandled error.
+        """
+        try:
+            new_core = yield from self.evacuate_vcpu(kvm, vcpu_idx)
+        except (AdmissionError, RpcTimeoutError, SimulationError) as exc:
+            self.machine.tracer.count("planner_failure_refused")
+            return (False, str(exc))
+        return (True, new_core)
 
     def terminate_cvm(self, kvm: KvmVm):
         """Destroy a finished CVM and reclaim its cores (thread body)."""

@@ -54,6 +54,12 @@ class VirtioBackend:
         self.peer_latency_ns = peer_latency_ns
         self._jobs: Deque[Tuple[str, int, IoRequest]] = deque()
         self._doorbell = Notify(f"virtio:{name}")
+        #: fault-injection hook (repro.faults): extra nanoseconds added
+        #: to one device-side completion latency, keyed by operation
+        #: kind; None (default) adds nothing
+        self.completion_fault_hook: Optional[
+            Callable[[str, int, IoRequest], int]
+        ] = None
         #: received packet contents, readable by the guest driver
         self.rx_queues: Dict[int, Deque[Any]] = {
             i: deque() for i in range(n_vcpus)
@@ -123,13 +129,18 @@ class VirtioBackend:
 
     # -- the "hardware" behind the backend ---------------------------------------
 
+    def _fault_delay(self, kind: str, vcpu_idx: int, request: IoRequest) -> int:
+        if self.completion_fault_hook is None:
+            return 0
+        return int(self.completion_fault_hook(kind, vcpu_idx, request) or 0)
+
     def _start_device_op(self, vcpu_idx: int, request: IoRequest) -> None:
         costs = self.costs
         if request.kind in ("blk_read", "blk_write"):
             latency = int(
                 costs.block_device_ns
                 + request.size_kib * costs.block_per_kib_ns
-            )
+            ) + self._fault_delay("blk", vcpu_idx, request)
             self.sim.schedule(
                 latency, lambda: self._enqueue("complete", vcpu_idx, request)
             )
@@ -138,7 +149,11 @@ class VirtioBackend:
             serialize = int(request.size_kib * costs.nic_per_kib_ns)
             one_way = serialize + costs.net_wire_ns
             if request.meta.get("echo") or self.echo_peer:
-                round_trip = 2 * one_way + self.peer_latency_ns
+                round_trip = (
+                    2 * one_way
+                    + self.peer_latency_ns
+                    + self._fault_delay("net", vcpu_idx, request)
+                )
                 reply = IoRequest(
                     "net_rx",
                     request.size_bytes,

@@ -14,11 +14,12 @@ there is something to wake, unlike Quarantine's always-runnable pollers.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from ..costs import CostModel, DEFAULT_COSTS
 from ..rpc.ports import AsyncRpcPort
 from ..sim.sync import Notify
+from ..sim.timeout import TIMED_OUT, with_timeout
 from .kernel import CVM_EXIT_SGI, HostKernel
 from .threads import HostThread, SchedClass, TBlock, TCompute
 
@@ -44,6 +45,17 @@ class ExitNotifier:
         self._doorbell = Notify("cvm-exit")
         self.ipis_received = 0
         self.wakeups_performed = 0
+        self.activations = 0
+        #: watchdog period: when set, the wake-up thread re-polls the
+        #: completion slots after this long without an exit IPI, so a
+        #: lost IPI degrades to latency instead of a hang.  ``None``
+        #: (default) keeps the paper's pure IPI-driven behaviour.
+        self.watchdog_ns: Optional[int] = None
+        self.watchdog_polls = 0
+        self.watchdog_recoveries = 0
+        #: fault-injection hook (repro.faults): extra nanoseconds the
+        #: wake-up thread burns before scanning on one activation
+        self.stall_hook: Optional[Callable[[], int]] = None
         kernel.register_irq_handler(CVM_EXIT_SGI, self._irq_handler)
         self.thread = HostThread(
             name="cvm-wakeup",
@@ -71,9 +83,32 @@ class ExitNotifier:
         return self.costs.wakeup_activate_ns
 
     def _body(self):
-        """Wake-up thread: poll channels, wake vCPU threads (steps 3-6)."""
+        """Wake-up thread: poll channels, wake vCPU threads (steps 3-6).
+
+        With ``watchdog_ns`` set, the suspend in step 2 is bounded: if
+        no exit IPI arrives within the period the thread re-polls the
+        slots anyway, recovering completions whose IPI was lost.
+        """
+        sim = self.kernel.sim
         while True:
-            yield TBlock(self._doorbell.wait())
+            from_watchdog = False
+            if self.watchdog_ns is None:
+                yield TBlock(self._doorbell.wait())
+            else:
+                wait = self._doorbell.wait()
+                guarded = with_timeout(
+                    sim, wait, self.watchdog_ns, name="wakeup-watchdog"
+                )
+                value = yield TBlock(guarded)
+                if value is TIMED_OUT:
+                    self._doorbell.cancel_wait(wait)
+                    self.watchdog_polls += 1
+                    from_watchdog = True
+            self.activations += 1
+            if self.stall_hook is not None:
+                stall_ns = self.stall_hook()
+                if stall_ns:
+                    yield TCompute(stall_ns)
             progress = True
             while progress:
                 progress = False
@@ -83,5 +118,10 @@ class ExitNotifier:
                     if slot.completed and not slot.claimed.fired:
                         yield TCompute(self.costs.vcpu_unblock_ns)
                         self.wakeups_performed += 1
+                        if from_watchdog:
+                            self.watchdog_recoveries += 1
+                            self.machine.tracer.count(
+                                "wakeup_watchdog_recovered"
+                            )
                         slot.claimed.fire(slot.result)
                         progress = True

@@ -18,7 +18,7 @@ Models the pieces of Arm's GICv3 that the paper's mechanisms depend on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from ..sim.engine import SimulationError, Simulator
 from ..sim.sync import Notify
@@ -125,6 +125,14 @@ class Gic:
         self._spi_routes: Dict[int, int] = {}
         self.sgi_sent = 0
         self.spi_raised = 0
+        #: fault-injection hook (repro.faults): maps ``(target, intid)``
+        #: to the list of delivery delays for this SGI -- ``[]`` drops
+        #: it, one entry delays it, several duplicate it.  ``None``
+        #: (and a ``None`` return) means the default single delivery
+        #: after the wire delay.
+        self.sgi_fault_hook: Optional[
+            Callable[[int, int], Optional[List[int]]]
+        ] = None
 
     # -- SGIs (IPIs) -------------------------------------------------------
 
@@ -134,7 +142,13 @@ class Gic:
             raise SimulationError(f"SGI intid {intid} out of range")
         self.sgi_sent += 1
         target = self.cores[target_core]
-        self.sim.schedule(self.wire_delay_ns, lambda: target.pend(intid))
+        delays: List[int] = [self.wire_delay_ns]
+        if self.sgi_fault_hook is not None:
+            faulted = self.sgi_fault_hook(target_core, intid)
+            if faulted is not None:
+                delays = faulted
+        for delay_ns in delays:
+            self.sim.schedule(delay_ns, lambda: target.pend(intid))
 
     # -- PPIs (per-core timer etc.) -----------------------------------------
 

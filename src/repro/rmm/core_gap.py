@@ -119,6 +119,13 @@ class DedicatedCore:
         self.released = False
         self.runs_handled = 0
         self.rmi_handled = 0
+        #: fault injection (repro.faults): the core hard-stalls after
+        #: completing this many run calls -- it silently swallows all
+        #: further inbox traffic, like a hung or fused-off core.  The
+        #: host must detect this via its own timeouts (invariant #2:
+        #: the failure surfaces host-side, never guest-side).
+        self.fail_after_runs: Optional[int] = None
+        self.failed = False
 
     # ------------------------------------------------------------------
     # the dedicated-core loop
@@ -133,6 +140,17 @@ class DedicatedCore:
         core = self.core
         while not self.released:
             item = yield from self.inbox.get()
+            if (
+                self.fail_after_runs is not None
+                and self.runs_handled >= self.fail_after_runs
+            ):
+                self.failed = True
+            if self.failed:
+                # a dead core answers nothing: run slots stay submitted,
+                # sync requests never fire -- the host's retry/timeout
+                # hardening must notice
+                self.tracer.count("rmm_core_dead_drop")
+                continue
             yield from core.execute(
                 MONITOR_DOMAIN,
                 self.costs.rpc_poll_detect_ns + self.costs.rpc_read_ns,

@@ -1,5 +1,17 @@
 """Shared-memory RPC transports (sync busy-wait and async IPI-notified)."""
 
-from .ports import AsyncRpcPort, CompletionSlot, RpcRequest, SyncRpcPort
+from .ports import (
+    AsyncRpcPort,
+    CompletionSlot,
+    RpcRequest,
+    RpcTimeoutError,
+    SyncRpcPort,
+)
 
-__all__ = ["AsyncRpcPort", "CompletionSlot", "RpcRequest", "SyncRpcPort"]
+__all__ = [
+    "AsyncRpcPort",
+    "CompletionSlot",
+    "RpcRequest",
+    "RpcTimeoutError",
+    "SyncRpcPort",
+]

@@ -22,11 +22,26 @@ real shared memory, which costs whoever touches it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from ..sim.engine import Event, SimulationError, Simulator
 
-__all__ = ["RpcRequest", "CompletionSlot", "SyncRpcPort", "AsyncRpcPort"]
+__all__ = [
+    "RpcRequest",
+    "RpcTimeoutError",
+    "CompletionSlot",
+    "SyncRpcPort",
+    "AsyncRpcPort",
+]
+
+
+class RpcTimeoutError(SimulationError):
+    """A bounded RPC wait expired on the *host* side.
+
+    Raised in host threads only (planner sync calls, run-call retry
+    exhaustion): per invariant #2 the guest never observes a host
+    transport failure -- the host does, and degrades or refuses.
+    """
 
 
 @dataclass
@@ -106,6 +121,12 @@ class AsyncRpcPort:
         self.slot = CompletionSlot(name=name)
         self.submit_count = 0
         self.complete_count = 0
+        #: fault-injection hook (repro.faults): maps the about-to-be
+        #: published result to ``(publish_delay_ns, result)``.  None
+        #: (the default) publishes immediately and unchanged.
+        self.completion_fault: Optional[
+            Callable[["AsyncRpcPort", Any], Tuple[int, Any]]
+        ] = None
 
     # -- client (host vCPU thread) side ------------------------------------
 
@@ -125,6 +146,11 @@ class AsyncRpcPort:
 
     def collect(self) -> Any:
         """Read the result after completion (caller charges read cost)."""
+        if self.slot.state != "completed":
+            raise SimulationError(
+                f"port {self.name}: collect() on a "
+                f"{self.slot.state!r} slot"
+            )
         result = self.slot.result
         self.slot.state = "idle"
         return result
@@ -134,6 +160,22 @@ class AsyncRpcPort:
     def complete(self, result: Any) -> None:
         """Publish the exit record and raise the CVM-exit notification
         (the RMM charges its write cost before calling this)."""
+        if self.slot.state != "submitted":
+            raise SimulationError(
+                f"port {self.name}: complete() on a "
+                f"{self.slot.state!r} slot (double completion?)"
+            )
+        delay_ns = 0
+        if self.completion_fault is not None:
+            delay_ns, result = self.completion_fault(self, result)
+        if delay_ns > 0:
+            # stalled completion: the exit record stays invisible to the
+            # host until the (faulted) write lands
+            self.sim.schedule(delay_ns, lambda: self._publish(result))
+        else:
+            self._publish(result)
+
+    def _publish(self, result: Any) -> None:
         self.slot.state = "completed"
         self.slot.result = result
         self.slot.completed_at = self.sim.now

@@ -12,6 +12,7 @@ from .audit import (
     CoreGapAuditor,
     ResidencyViolation,
     SharingViolation,
+    audit_conservation,
 )
 from .channels import (
     btb_inject,
@@ -37,6 +38,7 @@ __all__ = [
     "AuditReport",
     "CATALOG",
     "CoreGapAuditor",
+    "audit_conservation",
     "Kind",
     "ResidencyViolation",
     "Scope",

@@ -33,7 +33,13 @@ from ..isa.worlds import (
 )
 from ..sim.trace import Tracer
 
-__all__ = ["SharingViolation", "ResidencyViolation", "AuditReport", "CoreGapAuditor"]
+__all__ = [
+    "SharingViolation",
+    "ResidencyViolation",
+    "AuditReport",
+    "CoreGapAuditor",
+    "audit_conservation",
+]
 
 
 @dataclass(frozen=True)
@@ -88,6 +94,54 @@ class AuditReport:
         lines += [f"  {v}" for v in self.sharing[:20]]
         lines += [f"  {v}" for v in self.residency[:20]]
         return "\n".join(lines)
+
+
+def audit_conservation(
+    tracer: Tracer, end_ns: int, start_ns: int = 0
+) -> List[str]:
+    """Accounting invariants (#8) that must hold on any schedule, fault
+    injected or not.  Returns human-readable problems ([] when clean).
+
+    * exit-count conservation: ``exits_total`` equals the sum of the
+      per-reason ``exit:*`` counters (an exit that is counted must be
+      attributed, and vice versa);
+    * CPU-time conservation: per core, the summed execution-span time
+      cannot exceed the wall-clock window, and no span runs backwards
+      or escapes the window.
+    """
+    problems: List[str] = []
+    counters = tracer.counters
+    exits_total = int(counters.get("exits_total", 0))
+    by_reason = sum(
+        int(v) for k, v in counters.items() if k.startswith("exit:")
+    )
+    if exits_total != by_reason:
+        problems.append(
+            f"exit counts unbalanced: exits_total={exits_total} but "
+            f"sum(exit:*)={by_reason}"
+        )
+    wall = end_ns - start_ns
+    busy: Dict[int, int] = {}
+    for span in tracer.spans:
+        if span.end < span.start:
+            problems.append(
+                f"core {span.core}: span for {span.domain} runs "
+                f"backwards ({span.start}..{span.end})"
+            )
+            continue
+        if span.start < start_ns or span.end > end_ns:
+            problems.append(
+                f"core {span.core}: span for {span.domain} escapes the "
+                f"window ({span.start}..{span.end} vs {start_ns}..{end_ns})"
+            )
+        busy[span.core] = busy.get(span.core, 0) + (span.end - span.start)
+    for core, busy_ns in sorted(busy.items()):
+        if busy_ns > wall:
+            problems.append(
+                f"core {core}: {busy_ns} ns of execution in a "
+                f"{wall} ns window"
+            )
+    return problems
 
 
 class CoreGapAuditor:

@@ -4,24 +4,29 @@ from .clock import MS, NS, SEC, US, fmt_ns, ms, ns, sec, to_ms, to_sec, to_us, u
 from .engine import AnyOf, Delay, Event, Process, SimulationError, Simulator, Wakeup
 from .rng import RngFactory
 from .sync import Channel, CountingSemaphore, Mutex, Notify
+from .timeout import TIMED_OUT, Deadline, RetryPolicy, with_timeout
 from .trace import ExecutionSpan, TraceRecord, Tracer
 
 __all__ = [
     "AnyOf",
     "Channel",
     "CountingSemaphore",
+    "Deadline",
     "Delay",
     "Event",
     "ExecutionSpan",
     "Mutex",
     "Notify",
     "Process",
+    "RetryPolicy",
     "RngFactory",
     "SimulationError",
     "Simulator",
+    "TIMED_OUT",
     "TraceRecord",
     "Tracer",
     "Wakeup",
+    "with_timeout",
     "MS",
     "NS",
     "SEC",

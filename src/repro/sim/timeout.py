@@ -1,0 +1,131 @@
+"""Timeout and deadline primitives for bounded waits.
+
+The happy-path simulation never needed these: every IPI arrives and
+every RPC completes.  Under fault injection (:mod:`repro.faults`) a
+wait can become unbounded, and the hardening paths -- the wake-up
+watchdog, bounded-retry run-call waits, sync-RPC deadlines -- all share
+the same building block: *race an event against the clock*.
+
+:func:`with_timeout` wraps an :class:`~repro.sim.engine.Event` into a
+new event that fires either with the inner event's value or with the
+:data:`TIMED_OUT` sentinel, whichever comes first.  The loser is
+cancelled (timer cancelled / waiter removed), so repeated guarded waits
+leave no residue on the inner event.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .engine import Event, SimulationError, Simulator
+
+__all__ = ["TIMED_OUT", "with_timeout", "Deadline", "RetryPolicy"]
+
+
+class _TimedOut:
+    """Singleton sentinel distinguishing a timeout from any fired value."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "TIMED_OUT"
+
+
+#: the value a :func:`with_timeout` event fires with when the clock wins
+TIMED_OUT = _TimedOut()
+
+
+def with_timeout(
+    sim: Simulator, event: Event, timeout_ns: int, name: str = "timeout"
+) -> Event:
+    """Race ``event`` against ``timeout_ns``; returns the guarded event.
+
+    The returned event fires exactly once: with the inner event's value
+    if it fires within the window, otherwise with :data:`TIMED_OUT`.
+    An already-fired inner event resolves immediately.
+    """
+    if timeout_ns <= 0:
+        raise SimulationError(f"non-positive timeout: {timeout_ns}")
+    guarded = Event(name)
+    if event.fired:
+        guarded.fire(event.value)
+        return guarded
+
+    def on_inner(value) -> None:
+        if guarded.fired:
+            return
+        timer.cancelled = True
+        guarded.fire(value)
+
+    def on_timeout() -> None:
+        if guarded.fired:
+            return
+        event.remove_waiter(on_inner)
+        guarded.fire(TIMED_OUT)
+
+    event.add_waiter(on_inner)
+    timer = sim.schedule(timeout_ns, on_timeout)
+    return guarded
+
+
+class Deadline:
+    """An absolute point in simulated time that work must not outlive."""
+
+    __slots__ = ("sim", "at_ns")
+
+    def __init__(self, sim: Simulator, budget_ns: int):
+        if budget_ns < 0:
+            raise SimulationError(f"negative deadline budget: {budget_ns}")
+        self.sim = sim
+        self.at_ns = sim.now + int(budget_ns)
+
+    @property
+    def expired(self) -> bool:
+        return self.sim.now >= self.at_ns
+
+    def remaining_ns(self) -> int:
+        return max(0, self.at_ns - self.sim.now)
+
+
+class RetryPolicy:
+    """Bounded retry with exponential backoff (integer nanoseconds).
+
+    ``timeouts()`` yields the per-attempt timeout sequence: the first
+    wait uses ``first_timeout_ns`` and each retry doubles it (capped at
+    ``max_timeout_ns``), for ``max_retries`` retries after the initial
+    attempt.
+    """
+
+    __slots__ = ("first_timeout_ns", "max_retries", "max_timeout_ns")
+
+    def __init__(
+        self,
+        first_timeout_ns: int,
+        max_retries: int,
+        max_timeout_ns: Optional[int] = None,
+    ):
+        if first_timeout_ns <= 0:
+            raise SimulationError(
+                f"non-positive retry timeout: {first_timeout_ns}"
+            )
+        if max_retries < 0:
+            raise SimulationError(f"negative max_retries: {max_retries}")
+        self.first_timeout_ns = int(first_timeout_ns)
+        self.max_retries = int(max_retries)
+        self.max_timeout_ns = (
+            None if max_timeout_ns is None else int(max_timeout_ns)
+        )
+
+    def timeout_for(self, attempt: int) -> int:
+        """Timeout for attempt ``attempt`` (0 = the initial wait)."""
+        timeout = self.first_timeout_ns << attempt
+        if self.max_timeout_ns is not None:
+            timeout = min(timeout, self.max_timeout_ns)
+        return timeout
+
+    def timeouts(self):
+        for attempt in range(self.max_retries + 1):
+            yield self.timeout_for(attempt)
+
+    def total_budget_ns(self) -> int:
+        return sum(self.timeouts())

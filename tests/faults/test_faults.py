@@ -1,0 +1,198 @@
+"""Unit tests for the fault plan/injector machinery."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.rmm.rmi import RmiResult
+from repro.sim import SimulationError, Simulator
+from repro.sim.rng import RngFactory
+from repro.sim.trace import Tracer
+
+
+def make_injector(*specs, seed=0):
+    sim = Simulator()
+    plan = FaultPlan.of("t", *specs)
+    injector = FaultInjector(plan, RngFactory(seed), sim, tracer=Tracer())
+    return sim, injector
+
+
+def fake_gic(wire=400):
+    return SimpleNamespace(wire_delay_ns=wire, sgi_fault_hook=None)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError, match="unknown fault kind"):
+            FaultSpec("spontaneous_combustion")
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(SimulationError, match="not in"):
+            FaultSpec(FaultKind.IPI_DROP, rate=1.5)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError, match="negative"):
+            FaultSpec(FaultKind.IPI_DELAY, delay_ns=-1)
+
+    def test_active_window(self):
+        spec = FaultSpec(FaultKind.IPI_DROP, start_ns=100, end_ns=200)
+        assert not spec.active_at(99)
+        assert spec.active_at(100)
+        assert spec.active_at(199)
+        assert not spec.active_at(200)
+
+    def test_plan_of_kind_indices_are_stable(self):
+        plan = FaultPlan.of(
+            "p",
+            FaultSpec(FaultKind.IPI_DROP),
+            FaultSpec(FaultKind.WAKEUP_STALL, delay_ns=5),
+            FaultSpec(FaultKind.IPI_DELAY, delay_ns=10),
+        )
+        assert [i for i, _ in plan.of_kind(FaultKind.IPI_DROP)] == [0]
+        assert [i for i, _ in plan.of_kind(FaultKind.IPI_DELAY)] == [2]
+        assert plan.kinds == ("ipi_delay", "ipi_drop", "wakeup_stall")
+
+
+class TestSgiHook:
+    def test_drop_delay_duplicate_shapes(self):
+        gic = fake_gic()
+        _, inj = make_injector(FaultSpec(FaultKind.IPI_DROP))
+        inj.attach_gic(gic)
+        assert gic.sgi_fault_hook(1, 8) == []
+
+        _, inj = make_injector(FaultSpec(FaultKind.IPI_DELAY, delay_ns=100))
+        inj.attach_gic(gic)
+        assert gic.sgi_fault_hook(1, 8) == [500]
+
+        _, inj = make_injector(
+            FaultSpec(FaultKind.IPI_DUPLICATE, delay_ns=50)
+        )
+        inj.attach_gic(gic)
+        assert gic.sgi_fault_hook(1, 8) == [400, 450]
+
+    def test_intid_and_target_filters(self):
+        gic = fake_gic()
+        _, inj = make_injector(
+            FaultSpec(FaultKind.IPI_DROP, intids=(8,), target=2)
+        )
+        inj.attach_gic(gic)
+        assert gic.sgi_fault_hook(2, 9) is None  # wrong intid
+        assert gic.sgi_fault_hook(1, 8) is None  # wrong target core
+        assert gic.sgi_fault_hook(2, 8) == []
+        assert inj.injected == {FaultKind.IPI_DROP: 1}
+
+    def test_count_cap(self):
+        gic = fake_gic()
+        _, inj = make_injector(FaultSpec(FaultKind.IPI_DROP, count=2))
+        inj.attach_gic(gic)
+        results = [gic.sgi_fault_hook(0, 8) for _ in range(5)]
+        assert results == [[], [], None, None, None]
+        assert inj.total_injected == 2
+
+    def test_rate_draws_are_seed_deterministic(self):
+        def pattern(seed):
+            gic = fake_gic()
+            _, inj = make_injector(
+                FaultSpec(FaultKind.IPI_DROP, rate=0.5), seed=seed
+            )
+            inj.attach_gic(gic)
+            return [gic.sgi_fault_hook(0, 8) == [] for _ in range(64)]
+
+        assert pattern(1) == pattern(1)
+        assert pattern(1) != pattern(2)
+        assert 10 < sum(pattern(1)) < 54  # actually probabilistic
+
+
+class TestOtherHooks:
+    def test_completion_stall_and_corrupt(self):
+        port = SimpleNamespace(name="vm.vcpu0", completion_fault=None)
+        _, inj = make_injector(
+            FaultSpec(FaultKind.RPC_COMPLETION_STALL, delay_ns=300)
+        )
+        inj.attach_port(port)
+        assert port.completion_fault(port, "exit") == (300, "exit")
+
+        _, inj = make_injector(FaultSpec(FaultKind.RPC_COMPLETION_CORRUPT))
+        inj.attach_port(port)
+        delay, result = port.completion_fault(port, "exit")
+        assert delay == 0
+        assert isinstance(result, RmiResult)
+        assert not result.ok
+
+    def test_completion_port_filter(self):
+        port = SimpleNamespace(name="vm.vcpu1", completion_fault=None)
+        _, inj = make_injector(
+            FaultSpec(FaultKind.RPC_COMPLETION_STALL, delay_ns=9,
+                      port_substr="vcpu0")
+        )
+        inj.attach_port(port)
+        assert port.completion_fault(port, "x") == (0, "x")
+
+    def test_wakeup_stall_sums_specs(self):
+        notifier = SimpleNamespace(stall_hook=None)
+        _, inj = make_injector(
+            FaultSpec(FaultKind.WAKEUP_STALL, delay_ns=100),
+            FaultSpec(FaultKind.WAKEUP_STALL, delay_ns=50),
+        )
+        inj.attach_notifier(notifier)
+        assert notifier.stall_hook() == 150
+
+    def test_hotplug_hook_target_filter(self):
+        kernel = SimpleNamespace(fault_hooks={})
+        _, inj = make_injector(
+            FaultSpec(FaultKind.HOTPLUG_ABORT, target=3)
+        )
+        inj.attach_kernel(kernel)
+        hook = kernel.fault_hooks["hotplug"]
+        assert hook("offline", 2) is False
+        assert hook("offline", 3) is True
+
+    def test_virtio_hook_vcpu_filter(self):
+        backend = SimpleNamespace(completion_fault_hook=None)
+        _, inj = make_injector(
+            FaultSpec(FaultKind.VIRTIO_COMPLETION_DELAY, delay_ns=70,
+                      target=1)
+        )
+        inj.attach_device(backend)
+        assert backend.completion_fault_hook("net", 0, None) == 0
+        assert backend.completion_fault_hook("net", 1, None) == 70
+
+    def test_engine_arming_picks_target_core(self):
+        cores = {2: SimpleNamespace(fail_after_runs=None),
+                 4: SimpleNamespace(fail_after_runs=None)}
+        engine = SimpleNamespace(dedicated=cores)
+        _, inj = make_injector(
+            FaultSpec(FaultKind.CORE_STALL, target=4, after_runs=3)
+        )
+        inj.attach_engine(engine)
+        assert cores[2].fail_after_runs is None
+        assert cores[4].fail_after_runs == 3
+
+    def test_engine_arming_defaults_to_lowest_core(self):
+        cores = {5: SimpleNamespace(fail_after_runs=None),
+                 3: SimpleNamespace(fail_after_runs=None)}
+        engine = SimpleNamespace(dedicated=cores)
+        _, inj = make_injector(FaultSpec(FaultKind.CORE_STALL))
+        inj.attach_engine(engine)
+        assert cores[3].fail_after_runs == 0
+        assert cores[5].fail_after_runs is None
+
+    def test_window_gates_injection(self):
+        sim, inj = make_injector(
+            FaultSpec(FaultKind.WAKEUP_STALL, delay_ns=10, start_ns=1_000)
+        )
+        notifier = SimpleNamespace(stall_hook=None)
+        inj.attach_notifier(notifier)
+        assert notifier.stall_hook() == 0  # now=0 < start
+        sim.schedule(2_000, lambda: None)
+        sim.run()
+        assert notifier.stall_hook() == 10
+
+    def test_injections_counted_in_tracer(self):
+        gic = fake_gic()
+        _, inj = make_injector(FaultSpec(FaultKind.IPI_DROP, count=3))
+        inj.attach_gic(gic)
+        for _ in range(5):
+            gic.sgi_fault_hook(0, 8)
+        assert inj.tracer.counters["fault:ipi_drop"] == 3

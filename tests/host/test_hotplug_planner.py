@@ -5,7 +5,7 @@ import pytest
 from repro.experiments import System, SystemConfig
 from repro.guest.actions import Compute
 from repro.guest.vm import GuestVm
-from repro.host.hotplug import offline_core, online_core
+from repro.host.hotplug import HotplugError, offline_core, online_core
 from repro.host.threads import HostThread, SchedClass
 from repro.hw.gic import SPI_BASE
 from repro.isa import World
@@ -63,10 +63,51 @@ class TestHotplug:
         run_thread_body(
             system, offline_core(system.kernel, 2, fallback_core=0)
         )
-        with pytest.raises(ValueError):
+        with pytest.raises(HotplugError, match="already offline"):
             run_thread_body(
                 system, offline_core(system.kernel, 2, fallback_core=0)
             )
+        # the failed transition mutated nothing
+        assert not system.machine.core(2).online
+        assert system.tracer.counters["hotplug_offline"] == 1
+
+    def test_double_online_rejected(self, system):
+        with pytest.raises(HotplugError, match="already online"):
+            run_thread_body(system, online_core(system.kernel, 2))
+        assert system.machine.core(2).online
+        assert "hotplug_online" not in system.tracer.counters
+
+    def test_offline_abort_leaves_core_untouched(self, system):
+        system.kernel.fault_hooks["hotplug"] = lambda direction, idx: True
+        with pytest.raises(HotplugError, match="aborted"):
+            run_thread_body(
+                system, offline_core(system.kernel, 2, fallback_core=0)
+            )
+        # abort fires before any mutation: the core is still fully online
+        assert system.machine.core(2).online
+        assert system.tracer.counters["hotplug_abort"] == 1
+        assert "hotplug_offline" not in system.tracer.counters
+
+    def test_online_abort_leaves_core_offline(self, system):
+        run_thread_body(
+            system, offline_core(system.kernel, 2, fallback_core=0)
+        )
+        system.kernel.fault_hooks["hotplug"] = lambda direction, idx: True
+        with pytest.raises(HotplugError, match="aborted"):
+            run_thread_body(system, online_core(system.kernel, 2))
+        assert not system.machine.core(2).online
+        assert "hotplug_online" not in system.tracer.counters
+
+    def test_offline_online_symmetric_roundtrip(self, system):
+        for _ in range(2):
+            run_thread_body(
+                system, offline_core(system.kernel, 2, fallback_core=0)
+            )
+            assert not system.machine.core(2).online
+            run_thread_body(system, online_core(system.kernel, 2))
+            assert system.machine.core(2).online
+        assert system.tracer.counters["hotplug_offline"] == 2
+        assert system.tracer.counters["hotplug_online"] == 2
 
 
 def forever(vm, index):
@@ -135,6 +176,52 @@ class TestPlanner:
         ):
             assert tracker.count_in_state(state) == 0
 
+    def test_acquire_skips_flaky_core(self, system):
+        # exactly one abort, on core 1's offline transition: the planner
+        # retries with the next free core instead of failing the launch
+        aborted = []
+
+        def hook(direction, index):
+            if direction == "offline" and index == 1 and not aborted:
+                aborted.append(index)
+                return True
+            return False
+
+        system.kernel.fault_hooks["hotplug"] = hook
+        vm = GuestVm("t", 2, forever)
+        kvm = system.launch(vm)
+        assert sorted(kvm.planned_cores.values()) == [2, 3]
+        assert system.tracer.counters["planner_hotplug_retry"] == 1
+
+    def test_acquire_exhaustion_refused_cleanly(self, system):
+        from repro.host.planner import AdmissionError
+
+        system.kernel.fault_hooks["hotplug"] = lambda d, i: d == "offline"
+        vm = GuestVm("t", 2, forever)
+        with pytest.raises(AdmissionError, match="aborted hotplug"):
+            system.launch(vm)
+        # every core is exactly as it was: online and free
+        assert sorted(system.planner.free_cores()) == [1, 2, 3]
+        assert "t" not in system.planner.allocations
+
+    def test_rmi_sync_timeout_surfaces_host_side(self, system):
+        from repro.rpc.ports import RpcTimeoutError
+        from repro.rmm.rmi import RmiCommand
+
+        system.planner.sync_timeout_ns = ms(1)
+
+        def body():
+            yield from offline_core(system.kernel, 2, fallback_core=0)
+            dead = system.engine.dedicate(2)
+            dead.failed = True  # answers nothing, like a hung core
+            yield from system.planner.rmi(
+                dead.inbox, RmiCommand.GRANULE_DELEGATE, (1 << 30,)
+            )
+
+        with pytest.raises(RpcTimeoutError, match="unanswered"):
+            run_thread_body(system, body())
+        assert system.tracer.counters["rmi_sync_timeout"] == 1
+
     def test_attestation_token_for_launched_realm(self, system):
         from repro.rmm import verify_token
 
@@ -149,3 +236,38 @@ class TestPlanner:
             expected_realm_measurement=realm.measurement,
             require_core_gapped=True,
         )
+
+
+class TestPlannerDegradation:
+    """Graceful degradation on dedicated-core failure reports."""
+
+    def _launch(self, n_cores, n_vcpus):
+        system = System(
+            SystemConfig(mode="gapped", n_cores=n_cores, housekeeping=None)
+        )
+        vm = GuestVm("vm0", n_vcpus, forever)
+        kvm = system.launch(vm)
+        system.start(kvm)
+        system.run_for(ms(5))
+        return system, kvm
+
+    def test_core_failure_evacuates_to_spare(self):
+        system, kvm = self._launch(n_cores=6, n_vcpus=2)
+        old_core = kvm.planned_cores[0]
+        ok, new_core = run_thread_body(
+            system, system.planner.handle_core_failure(kvm, 0)
+        )
+        assert ok
+        assert new_core != old_core
+        assert kvm.planned_cores[0] == new_core
+        assert system.tracer.counters["planner_evacuate"] == 1
+        system.run_for(ms(2))  # the guest keeps running on the new core
+
+    def test_core_failure_refused_without_spare(self):
+        system, kvm = self._launch(n_cores=4, n_vcpus=3)
+        ok, reason = run_thread_body(
+            system, system.planner.handle_core_failure(kvm, 0)
+        )
+        assert not ok
+        assert "no spare" in reason
+        assert system.tracer.counters["planner_failure_refused"] == 1

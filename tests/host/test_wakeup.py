@@ -76,6 +76,128 @@ class TestExitNotifier:
         assert notifier.ipis_received == 1
         assert notifier.wakeups_performed == 0
 
+    def test_spurious_ipi_with_submitted_but_uncompleted_slots(self):
+        # a spurious (duplicated / stale) exit IPI while every slot is
+        # still in flight: the scan finds nothing and nobody is woken
+        machine, kernel, notifier, ports = make_stack()
+        woken = []
+
+        def vcpu_thread(port):
+            slot = port.submit("run")
+            yield TBlock(slot.claimed)
+            woken.append(port.name)
+
+        for i, port in enumerate(ports):
+            kernel.add_thread(
+                HostThread(f"v{i}", vcpu_thread(port), SchedClass.FIFO)
+            )
+        machine.gic.send_sgi(0, CVM_EXIT_SGI)
+        machine.sim.run(until=ms(1))
+        assert notifier.ipis_received == 1
+        assert notifier.wakeups_performed == 0
+        assert woken == []
+        for port in ports:
+            assert port.slot.state == "submitted"
+
+    def test_single_wake_drains_slot_completed_during_scan(self):
+        # port_b's completion lands *between* port_a's IPI delivery and
+        # the poll loop, and port_b's own IPI is lost: the single wake
+        # triggered by port_a must drain both completions
+        machine, kernel, notifier, ports = make_stack(0)
+        sim = machine.sim
+        port_a = AsyncRpcPort(sim, "a", notifier.notify_exit)
+        port_b = AsyncRpcPort(sim, "b", lambda port: None)  # lost IPI
+        notifier.register_port(port_a)
+        notifier.register_port(port_b)
+        woken = []
+
+        def vcpu_thread(port):
+            slot = port.submit("run")
+            yield TBlock(slot.claimed)
+            woken.append(port.name)
+
+        kernel.add_thread(
+            HostThread("va", vcpu_thread(port_a), SchedClass.FIFO)
+        )
+        kernel.add_thread(
+            HostThread("vb", vcpu_thread(port_b), SchedClass.FIFO)
+        )
+        sim.schedule(us(50), lambda: port_a.complete("ra"))
+        # port_a's exit IPI is on the wire for 400 ns; one tick after
+        # delivery -- before the activated thread has scanned anything --
+        # port_b completes silently
+        sim.schedule(us(50) + 401, lambda: port_b.complete("rb"))
+        sim.run(until=ms(1))
+        assert sorted(woken) == ["a", "b"]
+        assert notifier.ipis_received == 1
+        assert notifier.wakeups_performed == 2
+
+    def test_watchdog_recovers_lost_exit_ipi(self):
+        machine, kernel, notifier, ports = make_stack(0)
+        notifier.watchdog_ns = us(100)
+        sim = machine.sim
+        port = AsyncRpcPort(sim, "p", lambda port: None)  # IPI always lost
+        notifier.register_port(port)
+        woken = []
+
+        def vcpu_thread():
+            slot = port.submit("run")
+            value = yield TBlock(slot.claimed)
+            woken.append((sim.now, value))
+
+        kernel.add_thread(HostThread("v", vcpu_thread(), SchedClass.FIFO))
+        sim.schedule(us(50), lambda: port.complete("exit-record"))
+        sim.run(until=ms(1))
+        # no IPI ever arrived, yet the watchdog re-poll found the slot
+        assert notifier.ipis_received == 0
+        assert woken and woken[0][1] == "exit-record"
+        assert notifier.watchdog_polls >= 1
+        assert notifier.watchdog_recoveries == 1
+        assert machine.tracer.counters["wakeup_watchdog_recovered"] == 1
+
+    def test_watchdog_idle_polls_are_harmless(self):
+        machine, kernel, notifier, ports = make_stack()
+        notifier.watchdog_ns = us(100)
+        machine.sim.run(until=ms(1))
+        assert notifier.watchdog_polls >= 5
+        assert notifier.watchdog_recoveries == 0
+        assert notifier.wakeups_performed == 0
+
+    def test_watchdog_does_not_disturb_ipi_path(self):
+        machine, kernel, notifier, ports = make_stack()
+        notifier.watchdog_ns = ms(10)  # far beyond the test horizon
+        port = ports[0]
+        woken = []
+
+        def vcpu_thread():
+            slot = port.submit("run")
+            value = yield TBlock(slot.claimed)
+            woken.append(value)
+
+        kernel.add_thread(HostThread("v", vcpu_thread(), SchedClass.FIFO))
+        machine.sim.schedule(us(50), lambda: port.complete("r"))
+        machine.sim.run(until=ms(1))
+        assert woken == ["r"]
+        assert notifier.ipis_received == 1
+        assert notifier.watchdog_recoveries == 0
+
+    def test_stall_hook_delays_but_never_loses_wakeups(self):
+        machine, kernel, notifier, ports = make_stack()
+        notifier.stall_hook = lambda: us(200)
+        port = ports[0]
+        woken = []
+
+        def vcpu_thread():
+            slot = port.submit("run")
+            yield TBlock(slot.claimed)
+            woken.append(machine.sim.now)
+
+        kernel.add_thread(HostThread("v", vcpu_thread(), SchedClass.FIFO))
+        machine.sim.schedule(us(50), lambda: port.complete("r"))
+        machine.sim.run(until=ms(1))
+        assert woken, "stalled wake-up thread must still deliver"
+        assert woken[0] >= us(250)  # completion + injected stall
+
     def test_repeated_cycles(self):
         machine, kernel, notifier, ports = make_stack(1)
         port = ports[0]

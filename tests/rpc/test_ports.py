@@ -70,6 +70,54 @@ class TestAsyncPort:
         assert port.submit_count == 3
         assert port.complete_count == 3
 
+    def test_collect_before_completion_rejected(self):
+        notifications = []
+        sim, port = self.make_port(notifications)
+        with pytest.raises(SimulationError, match="'idle' slot"):
+            port.collect()
+        port.submit("a")
+        with pytest.raises(SimulationError, match="'submitted' slot"):
+            port.collect()
+        port.complete("r")
+        assert port.collect() == "r"
+        # idle again after a successful collect: a second read is a bug
+        with pytest.raises(SimulationError, match="'idle' slot"):
+            port.collect()
+
+    def test_double_completion_rejected(self):
+        notifications = []
+        sim, port = self.make_port(notifications)
+        port.submit("a")
+        port.complete("r")
+        with pytest.raises(SimulationError, match="double completion"):
+            port.complete("r2")
+        # and completing with no submitted call at all is also rejected
+        port.collect()
+        with pytest.raises(SimulationError, match="double completion"):
+            port.complete("r3")
+
+    def test_faulted_completion_stalls_publication(self):
+        notifications = []
+        sim, port = self.make_port(notifications)
+        port.completion_fault = lambda p, result: (500, result)
+        port.submit("a")
+        port.complete("r")
+        # the exit record is not visible until the stalled write lands
+        assert port.slot.state == "submitted"
+        assert notifications == []
+        sim.run()
+        assert port.slot.completed
+        assert notifications == [port]
+        assert port.collect() == "r"
+
+    def test_faulted_completion_substitutes_result(self):
+        notifications = []
+        sim, port = self.make_port(notifications)
+        port.completion_fault = lambda p, result: (0, "garbage")
+        port.submit("a")
+        port.complete("r")
+        assert port.collect() == "garbage"
+
     def test_claimed_event_fresh_per_submit(self):
         notifications = []
         sim, port = self.make_port(notifications)

@@ -1,0 +1,118 @@
+"""Tests for the timeout/deadline/retry primitives (hardening layer)."""
+
+import pytest
+
+from repro.sim import (
+    Deadline,
+    Event,
+    RetryPolicy,
+    SimulationError,
+    Simulator,
+    TIMED_OUT,
+    with_timeout,
+)
+
+
+class TestWithTimeout:
+    def test_inner_event_wins(self):
+        sim = Simulator()
+        inner = Event("inner")
+        guarded = with_timeout(sim, inner, 1_000)
+        sim.schedule(500, lambda: inner.fire("value"))
+        sim.run()
+        assert guarded.fired
+        assert guarded.value == "value"
+
+    def test_timeout_wins(self):
+        sim = Simulator()
+        inner = Event("inner")
+        guarded = with_timeout(sim, inner, 1_000)
+        sim.run()
+        assert guarded.fired
+        assert guarded.value is TIMED_OUT
+        assert sim.now == 1_000
+
+    def test_loser_is_cancelled_both_ways(self):
+        sim = Simulator()
+        # inner wins: the timer must not fire the guarded event again
+        inner = Event("inner")
+        guarded = with_timeout(sim, inner, 1_000)
+        sim.schedule(10, lambda: inner.fire("v"))
+        sim.run()
+        assert guarded.value == "v"
+        # timeout wins: firing the inner event later must not re-fire
+        # the guarded event (the waiter was removed)
+        sim2 = Simulator()
+        inner2 = Event("inner")
+        guarded2 = with_timeout(sim2, inner2, 1_000)
+        sim2.run()
+        assert guarded2.value is TIMED_OUT
+        inner2.fire("late")  # no double-fire on guarded2
+        assert guarded2.value is TIMED_OUT
+
+    def test_already_fired_event_resolves_immediately(self):
+        sim = Simulator()
+        inner = Event("inner")
+        inner.fire(42)
+        guarded = with_timeout(sim, inner, 1_000)
+        assert guarded.fired
+        assert guarded.value == 42
+        sim.run()  # the (never-armed) timer leaves no residue
+        assert sim.now == 0
+
+    def test_guarded_waits_leave_no_residue_on_inner(self):
+        # repeated timed-out waits against the same long-lived event
+        # must not accumulate waiters
+        sim = Simulator()
+        inner = Event("inner")
+        for _ in range(5):
+            with_timeout(sim, inner, 100)
+        sim.run()
+        assert inner._waiters == []
+
+    def test_non_positive_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="non-positive"):
+            with_timeout(sim, Event("e"), 0)
+
+    def test_timed_out_sentinel_repr(self):
+        assert repr(TIMED_OUT) == "TIMED_OUT"
+
+
+class TestDeadline:
+    def test_expiry_tracks_clock(self):
+        sim = Simulator()
+        deadline = Deadline(sim, 500)
+        assert not deadline.expired
+        assert deadline.remaining_ns() == 500
+        sim.schedule(500, lambda: None)
+        sim.run()
+        assert deadline.expired
+        assert deadline.remaining_ns() == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(SimulationError, match="negative"):
+            Deadline(Simulator(), -1)
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff_sequence(self):
+        policy = RetryPolicy(1_000, max_retries=3)
+        assert list(policy.timeouts()) == [1_000, 2_000, 4_000, 8_000]
+        assert policy.total_budget_ns() == 15_000
+
+    def test_backoff_cap(self):
+        policy = RetryPolicy(1_000, max_retries=4, max_timeout_ns=3_000)
+        assert list(policy.timeouts()) == [
+            1_000, 2_000, 3_000, 3_000, 3_000,
+        ]
+
+    def test_zero_retries_is_single_attempt(self):
+        policy = RetryPolicy(7, max_retries=0)
+        assert list(policy.timeouts()) == [7]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            RetryPolicy(0, max_retries=1)
+        with pytest.raises(SimulationError):
+            RetryPolicy(10, max_retries=-1)
