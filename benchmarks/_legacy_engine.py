@@ -1,41 +1,17 @@
-"""Discrete-event simulation kernel.
+"""Frozen pre-optimization copy of ``repro.sim.engine``.
 
-The whole reproduction runs on this engine: physical cores, host threads,
-RMM dispatch loops and guest vCPUs are all simulation *processes*
-(Python generators) advanced by a single event loop over an integer
-nanosecond clock.
-
-A process yields one of:
-
-* :class:`Delay` -- resume after a fixed number of nanoseconds.
-* :class:`Event` -- resume when the event fires; the ``yield`` evaluates
-  to the value passed to :meth:`Event.fire`.
-* :class:`AnyOf` -- resume when the *first* of several delays/events
-  fires; the ``yield`` evaluates to a :class:`Wakeup` naming the winner.
-* :class:`Process` -- wait for a child process; evaluates to its result.
-
-Sub-behaviours compose with plain ``yield from``.  The loop is strictly
-deterministic: simultaneous events run in spawn/schedule order.
-
-Hot-path notes (every experiment is bounded by this loop):
-
-* Heap entries are ``(when, key, seq, timer)`` tuples, so ``heapq``
-  comparisons run in C instead of calling a Python ``__lt__``.
-* The common resume path (``Delay``/spawn) carries the process on the
-  timer itself; no per-event closure is allocated.
-* ``pending_events`` is an O(1) counter kept by :meth:`_Timer.cancel`;
-  cancelled timers (AnyOf losers, disarmed deadlines) are skipped
-  lazily and compacted out of the heap when they pile up.
-* The default ``"fifo"`` tie-break skips the tie-key indirection
-  entirely; the permuting keys exist only for the schedule-race
-  sanitizer and pay the call when selected.
+Verbatim snapshot of the event loop before the hot-path work (tuple
+heap entries, closure-free resume, O(1) ``pending_events``, heap
+compaction), kept so ``benchmarks/test_perf_baseline.py`` can measure
+the live engine against the exact baseline it replaced.  Do not edit
+or import from production code.
 """
+
 
 from __future__ import annotations
 
 import heapq
-from functools import partial
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
     "Delay",
@@ -167,70 +143,25 @@ class Process:
 
 
 class _Timer:
-    """A cancellable entry in the event heap.
+    """A cancellable entry in the event heap."""
 
-    Ordering lives in the heap tuple ``(when, key, seq, timer)``, not
-    here.  ``proc`` is the closure-free fast path: when set, the loop
-    resumes that process directly (sending ``value``) instead of
-    calling ``callback``.
-    """
-
-    __slots__ = (
-        "when", "callback", "proc", "value", "_cancelled", "_in_heap", "_sim"
-    )
+    __slots__ = ("when", "key", "seq", "callback", "cancelled")
 
     def __init__(
-        self,
-        when: int,
-        callback: Optional[Callable[[], None]],
-        proc: Optional[Process],
-        sim: "Simulator",
-        value: Any = None,
+        self, when: int, key: int, seq: int, callback: Callable[[], None]
     ):
         self.when = when
+        self.key = key
+        self.seq = seq
         self.callback = callback
-        self.proc = proc
-        self.value = value
-        self._cancelled = False
-        self._in_heap = True
-        self._sim = sim
+        self.cancelled = False
 
-    @property
-    def cancelled(self) -> bool:
-        return self._cancelled
-
-    @cancelled.setter
-    def cancelled(self, value: bool) -> None:
-        value = bool(value)
-        if value == self._cancelled:
-            return
-        self._cancelled = value
-        # keep the simulator's O(1) live/stale accounting in sync, but
-        # only while the entry is actually still queued: cancelling a
-        # timer that already fired (an AnyOf winner cancelling its own
-        # batch, a disarmed deadline) must not corrupt the counters
-        if not self._in_heap:
-            return
-        sim = self._sim
-        if value:
-            sim._live -= 1
-            sim._stale += 1
-            if sim._stale > sim._COMPACT_MIN and sim._stale > sim._live:
-                sim._compact()
-        else:
-            sim._live += 1
-            sim._stale -= 1
-
-    def cancel(self) -> None:
-        self.cancelled = True
-
-    def __repr__(self) -> str:
-        state = "cancelled" if self._cancelled else "armed"
-        return f"_Timer(when={self.when}, {state})"
-
-
-#: heap entry type: (when, tie_key, seq, timer)
-_HeapEntry = Tuple[int, int, int, _Timer]
+    def __lt__(self, other: "_Timer") -> bool:
+        return (self.when, self.key, self.seq) < (
+            other.when,
+            other.key,
+            other.seq,
+        )
 
 
 class Simulator:
@@ -247,19 +178,12 @@ class Simulator:
     #: pure integer math so permutations replay identically everywhere
     _TIE_MIX = 0x9E3779B97F4A7C15
 
-    #: cancelled entries tolerated in the heap before a compaction pass
-    #: (also requires stale > live, so compaction work stays amortized)
-    _COMPACT_MIN = 64
-
     def __init__(self, tie_break: str = "fifo") -> None:
         self.now: int = 0
-        self._heap: List[_HeapEntry] = []
+        self._heap: List[_Timer] = []
         self._seq: int = 0
-        self._live: int = 0
-        self._stale: int = 0
         self._live_processes: int = 0
         self.tie_break = tie_break
-        self._fifo = tie_break == "fifo"
         self._tie_key = self._make_tie_key(tie_break)
 
     @classmethod
@@ -304,44 +228,14 @@ class Simulator:
         """Run ``callback`` after ``delay_ns``; returns a cancellable timer."""
         if delay_ns < 0:
             raise SimulationError(f"negative delay: {delay_ns}")
-        seq = self._seq + 1
-        self._seq = seq
-        timer = _Timer(self.now + int(delay_ns), callback, None, self)
-        heapq.heappush(
-            self._heap,
-            (timer.when, 0 if self._fifo else self._tie_key(seq), seq, timer),
+        self._seq += 1
+        timer = _Timer(
+            self.now + int(delay_ns),
+            self._tie_key(self._seq),
+            self._seq,
+            callback,
         )
-        self._live += 1
-        return timer
-
-    def _schedule_step(self, delay_ns: int, proc: Process) -> _Timer:
-        """Closure-free fast path: resume ``proc`` after ``delay_ns``.
-
-        Equivalent to ``schedule(delay_ns, lambda: self._step(proc))``
-        without allocating the lambda; ``delay_ns`` is already
-        validated by the caller (``Delay.__init__`` / ``spawn``).
-        """
-        seq = self._seq + 1
-        self._seq = seq
-        timer = _Timer(self.now + delay_ns, None, proc, self)
-        heapq.heappush(
-            self._heap,
-            (timer.when, 0 if self._fifo else self._tie_key(seq), seq, timer),
-        )
-        self._live += 1
-        return timer
-
-    def _schedule_resume(self, proc: Process, value: Any) -> _Timer:
-        """Resume ``proc`` with ``value`` at the current time, through the
-        event loop (AnyOf settle path; closure-free)."""
-        seq = self._seq + 1
-        self._seq = seq
-        timer = _Timer(self.now, None, proc, self, value)
-        heapq.heappush(
-            self._heap,
-            (timer.when, 0 if self._fifo else self._tie_key(seq), seq, timer),
-        )
-        self._live += 1
+        heapq.heappush(self._heap, timer)
         return timer
 
     def call_soon(self, callback: Callable[[], None]) -> _Timer:
@@ -351,7 +245,7 @@ class Simulator:
         """Create a process from a generator and start it at the current time."""
         proc = Process(self, body, name)
         self._live_processes += 1
-        self._schedule_step(0, proc)
+        self.call_soon(lambda: self._step(proc, None, None))
         return proc
 
     # ------------------------------------------------------------------
@@ -361,8 +255,8 @@ class Simulator:
     def _step(
         self,
         proc: Process,
-        send_value: Any = None,
-        throw_exc: Optional[BaseException] = None,
+        send_value: Any,
+        throw_exc: Optional[BaseException],
     ) -> None:
         try:
             if throw_exc is not None:
@@ -391,12 +285,12 @@ class Simulator:
     def _arm(self, proc: Process, yielded: Any) -> None:
         """Arm the wakeup condition a process yielded."""
         if isinstance(yielded, Delay):
-            self._schedule_step(yielded.ns, proc)
+            self.schedule(yielded.ns, lambda: self._step(proc, None, None))
         elif isinstance(yielded, Event):
-            yielded.add_waiter(partial(self._step, proc))
+            yielded.add_waiter(lambda value: self._step(proc, value, None))
         elif isinstance(yielded, Process):
             yielded.done.add_waiter(
-                partial(self._resume_from_child, proc, yielded)
+                lambda value: self._resume_from_child(proc, yielded)
             )
         elif isinstance(yielded, AnyOf):
             self._arm_any_of(proc, yielded)
@@ -407,44 +301,50 @@ class Simulator:
                 SimulationError(f"process {proc.name!r} yielded {yielded!r}"),
             )
 
-    def _resume_from_child(
-        self, proc: Process, child: Process, _value: Any = None
-    ) -> None:
+    def _resume_from_child(self, proc: Process, child: Process) -> None:
         if child.failed is not None:
             self._step(proc, None, child.failed)
         else:
             self._step(proc, child.result, None)
 
     def _arm_any_of(self, proc: Process, any_of: AnyOf) -> None:
-        settled = [False]
+        state = {"settled": False}
         timers: List[_Timer] = []
         subscriptions: List[tuple] = []
 
-        def settle(index: int, source: Any, value: Any = None) -> None:
-            if settled[0]:
+        def settle(index: int, source: Any, value: Any) -> None:
+            if state["settled"]:
                 return
-            settled[0] = True
+            state["settled"] = True
             for timer in timers:
-                timer.cancel()
+                timer.cancelled = True
             for event, callback in subscriptions:
                 event.remove_waiter(callback)
             # resume via the event loop rather than synchronously: a
             # process looping on already-fired sources must not recurse
-            self._schedule_resume(proc, Wakeup(index, source, value))
+            self.call_soon(
+                lambda: self._step(proc, Wakeup(index, source, value), None)
+            )
 
         for index, source in enumerate(any_of.sources):
-            if settled[0]:
+            if state["settled"]:
                 break
             if isinstance(source, Delay):
-                timers.append(
-                    self.schedule(source.ns, partial(settle, index, source))
+                timer = self.schedule(
+                    source.ns,
+                    lambda i=index, s=source: settle(i, s, None),
                 )
+                timers.append(timer)
             elif isinstance(source, Process):
-                callback = partial(settle, index, source)
+                callback = (
+                    lambda value, i=index, s=source: settle(i, s, value)
+                )
                 subscriptions.append((source.done, callback))
                 source.done.add_waiter(callback)
             else:  # Event
-                callback = partial(settle, index, source)
+                callback = (
+                    lambda value, i=index, s=source: settle(i, s, value)
+                )
                 subscriptions.append((source, callback))
                 source.add_waiter(callback)
 
@@ -452,66 +352,24 @@ class Simulator:
     # running
     # ------------------------------------------------------------------
 
-    def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify (amortized by the
-        trigger threshold; keeps AnyOf-loser storms from growing the
-        heap without bound)."""
-        live: List[_HeapEntry] = []
-        for entry in self._heap:
-            timer = entry[3]
-            if timer._cancelled:
-                timer._in_heap = False
-            else:
-                live.append(entry)
-        heapq.heapify(live)
-        self._heap = live
-        self._stale = 0
-
-    def _pop_next(self, until: Optional[int] = None) -> Optional[_Timer]:
-        """Pop the next live timer, discarding cancelled entries.
-
-        The single pop loop shared by :meth:`run`, :meth:`run_one` and
-        (through them) :meth:`run_until_done`.  Returns ``None`` when
-        the heap drains or the next live timer lies beyond ``until``
-        (which is then left queued).
-        """
-        heap = self._heap
-        while heap:
-            entry = heap[0]
-            timer = entry[3]
-            if timer._cancelled:
-                heapq.heappop(heap)
-                timer._in_heap = False
-                self._stale -= 1
-                continue
-            when = entry[0]
-            if until is not None and when > until:
-                return None
-            heapq.heappop(heap)
-            timer._in_heap = False
-            self._live -= 1
-            if when < self.now:
-                raise SimulationError("time went backwards")
-            return timer
-        return None
-
     def run(self, until: Optional[int] = None) -> int:
         """Process events until the heap drains or the clock passes ``until``.
 
         Returns the simulated time at which the run stopped.
         """
-        step = self._step
-        pop_next = self._pop_next
-        while True:
-            timer = pop_next(until)
-            if timer is None:
-                break
+        while self._heap:
+            timer = self._heap[0]
+            if timer.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and timer.when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            if timer.when < self.now:
+                raise SimulationError("time went backwards")
             self.now = timer.when
-            proc = timer.proc
-            if proc is not None:
-                step(proc, timer.value, None)
-            else:
-                timer.callback()
+            timer.callback()
         if until is not None and until > self.now:
             self.now = until
         return self.now
@@ -519,7 +377,7 @@ class Simulator:
     def run_until_done(self, proc: Process, limit: Optional[int] = None) -> Any:
         """Run until ``proc`` finishes; returns its result, raising its error."""
         while not proc.finished:
-            if self._live == 0:
+            if not self._heap:
                 raise SimulationError(
                     f"deadlock: {proc.name!r} pending with no events queued"
                 )
@@ -534,17 +392,14 @@ class Simulator:
 
     def run_one(self) -> None:
         """Process exactly one (non-cancelled) event."""
-        timer = self._pop_next()
-        if timer is None:
-            return
-        self.now = timer.when
-        proc = timer.proc
-        if proc is not None:
-            self._step(proc, timer.value, None)
-        else:
+        while self._heap:
+            timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self.now = timer.when
             timer.callback()
+            return
 
     @property
     def pending_events(self) -> int:
-        """Live (non-cancelled) timers still queued — O(1)."""
-        return self._live
+        return sum(1 for t in self._heap if not t.cancelled)

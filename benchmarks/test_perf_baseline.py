@@ -1,0 +1,130 @@
+"""Perf smoke: engine events/sec, one fig-6 cell, parallel suite speedup.
+
+Three measurements, written to ``BENCH_perf.json`` at the repo root so
+the bench trajectory survives across PRs:
+
+* **engine micro**: scheduled events per second on a synthetic
+  Delay/AnyOf-heavy workload, on the live engine *and* on the frozen
+  pre-optimization snapshot (``benchmarks/_legacy_engine.py``) — the
+  single-process speedup claim, measured against the exact baseline.
+* **fig-6 cell macro**: wall-clock of one gapped 8-core CoreMark cell,
+  the unit of work the parallel runner fans out.
+* **suite parallel**: a small fig-6 subsweep at ``jobs=1`` vs
+  ``jobs=4`` through ``repro.experiments.runner``.
+
+Wall-clock assertions are gated on ``os.cpu_count()``: a single-CPU
+host cannot show parallel speedup (workers timeshare one core and pay
+spawn overhead on top), so there the numbers are recorded but only the
+engine-speedup floor is enforced.
+"""
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import _legacy_engine  # noqa: E402  (the frozen pre-PR engine)
+
+import repro.sim.engine as live_engine  # noqa: E402
+from repro.costs import DEFAULT_COSTS  # noqa: E402
+from repro.experiments.fig6 import _coremark_cell, fig6_cells  # noqa: E402
+from repro.experiments.runner import run_cells  # noqa: E402
+from repro.sim.clock import ms  # noqa: E402
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_perf.json"
+
+#: filled by the tests, flushed to BENCH_perf.json by the module fixture
+RESULTS = {"schema": 1}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_bench_json():
+    RESULTS["cpu_count"] = os.cpu_count()
+    RESULTS["python"] = sys.version.split()[0]
+    yield
+    BENCH_PATH.write_text(json.dumps(RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()  # lint: allow(DET001) - measuring wall time
+        fn()
+        elapsed = time.perf_counter() - t0  # lint: allow(DET001)
+        best = min(best, elapsed)
+    return best
+
+
+def _engine_workload(mod, n_procs=40, n_iter=300):
+    """Delay/AnyOf mix shaped like the run-call paths the experiments
+    drive hardest; returns the count of scheduled timers."""
+    sim = mod.Simulator()
+
+    def worker(i):
+        for k in range(n_iter):
+            yield mod.Delay(10 + (i + k) % 7)
+            wakeup = yield mod.AnyOf([mod.Delay(3), mod.Delay(10**6)])
+            assert wakeup.index == 0
+
+    for i in range(n_procs):
+        sim.spawn(worker(i), name=f"w{i}")
+    sim.run()
+    return sim._seq
+
+
+def test_engine_events_per_sec_vs_legacy():
+    n_events = _engine_workload(live_engine)  # warm both modules up
+    assert n_events == _engine_workload(_legacy_engine)
+
+    legacy_s = _best_of(lambda: _engine_workload(_legacy_engine), repeats=5)
+    live_s = _best_of(lambda: _engine_workload(live_engine), repeats=5)
+    speedup = legacy_s / live_s
+    RESULTS["engine"] = {
+        "scheduled_events": n_events,
+        "events_per_sec_live": round(n_events / live_s),
+        "events_per_sec_legacy": round(n_events / legacy_s),
+        "single_process_speedup": round(speedup, 3),
+    }
+    # the issue targets >=15%; enforce a floor below the measured margin
+    # so scheduler noise on loaded CI hosts does not flake the suite
+    assert speedup >= 1.10, f"engine regressed vs pre-PR baseline: {speedup:.3f}x"
+
+
+def test_fig6_cell_wallclock():
+    run = lambda: _coremark_cell("gapped", 8, int(ms(200)), DEFAULT_COSTS)
+    score, _ = run()
+    assert score > 0
+    RESULTS["fig6_cell"] = {
+        "cell": "gapped/8-core coremark, 200 ms simulated",
+        "seconds": round(_best_of(run), 4),
+    }
+
+
+def test_suite_parallel_speedup():
+    cells = fig6_cells(
+        core_counts=[2, 4, 8], duration_ns=int(ms(100)), include_busywait=False
+    )
+    serial_s = _best_of(lambda: run_cells(cells, jobs=1), repeats=2)
+    jobs4_s = _best_of(lambda: run_cells(cells, jobs=4), repeats=2)
+    speedup = serial_s / jobs4_s
+    cpus = os.cpu_count() or 1
+    RESULTS["suite"] = {
+        "cells": len(cells),
+        "jobs": 4,
+        "serial_seconds": round(serial_s, 4),
+        "jobs4_seconds": round(jobs4_s, 4),
+        "parallel_speedup": round(speedup, 3),
+        "note": (
+            "speedup requires >=4 CPUs; on fewer cores workers timeshare "
+            "and pay process-spawn overhead, so the ratio is recorded "
+            "but not asserted"
+        )
+        if cpus < 4
+        else "",
+    }
+    if cpus >= 4:
+        assert speedup >= 2.0, f"parallel speedup collapsed: {speedup:.2f}x"

@@ -3,20 +3,38 @@
 from .chaos import (
     ChaosOutcome,
     default_fault_plans,
+    digest_chaos_outcome,
     plan_scenarios,
     run_chaos_case,
     run_chaos_matrix,
 )
 from .config import PAPER_TARGETS, SystemConfig
+from .runner import (
+    Cell,
+    CellError,
+    canonical_digest,
+    cell,
+    resolve_jobs,
+    run_cells,
+    verify_serial_parallel,
+)
 from .system import System
 
 __all__ = [
+    "Cell",
+    "CellError",
     "ChaosOutcome",
     "PAPER_TARGETS",
     "System",
     "SystemConfig",
+    "canonical_digest",
+    "cell",
     "default_fault_plans",
+    "digest_chaos_outcome",
     "plan_scenarios",
+    "resolve_jobs",
+    "run_cells",
     "run_chaos_case",
     "run_chaos_matrix",
+    "verify_serial_parallel",
 ]

@@ -41,14 +41,17 @@ from ..sim.clock import ms, us
 from ..sim.engine import SimulationError
 from ..sim.timeout import RetryPolicy
 from .config import SystemConfig
+from .runner import Cell, cell, run_cells
 from .system import System
 
 __all__ = [
     "ChaosOutcome",
     "default_fault_plans",
+    "digest_chaos_outcome",
     "plan_scenarios",
     "run_chaos_case",
     "run_chaos_matrix",
+    "chaos_cells",
     "CHAOS_SCENARIOS",
 ]
 
@@ -78,8 +81,12 @@ class ChaosOutcome:
     audit_problems: List[str] = field(default_factory=list)
     recoveries: Dict[str, int] = field(default_factory=dict)
     duration_ns: int = 0
-    #: the finished System, for digesting/inspection (not part of repr)
+    #: the finished System, for digesting/inspection (not part of repr);
+    #: stripped to None when the outcome crosses a process boundary
     system: object = field(default=None, repr=False, compare=False)
+    #: sanitizer trace digest, precomputed where the System still lives
+    #: (always set on matrix outcomes; see :func:`digest_chaos_outcome`)
+    digest: object = field(default=None, repr=False, compare=False)
 
     @property
     def survived(self) -> bool:
@@ -345,16 +352,88 @@ def _finalize(
     return outcome
 
 
+def digest_chaos_outcome(outcome: ChaosOutcome):
+    """A :class:`repro.lint.sanitizer.RunDigest` of one chaos run.
+
+    Covers the full schedule trace (records, spans, counters) plus the
+    outcome's own observables, so two digests compare bit-identical iff
+    the runs were.  Requires ``outcome.system`` (digest where the run
+    happened — in the worker, for parallel cells).
+    """
+    from ..lint.sanitizer import RunDigest
+
+    if outcome.system is None:
+        raise SimulationError(
+            f"outcome ({outcome.scenario}, {outcome.plan}) has no System "
+            "attached; digest it before crossing a process boundary"
+        )
+    tracer = outcome.system.tracer
+    records = [
+        f"{r.time}|{r.kind}|{r.core}|{r.domain}|{r.detail}"
+        for r in tracer.records
+    ]
+    spans = [f"{s.core}|{s.domain}|{s.start}|{s.end}" for s in tracer.spans]
+    counters = {k: int(v) for k, v in sorted(tracer.counters.items())}
+    metrics = {
+        "status": outcome.status,
+        "detail": outcome.detail,
+        "host_errors": outcome.host_errors,
+        "injections": dict(sorted(outcome.injections.items())),
+        "recoveries": dict(sorted(outcome.recoveries.items())),
+        "duration_ns": outcome.duration_ns,
+        "end_ns": outcome.system.sim.now,
+    }
+    return RunDigest(records, spans, counters, metrics)
+
+
+def _chaos_cell(
+    scenario: str,
+    plan: FaultPlan,
+    seed: int,
+    n_cores: int = 6,
+    n_vcpus: int = 3,
+) -> ChaosOutcome:
+    """One matrix cell, shippable across processes: run the case, digest
+    the trace where the live System still exists, then strip it (a
+    finished System holds generators and cannot pickle)."""
+    outcome = run_chaos_case(
+        scenario, plan, seed=seed, n_cores=n_cores, n_vcpus=n_vcpus
+    )
+    outcome.digest = digest_chaos_outcome(outcome)
+    outcome.system = None
+    return outcome
+
+
+def chaos_cells(
+    seed: int = 0,
+    plans: Optional[Sequence[FaultPlan]] = None,
+    scenarios: Sequence[str] = CHAOS_SCENARIOS,
+) -> List[Cell]:
+    """The (plan x scenario) chaos matrix as independent runner cells."""
+    return [
+        cell(
+            f"chaos/{plan.name}/{scenario}",
+            _chaos_cell,
+            scenario=scenario,
+            plan=plan,
+            seed=seed,
+        )
+        for plan in (plans if plans is not None else default_fault_plans())
+        for scenario in scenarios
+        if scenario in plan_scenarios(plan)
+    ]
+
+
 def run_chaos_matrix(
     seed: int = 0,
     plans: Optional[Sequence[FaultPlan]] = None,
     scenarios: Sequence[str] = CHAOS_SCENARIOS,
+    jobs: Optional[int] = None,
 ) -> List[ChaosOutcome]:
-    """Run the full (plan x scenario) chaos matrix."""
-    outcomes = []
-    for plan in plans if plans is not None else default_fault_plans():
-        for scenario in scenarios:
-            if scenario not in plan_scenarios(plan):
-                continue
-            outcomes.append(run_chaos_case(scenario, plan, seed=seed))
-    return outcomes
+    """Run the full (plan x scenario) chaos matrix.
+
+    Serial or parallel, every outcome carries a precomputed trace
+    ``digest`` and no ``system`` — the same contract either way, so
+    digest comparisons between ``jobs=1`` and ``jobs=N`` are exact.
+    """
+    return run_cells(chaos_cells(seed, plans, scenarios), jobs=jobs)

@@ -21,9 +21,10 @@ from typing import Dict, List, Optional, Tuple
 from ..costs import CostModel, DEFAULT_COSTS
 from ..sim.clock import sec
 from .config import SystemConfig
+from .runner import Cell, cell, run_cells
 from .workbench import run_coremark
 
-__all__ = ["SharedCvmResult", "run_shared_cvm_comparison"]
+__all__ = ["SharedCvmResult", "run_shared_cvm_comparison", "shared_cvm_cells"]
 
 
 @dataclass
@@ -39,22 +40,49 @@ class SharedCvmResult:
         return None
 
 
+def _coremark_cell(
+    mode: str, n_cores: int, duration_ns: int, costs: CostModel
+) -> float:
+    run = run_coremark(
+        SystemConfig(mode=mode, n_cores=n_cores),
+        n_cores_used=n_cores,
+        duration_ns=duration_ns,
+        costs=costs,
+    )
+    return run.score
+
+
+def shared_cvm_cells(
+    core_counts: Optional[List[int]] = None,
+    duration_ns: int = sec(1),
+    costs: CostModel = DEFAULT_COSTS,
+) -> List[Cell]:
+    core_counts = core_counts or [4, 8, 16, 32]
+    return [
+        cell(
+            f"ext_shared_cvm/{mode}/{n_cores}",
+            _coremark_cell,
+            mode=mode,
+            n_cores=n_cores,
+            duration_ns=duration_ns,
+            costs=costs,
+        )
+        for mode in ("shared", "shared-cvm", "gapped")
+        for n_cores in core_counts
+    ]
+
+
 def run_shared_cvm_comparison(
     core_counts: Optional[List[int]] = None,
     duration_ns: int = sec(1),
     costs: CostModel = DEFAULT_COSTS,
+    jobs: Optional[int] = None,
 ) -> SharedCvmResult:
-    core_counts = core_counts or [4, 8, 16, 32]
+    cells = shared_cvm_cells(core_counts, duration_ns, costs)
+    outputs = run_cells(cells, jobs=jobs)
     result = SharedCvmResult()
-    for mode in ("shared", "shared-cvm", "gapped"):
-        points: List[Tuple[int, float]] = []
-        for n_cores in core_counts:
-            run = run_coremark(
-                SystemConfig(mode=mode, n_cores=n_cores),
-                n_cores_used=n_cores,
-                duration_ns=duration_ns,
-                costs=costs,
-            )
-            points.append((n_cores, run.score))
-        result.series[mode] = points
+    for c, score in zip(cells, outputs):
+        result.series.setdefault(c.kwargs["mode"], []).append(
+            (c.kwargs["n_cores"], score)
+        )
     return result

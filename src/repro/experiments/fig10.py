@@ -21,9 +21,10 @@ from ..guest.workloads.kbuild import (
 )
 from ..sim.clock import sec
 from .config import SystemConfig
+from .runner import Cell, cell, run_cells
 from .system import System
 
-__all__ = ["Fig10Result", "run_fig10", "DEFAULT_CORE_COUNTS"]
+__all__ = ["Fig10Result", "run_fig10", "fig10_cells", "DEFAULT_CORE_COUNTS"]
 
 DEFAULT_CORE_COUNTS = [4, 8, 16]
 
@@ -66,19 +67,38 @@ def _run_one(
     return (stats.finished_at - start) / 1e9
 
 
+def fig10_cells(
+    core_counts: Optional[List[int]] = None,
+    build: Optional[KbuildConfig] = None,
+    costs: CostModel = DEFAULT_COSTS,
+) -> List[Cell]:
+    core_counts = core_counts or DEFAULT_CORE_COUNTS
+    build = build or KbuildConfig()
+    return [
+        cell(
+            f"fig10/{mode}/{n_cores}",
+            _run_one,
+            mode=mode,
+            n_cores=n_cores,
+            build=build,
+            costs=costs,
+        )
+        for mode in ("shared", "gapped")
+        for n_cores in core_counts
+    ]
+
+
 def run_fig10(
     core_counts: Optional[List[int]] = None,
     build: Optional[KbuildConfig] = None,
     costs: CostModel = DEFAULT_COSTS,
+    jobs: Optional[int] = None,
 ) -> Fig10Result:
-    core_counts = core_counts or DEFAULT_CORE_COUNTS
-    build = build or KbuildConfig()
+    cells = fig10_cells(core_counts, build, costs)
+    outputs = run_cells(cells, jobs=jobs)
     result = Fig10Result()
-    for mode in ("shared", "gapped"):
-        points = []
-        for n_cores in core_counts:
-            points.append(
-                (n_cores, _run_one(mode, n_cores, build, costs))
-            )
-        result.series[mode] = points
+    for c, seconds in zip(cells, outputs):
+        result.series.setdefault(c.kwargs["mode"], []).append(
+            (c.kwargs["n_cores"], seconds)
+        )
     return result

@@ -27,9 +27,10 @@ from typing import Dict, List, Optional, Tuple
 from ..costs import CostModel, DEFAULT_COSTS
 from ..sim.clock import ms, sec
 from .config import SystemConfig
+from .runner import Cell, cell, run_cells
 from .workbench import CoremarkRun, run_coremark
 
-__all__ = ["Fig6Result", "run_fig6", "DEFAULT_CORE_COUNTS"]
+__all__ = ["Fig6Result", "run_fig6", "fig6_cells", "DEFAULT_CORE_COUNTS"]
 
 DEFAULT_CORE_COUNTS = [2, 4, 8, 16, 32, 48, 64]
 #: the polling ablation is simulated at high event rates; a shorter run
@@ -65,15 +66,28 @@ class Fig6Result:
         return None
 
 
-def run_fig6(
+def _coremark_cell(
+    label: str, n_cores: int, duration_ns: int, costs: CostModel
+) -> Tuple[float, List[int]]:
+    """One fig-6 data point; pure in (params) -> (score, run-to-run)."""
+    run = run_coremark(
+        _config(label, n_cores),
+        n_cores_used=n_cores,
+        duration_ns=duration_ns,
+        costs=costs,
+    )
+    return run.score, list(run.run_to_run_ns)
+
+
+def fig6_cells(
     core_counts: Optional[List[int]] = None,
     duration_ns: int = sec(1),
     busywait_duration_ns: int = int(ms(400)),
     include_busywait: bool = True,
     costs: CostModel = DEFAULT_COSTS,
-) -> Fig6Result:
+) -> List[Cell]:
+    """The fig-6 sweep as independent runner cells, in merge order."""
     core_counts = core_counts or DEFAULT_CORE_COUNTS
-    result = Fig6Result()
     plans = [
         ("shared", core_counts, duration_ns),
         ("gapped", core_counts, duration_ns),
@@ -87,19 +101,39 @@ def run_fig6(
                 busywait_duration_ns,
             )
         )
-    for label, counts, dur in plans:
-        points: List[Tuple[int, float]] = []
-        for n_cores in counts:
-            run = run_coremark(
-                _config(label, n_cores),
-                n_cores_used=n_cores,
-                duration_ns=dur,
-                costs=costs,
+    return [
+        cell(
+            f"fig6/{label}/{n_cores}",
+            _coremark_cell,
+            label=label,
+            n_cores=n_cores,
+            duration_ns=dur,
+            costs=costs,
+        )
+        for label, counts, dur in plans
+        for n_cores in counts
+    ]
+
+
+def run_fig6(
+    core_counts: Optional[List[int]] = None,
+    duration_ns: int = sec(1),
+    busywait_duration_ns: int = int(ms(400)),
+    include_busywait: bool = True,
+    costs: CostModel = DEFAULT_COSTS,
+    jobs: Optional[int] = None,
+) -> Fig6Result:
+    cells = fig6_cells(
+        core_counts, duration_ns, busywait_duration_ns, include_busywait, costs
+    )
+    outputs = run_cells(cells, jobs=jobs)
+    result = Fig6Result()
+    for c, (score, run_to_run_ns) in zip(cells, outputs):
+        label = c.kwargs["label"]
+        n_cores = c.kwargs["n_cores"]
+        result.series.setdefault(label, []).append((n_cores, score))
+        if label == "gapped-nodeleg" and run_to_run_ns:
+            result.run_to_run_us[n_cores] = (
+                sum(run_to_run_ns) / len(run_to_run_ns) / 1e3
             )
-            points.append((n_cores, run.score))
-            if label == "gapped-nodeleg" and run.run_to_run_ns:
-                result.run_to_run_us[n_cores] = (
-                    sum(run.run_to_run_ns) / len(run.run_to_run_ns) / 1e3
-                )
-        result.series[label] = points
     return result

@@ -15,9 +15,10 @@ from typing import Dict, List, Optional, Tuple
 from ..costs import CostModel, DEFAULT_COSTS
 from ..sim.clock import sec
 from .config import SystemConfig
+from .runner import Cell, cell, run_cells
 from .workbench import run_coremark
 
-__all__ = ["Fig7Result", "run_fig7", "DEFAULT_VM_COUNTS"]
+__all__ = ["Fig7Result", "run_fig7", "fig7_cells", "DEFAULT_VM_COUNTS"]
 
 DEFAULT_VM_COUNTS = [1, 2, 4, 8, 12, 15]
 VCPUS_PER_VM = 4
@@ -34,30 +35,56 @@ class Fig7Result:
         return None
 
 
+def _multivm_cell(
+    label: str, n_vms: int, duration_ns: int, costs: CostModel
+) -> float:
+    """One fig-7 data point: aggregate CoreMark score for ``n_vms`` VMs.
+
+    Fair accounting: both modes get the same physical-core budget — all
+    4-vCPU CVMs plus one (gapped: shared-host) core.
+    """
+    n_cores = n_vms * VCPUS_PER_VM + 1
+    config = SystemConfig(mode=label, n_cores=n_cores)
+    run = run_coremark(
+        config,
+        duration_ns=duration_ns,
+        costs=costs,
+        vm_list=[VCPUS_PER_VM] * n_vms,
+    )
+    return run.score
+
+
+def fig7_cells(
+    vm_counts: Optional[List[int]] = None,
+    duration_ns: int = sec(1),
+    costs: CostModel = DEFAULT_COSTS,
+) -> List[Cell]:
+    vm_counts = vm_counts or DEFAULT_VM_COUNTS
+    return [
+        cell(
+            f"fig7/{label}/{n_vms}",
+            _multivm_cell,
+            label=label,
+            n_vms=n_vms,
+            duration_ns=duration_ns,
+            costs=costs,
+        )
+        for label in ("shared", "gapped")
+        for n_vms in vm_counts
+    ]
+
+
 def run_fig7(
     vm_counts: Optional[List[int]] = None,
     duration_ns: int = sec(1),
     costs: CostModel = DEFAULT_COSTS,
+    jobs: Optional[int] = None,
 ) -> Fig7Result:
-    vm_counts = vm_counts or DEFAULT_VM_COUNTS
+    cells = fig7_cells(vm_counts, duration_ns, costs)
+    outputs = run_cells(cells, jobs=jobs)
     result = Fig7Result()
-    for label in ("shared", "gapped"):
-        points: List[Tuple[int, float]] = []
-        for n_vms in vm_counts:
-            if label == "gapped":
-                # all 4-vCPU CVMs + one shared host core
-                n_cores = n_vms * VCPUS_PER_VM + 1
-                config = SystemConfig(mode="gapped", n_cores=n_cores)
-            else:
-                # fair accounting: the same number of physical cores
-                n_cores = n_vms * VCPUS_PER_VM + 1
-                config = SystemConfig(mode="shared", n_cores=n_cores)
-            run = run_coremark(
-                config,
-                duration_ns=duration_ns,
-                costs=costs,
-                vm_list=[VCPUS_PER_VM] * n_vms,
-            )
-            points.append((n_vms, run.score))
-        result.series[label] = points
+    for c, score in zip(cells, outputs):
+        result.series.setdefault(c.kwargs["label"], []).append(
+            (c.kwargs["n_vms"], score)
+        )
     return result

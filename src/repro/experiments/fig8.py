@@ -25,9 +25,10 @@ from ..guest.workloads.netpipe import (
 )
 from ..sim.clock import sec
 from .config import SystemConfig
+from .runner import Cell, cell, run_cells
 from .system import System
 
-__all__ = ["Fig8Result", "run_fig8"]
+__all__ = ["Fig8Result", "run_fig8", "fig8_cells"]
 
 
 @dataclass
@@ -86,16 +87,36 @@ def _run_one(
     return stats
 
 
+def fig8_cells(
+    sizes: Optional[List[int]] = None,
+    pings: int = 20,
+    costs: CostModel = DEFAULT_COSTS,
+) -> List[Cell]:
+    sizes = list(sizes or DEFAULT_SIZES)
+    return [
+        cell(
+            f"fig8/{mode}/{transport}",
+            _run_one,
+            mode=mode,
+            transport=transport,
+            sizes=sizes,
+            pings=pings,
+            costs=costs,
+        )
+        for mode in ("shared", "gapped")
+        for transport in ("virtio", "sriov")
+    ]
+
+
 def run_fig8(
     sizes: Optional[List[int]] = None,
     pings: int = 20,
     costs: CostModel = DEFAULT_COSTS,
+    jobs: Optional[int] = None,
 ) -> Fig8Result:
-    sizes = sizes or DEFAULT_SIZES
-    result = Fig8Result(sizes=list(sizes))
-    for mode in ("shared", "gapped"):
-        for transport in ("virtio", "sriov"):
-            result.stats[(mode, transport)] = _run_one(
-                mode, transport, sizes, pings, costs
-            )
+    cells = fig8_cells(sizes, pings, costs)
+    outputs = run_cells(cells, jobs=jobs)
+    result = Fig8Result(sizes=list(sizes or DEFAULT_SIZES))
+    for c, stats in zip(cells, outputs):
+        result.stats[(c.kwargs["mode"], c.kwargs["transport"])] = stats
     return result

@@ -22,9 +22,10 @@ from ..guest.workloads.iozone import (
 )
 from ..sim.clock import sec
 from .config import SystemConfig
+from .runner import Cell, cell, run_cells
 from .system import System
 
-__all__ = ["Fig9Result", "run_fig9"]
+__all__ = ["Fig9Result", "run_fig9", "fig9_cells"]
 
 
 @dataclass
@@ -68,13 +69,34 @@ def _run_one(
     return stats
 
 
+def fig9_cells(
+    records: Optional[List[int]] = None,
+    ops_per_record: int = 8,
+    costs: CostModel = DEFAULT_COSTS,
+) -> List[Cell]:
+    records = list(records or DEFAULT_RECORDS)
+    return [
+        cell(
+            f"fig9/{mode}",
+            _run_one,
+            mode=mode,
+            records=records,
+            ops=ops_per_record,
+            costs=costs,
+        )
+        for mode in ("shared", "gapped")
+    ]
+
+
 def run_fig9(
     records: Optional[List[int]] = None,
     ops_per_record: int = 8,
     costs: CostModel = DEFAULT_COSTS,
+    jobs: Optional[int] = None,
 ) -> Fig9Result:
-    records = records or DEFAULT_RECORDS
-    result = Fig9Result(records=list(records))
-    for mode in ("shared", "gapped"):
-        result.stats[mode] = _run_one(mode, records, ops_per_record, costs)
+    cells = fig9_cells(records, ops_per_record, costs)
+    outputs = run_cells(cells, jobs=jobs)
+    result = Fig9Result(records=list(records or DEFAULT_RECORDS))
+    for c, stats in zip(cells, outputs):
+        result.stats[c.kwargs["mode"]] = stats
     return result

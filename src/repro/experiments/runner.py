@@ -1,0 +1,365 @@
+"""Cell-based sweep executor: serial by default, process-parallel on request.
+
+Every paper artifact (figs. 6-10, table 5, the chaos matrix) is a sweep
+of fully independent simulation *cells* — one ``(config, params, seed)``
+triple per data point.  This module gives those sweeps a single
+execution engine:
+
+* a :class:`Cell` names a pure top-level function by ``"module:qualname"``
+  string (so it pickles as data, and workers import-once / run-many)
+  plus the keyword arguments for one data point;
+* :func:`run_cells` executes a list of cells either inline (``jobs=1``,
+  the default — the exact same code path the serial harnesses always
+  had) or fanned out over a spawn-context :class:`ProcessPoolExecutor`,
+  and always returns results **in cell order**, regardless of the order
+  workers finish in;
+* a failing cell raises :class:`CellError` naming the cell — the pool
+  is torn down, remaining cells are cancelled, and the caller never
+  hangs on a crashed worker.
+
+Parallelism is safe *because* every cell builds its own
+:class:`~repro.sim.engine.Simulator` from an explicit seed: DESIGN.md
+invariant #6 (same seed ⇒ bit-identical traces) means a worker process
+produces exactly the bytes the serial loop would have.  That claim is
+not an assumption — :func:`verify_serial_parallel` re-runs a sweep both
+ways and diffs canonical digests, and ``tests/experiments/test_runner.py``
+asserts digest equality through the ``repro.lint.sanitizer`` machinery.
+
+Opt in per call (``jobs=4``), per process (``REPRO_JOBS=4``), or from
+the command line::
+
+    PYTHONPATH=src python -m repro.experiments.runner fig6 --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import hashlib
+import importlib
+import json
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "Cell",
+    "CellError",
+    "cell",
+    "resolve_jobs",
+    "run_cells",
+    "canonical_digest",
+    "verify_serial_parallel",
+    "main",
+]
+
+
+# --------------------------------------------------------------------------
+# cells
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One sweep data point: a pure function reference plus its kwargs.
+
+    ``fn`` is a ``"module:qualname"`` string, not a callable: cells must
+    survive pickling into a worker process, and a string reference keeps
+    the payload tiny while forcing the target to be importable (no
+    lambdas, no closures, nothing defined under ``__main__``).
+    """
+
+    cell_id: str
+    fn: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+class CellError(RuntimeError):
+    """A cell failed; carries the cell id so sweeps fail loudly and named."""
+
+    def __init__(self, cell_id: str, message: str):
+        super().__init__(f"cell {cell_id!r} failed: {message}")
+        self.cell_id = cell_id
+        self.message = message
+
+    def __reduce__(self):  # plain two-arg ctor: picklable across the pool
+        return (CellError, (self.cell_id, self.message))
+
+
+def cell(cell_id: str, fn: Any, **kwargs: Any) -> Cell:
+    """Build a :class:`Cell`, deriving the spec string from a callable.
+
+    Rejects functions that cannot be re-imported by name in a worker:
+    anything defined under ``__main__`` or nested inside another
+    function (``<locals>`` in its qualname).
+    """
+    if isinstance(fn, str):
+        spec = fn
+    else:
+        module = getattr(fn, "__module__", None)
+        qualname = getattr(fn, "__qualname__", "")
+        if not module or module == "__main__" or "<locals>" in qualname:
+            raise ValueError(
+                f"cell {cell_id!r}: {fn!r} is not importable by name "
+                "(top-level module functions only)"
+            )
+        spec = f"{module}:{qualname}"
+    _split_spec(spec)  # validate shape eagerly, before any pool spins up
+    return Cell(cell_id, spec, kwargs)
+
+
+def _split_spec(spec: str) -> tuple:
+    module_name, sep, qualname = spec.partition(":")
+    if not sep or not module_name or not qualname:
+        raise ValueError(f"cell fn spec {spec!r} is not 'module:qualname'")
+    if module_name == "__main__":
+        raise ValueError(f"cell fn spec {spec!r}: __main__ is not importable")
+    return module_name, qualname
+
+
+@lru_cache(maxsize=None)
+def _resolve(spec: str) -> Callable[..., Any]:
+    """Import the cell function once per process (import-once, run-many)."""
+    module_name, qualname = _split_spec(spec)
+    target: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        target = getattr(target, part)
+    if not callable(target):
+        raise TypeError(f"cell fn spec {spec!r} resolved to non-callable {target!r}")
+    return target
+
+
+def _execute_cell(cell: Cell) -> Any:
+    """Run one cell; the single code path shared by serial and workers."""
+    try:
+        fn = _resolve(cell.fn)
+        return fn(**cell.kwargs)
+    except CellError:
+        raise
+    except Exception as exc:
+        raise CellError(cell.cell_id, f"{type(exc).__name__}: {exc}") from exc
+
+
+# --------------------------------------------------------------------------
+# execution
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Explicit ``jobs`` wins; else ``REPRO_JOBS``; else 1 (serial)."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS={raw!r} is not an integer") from None
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _worker_init(parent_path: List[str]) -> None:
+    """Mirror the parent's ``sys.path`` so cell modules resolve in spawn
+    children (test modules, for one, live outside any installed package)."""
+    for entry in parent_path:
+        if entry not in sys.path:
+            sys.path.append(entry)
+
+
+def run_cells(
+    cells: Iterable[Cell],
+    jobs: Optional[int] = None,
+    mp_context: Optional[str] = None,
+) -> List[Any]:
+    """Execute ``cells`` and return their results in cell order.
+
+    ``jobs=1`` (the default, also via ``REPRO_JOBS``) runs inline — no
+    pool, no pickling, digests and CI behave exactly as before.  With
+    ``jobs>1`` cells fan out over a spawn-context process pool; results
+    are still collected in submission order, so the merged output is
+    independent of completion order.  The first failing cell aborts the
+    sweep with a :class:`CellError` naming it.
+    """
+    cells = list(cells)
+    seen = set()
+    for c in cells:
+        if c.cell_id in seen:
+            raise ValueError(f"duplicate cell_id {c.cell_id!r}")
+        seen.add(c.cell_id)
+
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(cells) <= 1:
+        return [_execute_cell(c) for c in cells]
+
+    import multiprocessing
+
+    ctx = multiprocessing.get_context(mp_context or "spawn")
+    results: List[Any] = []
+    failure: Optional[CellError] = None
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(cells)),
+        mp_context=ctx,
+        initializer=_worker_init,
+        initargs=(list(sys.path),),
+    ) as pool:
+        futures = [pool.submit(_execute_cell, c) for c in cells]
+        # collect strictly in submission order: merge order == cell order
+        for c, fut in zip(cells, futures):
+            if failure is not None:
+                fut.cancel()
+                continue
+            try:
+                results.append(fut.result())
+            except CellError as exc:
+                failure = exc
+            except Exception as exc:  # BrokenProcessPool, unpicklable, ...
+                failure = CellError(
+                    c.cell_id, f"worker failed: {type(exc).__name__}: {exc}"
+                )
+                failure.__cause__ = exc
+    if failure is not None:
+        raise failure
+    return results
+
+
+# --------------------------------------------------------------------------
+# digests: proving parallel == serial
+
+
+def _canonical(obj: Any) -> Any:
+    """A JSON-serialisable, order-stable projection of a cell result."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": type(obj).__name__,
+            "fields": {
+                f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, dict):
+        items = sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        return {"__dict__": [[_canonical(k), _canonical(v)] for k, v in items]}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(x) for x in obj]
+    if isinstance(obj, (set, frozenset)):
+        return {"__set__": sorted(map(repr, obj))}
+    if isinstance(obj, float):
+        return {"__float__": obj.hex()}  # bit-exact, not printf-rounded
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    return {"__repr__": repr(obj)}
+
+
+def canonical_digest(result: Any) -> str:
+    """SHA-256 over the canonical projection of one cell result."""
+    payload = json.dumps(_canonical(result), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def verify_serial_parallel(
+    cells: Sequence[Cell], jobs: int = 2
+) -> List[str]:
+    """Run ``cells`` serially and with ``jobs`` workers; return divergences.
+
+    An empty list means every cell's parallel result is bit-identical
+    (by canonical digest) to its serial result.  This is the cheap
+    structural check; the sanitizer-grade trace-digest equality lives in
+    ``tests/experiments/test_runner.py`` via ``repro.lint.sanitizer``.
+    """
+    serial = run_cells(cells, jobs=1)
+    parallel = run_cells(cells, jobs=jobs)
+    divergences: List[str] = []
+    for c, a, b in zip(cells, serial, parallel):
+        da, db = canonical_digest(a), canonical_digest(b)
+        if da != db:
+            divergences.append(
+                f"cell {c.cell_id!r}: serial {da[:16]} != parallel {db[:16]}"
+            )
+    return divergences
+
+
+# --------------------------------------------------------------------------
+# CLI
+
+
+def _sweep_registry() -> Dict[str, Callable[[Optional[int]], Any]]:
+    """Name -> runner; harness imports are lazy so the CLI stays light."""
+
+    def fig6(jobs: Optional[int]) -> Any:
+        from . import fig6 as mod
+
+        return mod.run_fig6(jobs=jobs)
+
+    def fig7(jobs: Optional[int]) -> Any:
+        from . import fig7 as mod
+
+        return mod.run_fig7(jobs=jobs)
+
+    def fig8(jobs: Optional[int]) -> Any:
+        from . import fig8 as mod
+
+        return mod.run_fig8(jobs=jobs)
+
+    def fig9(jobs: Optional[int]) -> Any:
+        from . import fig9 as mod
+
+        return mod.run_fig9(jobs=jobs)
+
+    def fig10(jobs: Optional[int]) -> Any:
+        from . import fig10 as mod
+
+        return mod.run_fig10(jobs=jobs)
+
+    def table5(jobs: Optional[int]) -> Any:
+        from . import table5 as mod
+
+        return mod.run_table5(jobs=jobs)
+
+    def ext_shared_cvm(jobs: Optional[int]) -> Any:
+        from . import ext_shared_cvm as mod
+
+        return mod.run_shared_cvm_comparison(jobs=jobs)
+
+    def chaos(jobs: Optional[int]) -> Any:
+        from . import chaos as mod
+
+        return mod.run_chaos_matrix(jobs=jobs)
+
+    return {
+        "fig6": fig6,
+        "fig7": fig7,
+        "fig8": fig8,
+        "fig9": fig9,
+        "fig10": fig10,
+        "table5": table5,
+        "ext_shared_cvm": ext_shared_cvm,
+        "chaos": chaos,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    sweeps = _sweep_registry()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Run one experiment sweep, optionally across worker processes.",
+    )
+    parser.add_argument("sweep", choices=sorted(sweeps))
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_JOBS env, else serial)",
+    )
+    args = parser.parse_args(argv)
+    result = sweeps[args.sweep](args.jobs)
+    print(f"{args.sweep}: digest {canonical_digest(result)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

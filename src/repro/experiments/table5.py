@@ -15,7 +15,7 @@ memory-intensive queries benefit outright.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..costs import CostModel, DEFAULT_COSTS
 from ..guest.vm import GuestVm
@@ -30,9 +30,10 @@ from ..guest.workloads.redis import (
 )
 from ..sim.clock import sec
 from .config import SystemConfig
+from .runner import Cell, cell, run_cells
 from .system import System
 
-__all__ = ["Table5Row", "Table5Result", "run_table5", "BENCH_OPS"]
+__all__ = ["Table5Row", "Table5Result", "run_table5", "table5_cells", "BENCH_OPS"]
 
 BENCH_OPS: List[RedisOp] = [OP_SET, OP_GET, OP_LRANGE_100]
 
@@ -91,12 +92,28 @@ def _run_one(
     )
 
 
-def run_table5(
+def table5_cells(
     n_requests: int = 20_000, costs: CostModel = DEFAULT_COSTS
+) -> List[Cell]:
+    return [
+        cell(
+            f"table5/{op.name}/{mode}",
+            _run_one,
+            mode=mode,
+            op=op,
+            # LRANGE-100 queries are ~3x the work of SET/GET
+            n_requests=n_requests if op is not OP_LRANGE_100 else n_requests // 3,
+            costs=costs,
+        )
+        for op in BENCH_OPS
+        for mode in ("shared", "gapped")
+    ]
+
+
+def run_table5(
+    n_requests: int = 20_000,
+    costs: CostModel = DEFAULT_COSTS,
+    jobs: Optional[int] = None,
 ) -> Table5Result:
-    result = Table5Result()
-    for op in BENCH_OPS:
-        for mode in ("shared", "gapped"):
-            requests = n_requests if op is not OP_LRANGE_100 else n_requests // 3
-            result.rows.append(_run_one(mode, op, requests, costs))
-    return result
+    cells = table5_cells(n_requests, costs)
+    return Table5Result(rows=run_cells(cells, jobs=jobs))

@@ -167,6 +167,9 @@ class PollutionModel:
 
     def __init__(self, costs: Optional[PollutionCosts] = None):
         self.costs = costs or PollutionCosts()
+        #: victim domain -> [pending_debt_ns, victim_cap_ns]; the cap is
+        #: a pure function of the domain, cached at registration so the
+        #: per-charge loop touches no methods and hashes nothing
         self._pending: dict = {}
         self._last_domain: Optional[SecurityDomain] = None
         self.total_penalty_paid = 0
@@ -177,14 +180,21 @@ class PollutionModel:
             return self.costs.max_pending_penalty_ns
         return self.costs.host_victim_cap_ns
 
+    def _entry(self, domain: SecurityDomain) -> list:
+        entry = self._pending.get(domain)
+        if entry is None:
+            entry = self._pending[domain] = [0, self._victim_cap(domain)]
+        return entry
+
     def _add(self, amount: int, exclude: Optional[SecurityDomain]) -> None:
-        for domain in list(self._pending):
+        # values are mutated in place; no key is inserted or removed, so
+        # iterating the live dict is safe (and allocation-free)
+        for domain, entry in self._pending.items():
             if domain == exclude:
                 continue
-            self._pending[domain] = min(
-                self._pending[domain] + amount,
-                self._victim_cap(domain),
-            )
+            debt = entry[0] + amount
+            cap = entry[1]
+            entry[0] = debt if debt < cap else cap
 
     def note_run(self, domain: SecurityDomain) -> None:
         """``domain`` starts running on this core (registration only;
@@ -196,8 +206,7 @@ class PollutionModel:
         """
         if domain.trusted_by_all:
             return
-        if domain not in self._pending:
-            self._pending[domain] = 0
+        self._entry(domain)
         self._last_domain = domain
 
     def note_run_duration(self, domain: SecurityDomain, elapsed_ns: int) -> None:
@@ -220,11 +229,10 @@ class PollutionModel:
     def note_flush(self) -> None:
         """A mitigation flush makes *everyone* cold (including the flusher's
         beneficiary)."""
-        for domain in list(self._pending):
-            self._pending[domain] = min(
-                self._pending[domain] + self.costs.flush_penalty_ns,
-                self.costs.max_pending_penalty_ns,
-            )
+        flush = self.costs.flush_penalty_ns
+        cap = self.costs.max_pending_penalty_ns
+        for entry in self._pending.values():
+            entry[0] = min(entry[0] + flush, cap)
         self._last_domain = None
 
     def consume_penalty(
@@ -239,11 +247,13 @@ class PollutionModel:
         """
         if domain.trusted_by_all:
             return 0
-        pending = self._pending.get(domain, 0)
+        entry = self._entry(domain)
+        pending = entry[0]
         pay = pending if work_ns is None else min(pending, int(work_ns))
-        self._pending[domain] = pending - pay
+        entry[0] = pending - pay
         self.total_penalty_paid += pay
         return pay
 
     def pending_penalty(self, domain: SecurityDomain) -> int:
-        return self._pending.get(domain, 0)
+        entry = self._pending.get(domain)
+        return 0 if entry is None else entry[0]

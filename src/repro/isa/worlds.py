@@ -62,6 +62,16 @@ class SecurityDomain:
     world: World
     trusted_by_all: bool = False
 
+    def __post_init__(self) -> None:
+        # domains key the per-core pollution/residency dicts on every
+        # executed segment; precompute the (immutable) field hash once
+        object.__setattr__(
+            self, "_hash", hash((self.name, self.world, self.trusted_by_all))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
     @property
     def is_realm(self) -> bool:
         return self.world is World.REALM and not self.trusted_by_all

@@ -9,32 +9,14 @@ Reuses the canonical digest machinery from ``repro.lint.sanitizer``.
 
 import pytest
 
-from repro.experiments.chaos import default_fault_plans, run_chaos_case
-from repro.lint.sanitizer import RunDigest, diff_digests
+from repro.experiments.chaos import (
+    default_fault_plans,
+    digest_chaos_outcome as _digest,
+    run_chaos_case,
+)
+from repro.lint.sanitizer import diff_digests
 
 PLANS = {plan.name: plan for plan in default_fault_plans()}
-
-
-def _digest(outcome) -> RunDigest:
-    tracer = outcome.system.tracer
-    records = [
-        f"{r.time}|{r.kind}|{r.core}|{r.domain}|{r.detail}"
-        for r in tracer.records
-    ]
-    spans = [
-        f"{s.core}|{s.domain}|{s.start}|{s.end}" for s in tracer.spans
-    ]
-    counters = {k: int(v) for k, v in sorted(tracer.counters.items())}
-    metrics = {
-        "status": outcome.status,
-        "detail": outcome.detail,
-        "host_errors": outcome.host_errors,
-        "injections": dict(sorted(outcome.injections.items())),
-        "recoveries": dict(sorted(outcome.recoveries.items())),
-        "duration_ns": outcome.duration_ns,
-        "end_ns": outcome.system.sim.now,
-    }
-    return RunDigest(records, spans, counters, metrics)
 
 
 @pytest.mark.parametrize(

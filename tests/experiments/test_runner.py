@@ -1,0 +1,175 @@
+"""The sweep runner's contract: parallel == serial, bit for bit.
+
+Three claims from DESIGN.md §5.3 are enforced here:
+
+* fanning a sweep over worker processes changes wall-clock only — the
+  sanitizer digests (and hence every merged result) are identical to
+  the serial run, for both a fig-6 subsweep and chaos cells;
+* a crashing cell surfaces as a :class:`CellError` naming the cell —
+  the pool shuts down, nothing hangs;
+* results merge in cell order even when completion order is shuffled.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.chaos import default_fault_plans, run_chaos_matrix
+from repro.experiments.fig6 import fig6_cells
+from repro.experiments.runner import (
+    Cell,
+    CellError,
+    canonical_digest,
+    cell,
+    resolve_jobs,
+    run_cells,
+    verify_serial_parallel,
+)
+from repro.lint.sanitizer import RunDigest, diff_digests
+from repro.sim.clock import ms
+
+
+# ----------------------------------------------------------------------
+# worker cell functions (module-level: workers import this test module)
+# ----------------------------------------------------------------------
+
+
+def _ok_cell(value):
+    return value * 2
+
+
+def _boom_cell(value):
+    raise RuntimeError(f"boom {value}")
+
+
+def _sleepy_cell(value, sleep_s):
+    # later-submitted cells sleep less, so completion order inverts
+    # submission order; merge order must not care
+    time.sleep(sleep_s)
+    return value
+
+
+# ----------------------------------------------------------------------
+# digest equality: the tentpole's correctness proof
+# ----------------------------------------------------------------------
+
+
+def _sweep_digest(cells, outputs) -> RunDigest:
+    """Sweep results as a sanitizer digest (one metric per cell)."""
+    metrics = {c.cell_id: canonical_digest(out) for c, out in zip(cells, outputs)}
+    return RunDigest(records=[], spans=[], counters={}, metrics=metrics)
+
+
+def test_fig6_parallel_digest_equals_serial():
+    cells = fig6_cells(
+        core_counts=[2, 4], duration_ns=int(ms(40)), include_busywait=False
+    )
+    serial = run_cells(cells, jobs=1)
+    parallel = run_cells(cells, jobs=2)
+    assert (
+        diff_digests(_sweep_digest(cells, serial), _sweep_digest(cells, parallel))
+        == []
+    )
+
+
+def test_chaos_parallel_digest_equals_serial():
+    plans = [p for p in default_fault_plans() if p.name in ("control", "dead-core")]
+    serial = run_chaos_matrix(seed=11, plans=plans, scenarios=("coremark",))
+    parallel = run_chaos_matrix(seed=11, plans=plans, scenarios=("coremark",), jobs=2)
+    assert [o.plan for o in serial] == [o.plan for o in parallel]
+    for a, b in zip(serial, parallel):
+        # full sanitizer trace digests, computed where each run happened
+        assert diff_digests(a.digest, b.digest) == [], (a.plan, a.scenario)
+        assert a.survived == b.survived
+
+
+def test_verify_helper_reports_no_divergence():
+    cells = [cell(f"v/{i}", _ok_cell, value=i) for i in range(4)]
+    assert verify_serial_parallel(cells, jobs=2) == []
+
+
+# ----------------------------------------------------------------------
+# failure surfacing
+# ----------------------------------------------------------------------
+
+
+def test_failing_cell_raises_named_error_serial():
+    cells = [cell("good", _ok_cell, value=1), cell("bad", _boom_cell, value=7)]
+    with pytest.raises(CellError) as exc_info:
+        run_cells(cells, jobs=1)
+    assert exc_info.value.cell_id == "bad"
+    assert "boom 7" in str(exc_info.value)
+
+
+def test_failing_cell_raises_named_error_parallel():
+    # a worker raising must neither hang the pool nor lose the cell id
+    cells = [
+        cell("ok/0", _ok_cell, value=0),
+        cell("crash/1", _boom_cell, value=1),
+        cell("ok/2", _ok_cell, value=2),
+    ]
+    with pytest.raises(CellError) as exc_info:
+        run_cells(cells, jobs=2)
+    assert exc_info.value.cell_id == "crash/1"
+    assert "boom 1" in str(exc_info.value)
+
+
+def test_unimportable_cell_fn_rejected_eagerly():
+    with pytest.raises(ValueError):
+        cell("lambda", lambda: None)
+
+    def nested():
+        return None
+
+    with pytest.raises(ValueError):
+        cell("nested", nested)
+
+
+def test_duplicate_cell_ids_rejected():
+    cells = [cell("same", _ok_cell, value=1), cell("same", _ok_cell, value=2)]
+    with pytest.raises(ValueError):
+        run_cells(cells)
+
+
+# ----------------------------------------------------------------------
+# merge-order determinism
+# ----------------------------------------------------------------------
+
+
+def test_merge_order_survives_shuffled_completion():
+    # four cells whose completion order is the reverse of submission
+    # order (earlier cells sleep longer); two workers guarantee real
+    # overlap, results must still come back in cell order
+    cells = [
+        cell(f"sleep/{i}", _sleepy_cell, value=i, sleep_s=(3 - i) * 0.05)
+        for i in range(4)
+    ]
+    assert run_cells(cells, jobs=2) == [0, 1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# jobs resolution
+# ----------------------------------------------------------------------
+
+
+def test_resolve_jobs_defaults_and_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs() == 1
+    assert resolve_jobs(4) == 4
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert resolve_jobs() == 3
+    assert resolve_jobs(2) == 2  # explicit beats env
+    monkeypatch.setenv("REPRO_JOBS", "zero")
+    with pytest.raises(ValueError):
+        resolve_jobs()
+    with pytest.raises(ValueError):
+        resolve_jobs(0)
+
+
+def test_cell_spec_validation():
+    with pytest.raises(ValueError):
+        cell("bad-spec", "no-colon-here")
+    with pytest.raises(ValueError):
+        cell("main-spec", "__main__:foo")
+    c = cell("str-spec", "tests_do_not_exist:fn")  # shape-valid, unresolved
+    assert isinstance(c, Cell)

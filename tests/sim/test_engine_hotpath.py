@@ -1,0 +1,113 @@
+"""Regressions for the event-loop fast paths.
+
+Covers the hot-path work on :mod:`repro.sim.engine`: the shared pop
+loop (``run``/``run_one`` both police monotonic time), the O(1)
+``pending_events`` counter, and heap compaction — cancelled ``AnyOf``
+losers must not accumulate without bound.
+"""
+
+import pytest
+
+from repro.sim.engine import AnyOf, Delay, Event, SimulationError, Simulator, Wakeup
+
+
+def test_run_one_raises_on_backwards_time():
+    # run() has always policed monotonic time; run_one() shares the same
+    # pop loop now and must too
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.now = 50  # simulate a corrupted clock
+    with pytest.raises(SimulationError, match="time went backwards"):
+        sim.run_one()
+
+
+def test_run_raises_on_backwards_time():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.now = 50
+    with pytest.raises(SimulationError, match="time went backwards"):
+        sim.run()
+
+
+def test_cancelled_anyof_losers_do_not_accumulate():
+    # each iteration races a short delay against a very long one; the
+    # loser is cancelled but its heap entry can only be dropped lazily.
+    # Compaction must keep the heap near the live-timer count instead
+    # of letting ~n_iter stale entries pile up.
+    sim = Simulator()
+    n_iter = 1000
+
+    def racer():
+        for _ in range(n_iter):
+            wakeup = yield AnyOf([Delay(1), Delay(10**9)])
+            assert isinstance(wakeup, Wakeup) and wakeup.index == 0
+
+    sim.spawn(racer())
+    sim.run()
+    assert sim.pending_events == 0
+    # far smaller than n_iter: bounded by the compaction threshold plus
+    # the handful of live timers present at any instant
+    assert len(sim._heap) <= 2 * Simulator._COMPACT_MIN
+
+
+def test_compaction_preserves_event_order():
+    # force repeated compactions while interleaved live timers remain
+    # queued; firing order must be untouched
+    sim = Simulator()
+    fired = []
+    keep = [sim.schedule(100 + i, lambda i=i: fired.append(i)) for i in range(10)]
+    for round_ in range(5):
+        doomed = [sim.schedule(50, lambda: fired.append("doomed")) for _ in range(40)]
+        for t in doomed:
+            t.cancel()
+    assert sim.pending_events == len(keep)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_pending_events_tracks_cancel_and_uncancel():
+    sim = Simulator()
+    timer = sim.schedule(10, lambda: None)
+    sim.schedule(20, lambda: None)
+    assert sim.pending_events == 2
+    timer.cancelled = True
+    timer.cancelled = True  # idempotent
+    assert sim.pending_events == 1
+    timer.cancelled = False  # re-arm before it was popped
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_cancelling_a_fired_timer_does_not_corrupt_counters():
+    # an AnyOf winner cancels its whole batch, including the timer that
+    # already fired; that must not drive the live counter negative
+    sim = Simulator()
+    done = []
+
+    def waiter():
+        yield AnyOf([Delay(5), Delay(7)])
+        done.append(True)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert done == [True]
+    assert sim.pending_events == 0
+    assert sim._live == 0 and sim._stale == 0
+
+
+def test_run_until_done_sees_through_cancelled_timers():
+    # only a cancelled timer left in the heap + a process blocked on an
+    # event that never fires: that is a deadlock, not progress
+    sim = Simulator()
+    never = Event("never")
+
+    def blocked():
+        yield never
+
+    proc = sim.spawn(blocked())
+    sim.run_one()  # start the process; it parks on the event
+    timer = sim.schedule(10, lambda: None)
+    timer.cancel()
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_done(proc)
