@@ -45,6 +45,8 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from ..obs.profile import PROFILE_ENV_VAR, profiler_from_env, render_profile
+
 __all__ = [
     "Cell",
     "CellError",
@@ -355,9 +357,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="worker processes (default: REPRO_JOBS env, else serial)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile engine dispatch (forces serial; wall-clock only, "
+        "simulated results are unaffected)",
+    )
     args = parser.parse_args(argv)
+    if args.profile:
+        # the profiler aggregates in-process, so fan-out would lose it
+        os.environ[PROFILE_ENV_VAR] = "1"
+        args.jobs = 1
     result = sweeps[args.sweep](args.jobs)
     print(f"{args.sweep}: digest {canonical_digest(result)}")
+    if args.profile:
+        profiler = profiler_from_env()
+        if profiler is not None and profiler.events:
+            print(render_profile(profiler))
     return 0
 
 

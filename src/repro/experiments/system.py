@@ -19,6 +19,7 @@ from ..isa.worlds import SecurityDomain, World
 from ..rmm.attestation import CORE_GAPPED_RMM
 from ..rmm.core_gap import CoreGapEngine
 from ..rmm.monitor import Rmm
+from ..obs import build_registry, profiler_from_env
 from ..sim.engine import Event, SimulationError, Simulator
 from ..sim.rng import RngFactory
 from ..sim.trace import Tracer
@@ -84,6 +85,12 @@ class System:
         self._next_spi = SPI_BASE + 1
         self._next_vm_serial = 1
         self.kvms: List[KvmVm] = []
+        #: typed view over the tracer's counters/gauges/samples; every
+        #: name the tree publishes is declared in repro.obs.catalog
+        self.metrics = build_registry(self.tracer)
+        self._profiler = profiler_from_env()
+        if self._profiler is not None:
+            self.sim.attach_profiler(self._profiler)
 
     # ------------------------------------------------------------------
     # VM launch
@@ -262,3 +269,25 @@ class System:
 
     def finish(self) -> None:
         self.machine.finish_tracing()
+        self._harvest_gauges()
+
+    def _harvest_gauges(self) -> None:
+        """Publish end-of-run structural totals as declared gauges.
+
+        Gauges live in ``Tracer.gauges`` and are never digested, so this
+        harvest cannot move sanitizer or sweep digests.
+        """
+        metrics = self.metrics
+        metrics.gauge("gic_sgi_sent_count").set(self.machine.gic.sgi_sent)
+        metrics.gauge("gic_spi_raised_count").set(self.machine.gic.spi_raised)
+        submits = completes = 0
+        for kvm in self.kvms:
+            for port in kvm.ports.values():
+                submits += port.submit_count
+                completes += port.complete_count
+        metrics.gauge("rpc_submit_count").set(submits)
+        metrics.gauge("rpc_complete_count").set(completes)
+        metrics.gauge("rpc_sync_call_count").set(
+            self.planner.sync_port.call_count
+        )
+        metrics.gauge("sim_end_ns").set(self.sim.now)

@@ -70,6 +70,11 @@ class FaultInjector:
         self.injected[spec.kind] = self.injected.get(spec.kind, 0) + 1
         if self.tracer is not None:
             self.tracer.count(f"fault:{spec.kind}")
+            self.tracer.set_gauge("faults_injected_count", self.total_injected)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    self.sim.now, "fault.inject", detail=spec.kind
+                )
 
     @property
     def total_injected(self) -> int:

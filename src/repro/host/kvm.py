@@ -201,6 +201,10 @@ class KvmVm:
     def _count_exit(self, reason: str) -> None:
         self.tracer.count(f"exit:{reason}")
         self.tracer.count("exits_total")
+        if self.tracer.enabled:
+            # host-side exit handling runs on whichever host core the
+            # thread lands on; the record carries no core affinity
+            self.tracer.event(self.sim.now, "exit", detail=reason)
 
     # ------------------------------------------------------------------
     # core-gapped vCPU thread (fig. 4 client side)

@@ -58,7 +58,9 @@ class CorePlanner:
         self.notifier = notifier
         self.host_cores = set(host_cores)
         self.costs = costs
-        self.sync_port = SyncRpcPort(kernel.sim, "planner")
+        self.sync_port = SyncRpcPort(
+            kernel.sim, "planner", tracer=self.machine.tracer
+        )
         #: deadline for one sync RMI busy-wait: None (default) spins
         #: forever (the paper's happy path); when set, an unanswered
         #: call raises a host-visible RpcTimeoutError instead of
@@ -191,6 +193,7 @@ class CorePlanner:
 
         Returns the :class:`KvmVm`; run as (part of) a host thread body.
         """
+        launch_started_at = self.kernel.sim.now
         # 1. hotplug the cores away from the host, hand them to the RMM
         cores = yield from self._acquire_cores(vm.n_vcpus)
         self.allocations[vm.name] = cores
@@ -250,10 +253,14 @@ class CorePlanner:
                 self.kernel.sim,
                 f"{vm.name}.vcpu{idx}",
                 notify_exit=self.notifier.notify_exit,
+                tracer=self.machine.tracer,
             )
             kvm.ports[idx] = port
             kvm.planned_cores[idx] = cores[idx]
             self.notifier.register_port(port)
+        self.machine.tracer.sample(
+            "planner_launch_ns", self.kernel.sim.now - launch_started_at
+        )
         return kvm
 
     def rebind_vcpu(self, kvm: KvmVm, vcpu_idx: int, new_core: int):

@@ -18,7 +18,8 @@ Models the pieces of Arm's GICv3 that the paper's mechanisms depend on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from ..sim.engine import SimulationError, Simulator
 from ..sim.sync import Notify
@@ -118,13 +119,24 @@ class CoreInterruptInterface:
 class Gic:
     """The distributor: routes SGIs/PPIs/SPIs to per-core interfaces."""
 
-    def __init__(self, sim: Simulator, n_cores: int, wire_delay_ns: int = 400):
+    def __init__(
+        self,
+        sim: Simulator,
+        n_cores: int,
+        wire_delay_ns: int = 400,
+        tracer: Optional[Any] = None,
+    ):
         self.sim = sim
         self.wire_delay_ns = wire_delay_ns
         self.cores = [CoreInterruptInterface(i) for i in range(n_cores)]
         self._spi_routes: Dict[int, int] = {}
         self.sgi_sent = 0
         self.spi_raised = 0
+        #: duck-typed :class:`repro.sim.trace.Tracer` (layering: hw must
+        #: not import repro.obs); ``event()`` records are observability-
+        #: only and never scheduled, so tracing cannot perturb delivery
+        self.tracer = tracer
+        self._next_flow = 0
         #: fault-injection hook (repro.faults): maps ``(target, intid)``
         #: to the list of delivery delays for this SGI -- ``[]`` drops
         #: it, one entry delays it, several duplicate it.  ``None``
@@ -136,8 +148,17 @@ class Gic:
 
     # -- SGIs (IPIs) -------------------------------------------------------
 
-    def send_sgi(self, target_core: int, intid: int) -> None:
-        """Send an IPI; it pends on the target after the wire delay."""
+    def send_sgi(
+        self, target_core: int, intid: int, from_core: Optional[int] = None
+    ) -> None:
+        """Send an IPI; it pends on the target after the wire delay.
+
+        ``from_core`` is observability metadata only (the trace exporter
+        draws the cross-core flow arrow from it); many senders -- e.g. a
+        dedicated RMM core raising the exit doorbell -- legitimately
+        pass None.  The scheduled delivery is identical whether or not a
+        tracer is attached: one event per delay, same order.
+        """
         if not 0 <= intid < N_SGIS:
             raise SimulationError(f"SGI intid {intid} out of range")
         self.sgi_sent += 1
@@ -147,8 +168,32 @@ class Gic:
             faulted = self.sgi_fault_hook(target_core, intid)
             if faulted is not None:
                 delays = faulted
+        flow: Optional[int] = None
+        if self.tracer is not None and self.tracer.enabled:
+            flow = self._next_flow
+            self._next_flow += 1
+            self.tracer.event(
+                self.sim.now,
+                "sgi.send",
+                core=from_core,
+                detail={"target": target_core, "intid": intid, "flow": flow},
+            )
         for delay_ns in delays:
-            self.sim.schedule(delay_ns, lambda: target.pend(intid))
+            self.sim.schedule(
+                delay_ns, partial(self._deliver_sgi, target, intid, flow)
+            )
+
+    def _deliver_sgi(
+        self, target: CoreInterruptInterface, intid: int, flow: Optional[int]
+    ) -> None:
+        if flow is not None and self.tracer is not None:
+            self.tracer.event(
+                self.sim.now,
+                "sgi.recv",
+                core=target.core_index,
+                detail={"intid": intid, "flow": flow},
+            )
+        target.pend(intid)
 
     # -- PPIs (per-core timer etc.) -----------------------------------------
 
@@ -174,6 +219,13 @@ class Gic:
             raise SimulationError(f"SPI intid {intid} out of range")
         self.spi_raised += 1
         target = self.cores[self.spi_route(intid)]
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.event(
+                self.sim.now,
+                "spi.raise",
+                core=target.core_index,
+                detail={"intid": intid},
+            )
         self.sim.schedule(self.wire_delay_ns, lambda: target.pend(intid))
 
     def retarget_spis_away_from(self, core_index: int, fallback: int) -> int:

@@ -41,7 +41,10 @@ class Machine:
         self.rng = rng or RngFactory(0)
         self.pollution_costs = pollution_costs or PollutionCosts()
         self.gic = Gic(
-            self.sim, topology.n_cores, wire_delay_ns=topology.ipi_wire_delay_ns
+            self.sim,
+            topology.n_cores,
+            wire_delay_ns=topology.ipi_wire_delay_ns,
+            tracer=self.tracer,
         )
         self.timers: List[CoreTimer] = [
             CoreTimer(self.sim, self.gic, i) for i in range(topology.n_cores)

@@ -24,6 +24,7 @@ from .contract import LintContract, load_contract
 from .determinism import check_determinism
 from .findings import Finding, RULES, SourceFile, load_source
 from .layering import check_layering
+from .obs import check_obs
 from .reporter import render_json, render_text
 from .units import check_units
 
@@ -35,6 +36,7 @@ STATIC_PASSES: Dict[
     "determinism": check_determinism,
     "layering": check_layering,
     "units": check_units,
+    "obs": check_obs,
 }
 
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist", "results"}

@@ -58,12 +58,21 @@ DEFAULT_LAYERS: Dict[str, List[str]] = {
     ],
     "repro.security": ["repro.sim", "repro.isa", "repro.hw"],
     "repro.experiments": ["*"],
+    "repro.obs": ["repro.sim"],
+    # the report CLI composes sweeps, so it (alone) reaches experiments
+    "repro.obs.report": [
+        "repro.sim",
+        "repro.obs",
+        "repro.experiments",
+        "repro.analysis",
+    ],
     "repro.lint": [
         "repro.sim",
         "repro.costs",
         "repro.guest",
         "repro.analysis",
         "repro.experiments",
+        "repro.obs",
     ],
 }
 

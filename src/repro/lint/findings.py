@@ -94,6 +94,16 @@ RULES: Dict[str, Rule] = {
             "integer-ns clock: divisions/float() must be rounded first",
         ),
         Rule(
+            "OBS001",
+            "metric name not declared in repro.obs.catalog",
+            "observability: every published metric is declared and typed",
+        ),
+        Rule(
+            "OBS002",
+            "metric published through the wrong accessor for its kind",
+            "observability: one name, one kind — no shape disagreements",
+        ),
+        Rule(
             "SAN001",
             "same-seed replay diverged (in-process)",
             "invariant #6: same seed => identical traces and metrics",

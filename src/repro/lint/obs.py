@@ -1,0 +1,150 @@
+"""Observability pass: every published metric name must be declared.
+
+The metrics catalog (:mod:`repro.obs.catalog`) is the single authority
+for metric names; this pass closes the loop statically so scattered
+stringly-typed metrics cannot reappear:
+
+* **OBS001** — a metric name reaching a publishing sink is not declared
+  in the catalog (exactly or via a ``prefix*`` family).
+* **OBS002** — a declared name is published through the wrong accessor
+  for its kind (``tracer.count`` on a histogram, ``registry.gauge`` on
+  a counter, ...): two subsystems disagreeing about a metric's shape is
+  an accounting bug even when the name exists.
+
+Sinks checked, by receiver naming convention (duck-typed tracers cross
+layer boundaries, so the receiver *type* is unknowable statically):
+
+========================================  ===========================
+call                                       expected catalog kind
+========================================  ===========================
+``*tracer.count(name, ...)``               counter
+``*tracer.sample(name, value)``            histogram
+``*tracer.set_gauge(name, value)``         gauge
+``*metrics/*registry.counter(name)``       counter
+``*metrics/*registry.gauge(name)``         gauge
+``*metrics/*registry.histogram(name)``     histogram
+========================================  ===========================
+
+Names are resolved from string literals and from f-string *prefixes*
+(``f"exit:{reason}"`` checks ``exit:`` against the ``exit:*`` family);
+a fully dynamic name (no literal prefix) is skipped — the registry
+rejects it at runtime instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from .contract import LintContract
+from .findings import Finding, SourceFile
+
+__all__ = ["check_obs"]
+
+#: tracer method -> catalog kind it publishes
+_TRACER_SINKS: Dict[str, str] = {
+    "count": "counter",
+    "sample": "histogram",
+    "set_gauge": "gauge",
+}
+
+#: registry accessor -> catalog kind it asserts
+_REGISTRY_SINKS: Dict[str, str] = {
+    "counter": "counter",
+    "gauge": "gauge",
+    "histogram": "histogram",
+}
+
+#: receiver-name suffixes identifying each sink family
+_TRACER_RECEIVERS = ("tracer",)
+_REGISTRY_RECEIVERS = ("metrics", "registry")
+
+
+def _receiver_name(node: ast.expr) -> Optional[str]:
+    """Trailing identifier of the receiver (``self._tracer`` -> ``_tracer``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _literal_name(node: ast.expr) -> Tuple[Optional[str], bool]:
+    """``(name, is_prefix)`` for a metric-name argument, else (None, _).
+
+    A plain string constant resolves exactly; an f-string resolves to
+    its leading literal prefix (prefix=True); anything else — a
+    variable, an attribute, a ``%``/``.format`` expression — returns
+    None and is skipped.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value, False
+    if isinstance(node, ast.JoinedStr):
+        parts = node.values
+        if parts and isinstance(parts[0], ast.Constant) and isinstance(
+            parts[0].value, str
+        ):
+            return parts[0].value, True
+        return None, True  # fully dynamic: runtime's problem
+    return None, False
+
+
+def check_obs(source: SourceFile, contract: LintContract) -> List[Finding]:
+    del contract  # the catalog, not the layering table, is the authority
+    # deferred so linting trees without the package (fixture dirs in the
+    # linter's own tests) degrades to a no-op rather than crashing
+    try:
+        from ..obs.catalog import lookup
+    except ImportError:  # pragma: no cover - obs not on the path
+        return []
+
+    findings: List[Finding] = []
+
+    def check_name(node: ast.Call, name_node: ast.expr, kind: str) -> None:
+        name, is_prefix = _literal_name(name_node)
+        if name is None:
+            return
+        spec = lookup(name)
+        line = node.lineno
+        if spec is None:
+            if source.suppressed(line, "OBS001"):
+                return
+            what = f"prefix {name!r}" if is_prefix else f"name {name!r}"
+            findings.append(
+                Finding(
+                    str(source.path),
+                    line,
+                    "OBS001",
+                    f"metric {what} is not declared in repro.obs.catalog",
+                )
+            )
+        elif spec.kind != kind:
+            if source.suppressed(line, "OBS002"):
+                return
+            findings.append(
+                Finding(
+                    str(source.path),
+                    line,
+                    "OBS002",
+                    f"metric {name!r} is declared as a {spec.kind} but "
+                    f"published as a {kind}",
+                )
+            )
+
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call) or not isinstance(
+            node.func, ast.Attribute
+        ):
+            continue
+        receiver = _receiver_name(node.func.value)
+        if receiver is None or not node.args:
+            continue
+        method = node.func.attr
+        receiver = receiver.lstrip("_")
+        if method in _TRACER_SINKS and receiver.endswith(_TRACER_RECEIVERS):
+            check_name(node, node.args[0], _TRACER_SINKS[method])
+        elif method in _REGISTRY_SINKS and receiver.endswith(
+            _REGISTRY_RECEIVERS
+        ):
+            check_name(node, node.args[0], _REGISTRY_SINKS[method])
+    return findings

@@ -107,11 +107,12 @@ def _run_scenario(
     tie_break: str,
     n_cores: int,
     duration_ms: int,
+    trace_schedules: bool = True,
 ) -> RunDigest:
     config = SystemConfig(
         n_cores=n_cores,
         seed=seed,
-        trace_schedules=True,
+        trace_schedules=trace_schedules,
         tie_break=tie_break,
         **overrides,  # type: ignore[arg-type]
     )
@@ -159,12 +160,19 @@ def run_probe(
     tie_break: str = "fifo",
     n_cores: int = 4,
     duration_ms: int = 40,
+    trace_schedules: bool = True,
 ) -> RunDigest:
-    """Run all probe scenarios once and digest traces and metrics."""
+    """Run all probe scenarios once and digest traces and metrics.
+
+    ``trace_schedules=False`` runs with observability disabled — the
+    digest then proves instrumentation is inert when off (the golden
+    file under ``tests/obs/`` pins the pre-instrumentation bytes).
+    """
     combined = RunDigest([], [], {}, {})
     for label, overrides in _PROBE_SCENARIOS:
         digest = _run_scenario(
-            label, overrides, seed, tie_break, n_cores, duration_ms
+            label, overrides, seed, tie_break, n_cores, duration_ms,
+            trace_schedules=trace_schedules,
         )
         combined.records.extend(digest.records)
         combined.spans.extend(digest.spans)

@@ -1,0 +1,77 @@
+"""repro.obs — structured observability for the simulation.
+
+Four pieces, all optional and all zero-cost when unused:
+
+* :mod:`repro.obs.metrics` / :mod:`repro.obs.catalog` — the typed
+  metrics registry and the single declared catalog of every metric name
+  the tree may publish (enforced by lint rule OBS001);
+* :mod:`repro.obs.perfetto` — Chrome trace-event / Perfetto JSON export
+  of a run's spans, VM exits, RPC slot lifecycles, IPIs and injected
+  faults, with flow arrows for cross-core notifications;
+* :mod:`repro.obs.profile` — engine dispatch profiling behind
+  ``REPRO_PROFILE=1`` / ``--profile`` (wall-clock; never digested);
+* :mod:`repro.obs.report` — the run-report generator
+  (``python -m repro.obs.report <sweep>``) rendering sweeps into
+  Markdown with paper/measured/ratio/verdict rows.
+
+Layering: this package may import :mod:`repro.sim` only (the report CLI
+submodule additionally reaches into :mod:`repro.experiments`); nothing
+under :mod:`repro.hw`, :mod:`repro.host` or :mod:`repro.rmm` imports it
+back — instrumented components receive a duck-typed tracer instead.
+
+Quickstart::
+
+    from repro.obs import build_registry, write_trace
+
+    system = System(ExperimentConfig(mode="gapped", trace_schedules=True))
+    system.run(duration)
+    write_trace(system.tracer, "fig6_cell.trace.json", label="fig6")
+    print(build_registry(system.tracer).snapshot())
+"""
+
+from .catalog import CATALOG, build_registry, catalog_names, lookup
+from .metrics import (
+    DEFAULT_NS_BUCKETS,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricError,
+    MetricSpec,
+    MetricsRegistry,
+    Unit,
+)
+from .perfetto import (
+    export_trace,
+    trace_summary,
+    validate_trace,
+    write_trace,
+)
+from .profile import (
+    PROFILE_ENV_VAR,
+    EngineProfiler,
+    profiler_from_env,
+    render_profile,
+)
+
+__all__ = [
+    "CATALOG",
+    "build_registry",
+    "catalog_names",
+    "lookup",
+    "DEFAULT_NS_BUCKETS",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricError",
+    "MetricSpec",
+    "MetricsRegistry",
+    "Unit",
+    "export_trace",
+    "trace_summary",
+    "validate_trace",
+    "write_trace",
+    "PROFILE_ENV_VAR",
+    "EngineProfiler",
+    "profiler_from_env",
+    "render_profile",
+]

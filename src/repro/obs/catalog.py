@@ -1,0 +1,128 @@
+"""The declared metric catalog: every name the simulation may publish.
+
+This is the single authority the OBS001 lint rule checks string metric
+names against — a ``tracer.count("typo_total")`` anywhere in the tree
+fails lint until the name is declared here.  Keeping the catalog in one
+flat list (rather than scattered ``declare`` calls) makes the full
+accounting surface reviewable at a glance and keeps declaration order
+deterministic.
+
+Naming convention (DESIGN.md §5.4): new metrics carry a unit suffix —
+``_ns`` for integer simulated nanoseconds, ``_count`` for event totals,
+``_bytes`` for volumes.  Names that predate the registry are declared
+``legacy=True`` because renaming them would move every recorded
+sanitizer digest; dynamic families end in ``*`` and match by prefix.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.trace import Tracer
+from .metrics import MetricSpec, MetricsRegistry, Unit
+
+__all__ = ["CATALOG", "build_registry", "lookup", "catalog_names"]
+
+
+def _legacy_counter(name: str, help_text: str) -> MetricSpec:
+    return MetricSpec(name, "counter", Unit.COUNT, help_text, legacy=True)
+
+
+CATALOG: List[MetricSpec] = [
+    # -- exit accounting (Table 4; digested) ---------------------------
+    _legacy_counter("exit:*", "VM exits by reason (timer, ipi, mmio_*, ...)"),
+    _legacy_counter("exits_total", "total VM exits across all reasons"),
+    # -- RMM / dedicated cores -----------------------------------------
+    _legacy_counter("rec_rebind", "monitor-mediated vCPU core migrations"),
+    _legacy_counter("rmm_core_dead_drop", "run calls dropped by a dead core"),
+    _legacy_counter("rmm_local_timer_inject", "delegated vtimer injections"),
+    _legacy_counter("rmm_local_vipi_notice", "delegated vIPI SGIs absorbed"),
+    _legacy_counter("rmm_stale_host_sgi", "stale host IPIs dropped in realm"),
+    # -- host kernel / KVM ---------------------------------------------
+    _legacy_counter("host_irq:*", "host-handled physical interrupts by intid"),
+    _legacy_counter("host_virq_inject", "host-side virtual IRQ injections"),
+    _legacy_counter("runwait_retry", "bounded run-wait retries"),
+    _legacy_counter("runwait_self_claim", "run waits self-claimed by vCPU"),
+    _legacy_counter("runwait_rekick", "host-kick SGIs re-sent on retry"),
+    _legacy_counter("runwait_exhausted", "run waits abandoned after retries"),
+    _legacy_counter("wakeup_watchdog_recovered", "watchdog-recovered wakeups"),
+    # -- planner / hotplug ---------------------------------------------
+    _legacy_counter("rmi_sync_timeout", "sync RMI busy-waits that timed out"),
+    _legacy_counter("planner_hotplug_retry", "hotplug aborts retried"),
+    _legacy_counter("planner_rollback_parked", "cores parked during rollback"),
+    _legacy_counter("planner_evacuate", "vCPUs evacuated to spare cores"),
+    _legacy_counter("planner_evacuate_refused", "evacuations refused (no spare)"),
+    _legacy_counter("planner_failure_refused", "core failures left unhandled"),
+    _legacy_counter("hotplug_offline", "cores taken offline"),
+    _legacy_counter("hotplug_online", "cores brought online"),
+    _legacy_counter("hotplug_abort", "injected hotplug transition aborts"),
+    # -- fault injection / chaos ---------------------------------------
+    _legacy_counter("fault:*", "injected faults by kind (repro.faults)"),
+    _legacy_counter("chaos_launch_refused", "chaos launches cleanly refused"),
+    # -- latency histograms (integer simulated ns) ---------------------
+    MetricSpec(
+        "run_to_run_ns",
+        "histogram",
+        Unit.NS,
+        "vCPU run-call return-to-return latency (§5.2: 26.18 µs)",
+    ),
+    MetricSpec(
+        "vipi_latency_ns",
+        "histogram",
+        Unit.NS,
+        "virtual IPI send-to-ack latency (Table 3)",
+    ),
+    MetricSpec(
+        "planner_launch_ns",
+        "histogram",
+        Unit.NS,
+        "CVM launch latency: hotplug + realm build + REC binding",
+    ),
+    # -- end-of-run structural gauges (harvested by System.finish) -----
+    MetricSpec(
+        "gic_sgi_sent_count", "gauge", Unit.COUNT, "SGIs (IPIs) sent"
+    ),
+    MetricSpec(
+        "gic_spi_raised_count", "gauge", Unit.COUNT, "device SPIs raised"
+    ),
+    MetricSpec(
+        "rpc_submit_count", "gauge", Unit.COUNT, "async run calls submitted"
+    ),
+    MetricSpec(
+        "rpc_complete_count", "gauge", Unit.COUNT, "async run calls completed"
+    ),
+    MetricSpec(
+        "rpc_sync_call_count", "gauge", Unit.COUNT, "sync RMI calls posted"
+    ),
+    MetricSpec(
+        "faults_injected_count", "gauge", Unit.COUNT, "total injected faults"
+    ),
+    MetricSpec(
+        "sim_end_ns", "gauge", Unit.NS, "simulated clock at end of run"
+    ),
+]
+
+
+def build_registry(tracer: Tracer) -> MetricsRegistry:
+    """A registry with the full catalog declared against ``tracer``."""
+    registry = MetricsRegistry(tracer)
+    for spec in CATALOG:
+        registry.declare(spec)
+    return registry
+
+
+def lookup(name: str) -> Optional[MetricSpec]:
+    """Catalog spec covering ``name`` (exact or family), else None.
+
+    Used by the OBS001 lint rule; cheap enough to rebuild per call
+    given lint runs, but cached via the module-level registry below.
+    """
+    return _CATALOG_INDEX.lookup(name)
+
+
+def catalog_names() -> List[str]:
+    return [spec.name for spec in CATALOG]
+
+
+#: index-only registry (bound to a throwaway tracer) for lookups
+_CATALOG_INDEX = build_registry(Tracer(enabled=False))

@@ -1,0 +1,329 @@
+"""Typed metrics registry: declared names, checked units, fixed buckets.
+
+The simulation publishes three shapes of numbers:
+
+* **counters** — monotonic totals (``exits_total``, ``fault:sgi_drop``),
+  stored in :attr:`repro.sim.trace.Tracer.counters` and therefore part
+  of the sanitizer digest (DESIGN.md invariant #6);
+* **gauges** — last-write-wins scalars harvested at the end of a run
+  (``gic_sgi_sent_count``), stored in ``Tracer.gauges`` and *excluded*
+  from the digest so purely observational totals never move it;
+* **histograms** — distributions over fixed buckets with quantile
+  estimation (``run_to_run_ns``), backed by ``Tracer.sample`` so the
+  raw observations stay available to the experiment harnesses.
+
+Every metric must be *declared* before use — by name, kind, and unit —
+and the naming convention is enforced at declaration time: integer
+nanosecond metrics end in ``_ns``, event totals in ``_count``, byte
+totals in ``_bytes``.  Pre-registry names that predate the convention
+(``exits_total``, ``rec_rebind``, ...) are declared with
+``legacy=True``: renaming them would move every recorded digest, so the
+catalog grandfathers them instead.  Dynamic families (``exit:*``,
+``fault:*``) are declared once with a trailing ``*``.
+
+The lint rule OBS001 (:mod:`repro.lint.obs`) closes the loop: any
+``tracer.count("name")``/``tracer.sample(...)``/``tracer.set_gauge(...)``
+in the tree whose name is not declared in :mod:`repro.obs.catalog` is a
+finding, so scattered stringly-typed metrics cannot reappear.
+
+Usage::
+
+    from repro.obs import build_registry
+
+    registry = build_registry(system.tracer)
+    registry.counter("exits_total").inc()
+    registry.gauge("gic_sgi_sent_count").set(machine.gic.sgi_sent)
+    hist = registry.histogram("run_to_run_ns")
+    hist.observe(26_180)
+    hist.quantile(0.99)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.trace import Tracer
+
+__all__ = [
+    "Unit",
+    "MetricError",
+    "MetricSpec",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "DEFAULT_NS_BUCKETS",
+]
+
+
+class MetricError(ValueError):
+    """Illegal metric declaration or use (wrong kind, duplicate, ...)."""
+
+
+class Unit:
+    """Measurement units; each maps to a mandatory name suffix."""
+
+    NS = "ns"          # integer simulated nanoseconds
+    COUNT = "count"    # event totals
+    BYTES = "bytes"    # data volumes
+    RATIO = "ratio"    # dimensionless 0..1
+
+    #: unit -> required metric-name suffix (None = no requirement)
+    SUFFIX: Dict[str, Optional[str]] = {
+        NS: "_ns",
+        COUNT: "_count",
+        BYTES: "_bytes",
+        RATIO: None,
+    }
+
+
+#: exponential nanosecond buckets, 100 ns .. 1 s (upper edges)
+DEFAULT_NS_BUCKETS: Tuple[int, ...] = (
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+)
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One declared metric: its name, kind, unit and provenance.
+
+    A name ending in ``*`` declares a dynamic *family* (``exit:*``):
+    every runtime name sharing the prefix belongs to it.  Families are
+    necessarily legacy-named — their member names are data-driven.
+    """
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    unit: str
+    help: str
+    #: pre-convention name: suffix check skipped (renames would move
+    #: every recorded sanitizer digest)
+    legacy: bool = False
+    #: histogram bucket upper edges (ignored for other kinds)
+    buckets: Tuple[int, ...] = DEFAULT_NS_BUCKETS
+
+    KINDS = ("counter", "gauge", "histogram")
+
+    @property
+    def is_family(self) -> bool:
+        return self.name.endswith("*")
+
+    @property
+    def family_prefix(self) -> str:
+        return self.name[:-1]
+
+    def validate(self) -> None:
+        if self.kind not in self.KINDS:
+            raise MetricError(f"{self.name}: unknown kind {self.kind!r}")
+        if self.unit not in Unit.SUFFIX:
+            raise MetricError(f"{self.name}: unknown unit {self.unit!r}")
+        if self.is_family:
+            if self.kind != "counter":
+                raise MetricError(
+                    f"{self.name}: dynamic families must be counters"
+                )
+            return
+        suffix = Unit.SUFFIX[self.unit]
+        if suffix and not self.legacy and not self.name.endswith(suffix):
+            raise MetricError(
+                f"{self.name}: unit {self.unit!r} requires the "
+                f"{suffix!r} suffix (or legacy=True)"
+            )
+
+
+class CounterMetric:
+    """Monotonic total backed by ``Tracer.counters`` (digested)."""
+
+    def __init__(self, spec: MetricSpec, tracer: Tracer):
+        self.spec = spec
+        self._tracer = tracer
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise MetricError(f"{self.spec.name}: counters only go up")
+        self._tracer.count(self.spec.name, amount)
+
+    @property
+    def value(self) -> int:
+        return int(self._tracer.counters.get(self.spec.name, 0))
+
+
+class GaugeMetric:
+    """Last-write-wins scalar backed by ``Tracer.gauges`` (undigested)."""
+
+    def __init__(self, spec: MetricSpec, tracer: Tracer):
+        self.spec = spec
+        self._tracer = tracer
+
+    def set(self, value: float) -> None:
+        self._tracer.set_gauge(self.spec.name, value)
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._tracer.gauges.get(self.spec.name)
+
+
+class HistogramMetric:
+    """Fixed-bucket distribution over ``Tracer.sample`` observations.
+
+    The tracer's raw sample list stays the single source of truth (the
+    experiment harnesses read it directly); bucket counts and quantiles
+    are computed on demand, so a histogram declared over a name that
+    other code already samples needs no double bookkeeping.
+    """
+
+    def __init__(self, spec: MetricSpec, tracer: Tracer):
+        self.spec = spec
+        self._tracer = tracer
+
+    def observe(self, value: float) -> None:
+        self._tracer.sample(self.spec.name, value)
+
+    @property
+    def observations(self) -> List[float]:
+        return self._tracer.samples(self.spec.name)
+
+    @property
+    def count(self) -> int:
+        return len(self.observations)
+
+    @property
+    def sum(self) -> float:
+        return sum(self.observations)
+
+    def bucket_counts(self) -> List[Tuple[Optional[int], int]]:
+        """``[(upper_edge, n), ..., (None, n_overflow)]`` — upper edges
+        are inclusive, the final ``None`` bucket catches the rest."""
+        edges = self.spec.buckets
+        counts = [0] * (len(edges) + 1)
+        for value in self.observations:
+            for index, edge in enumerate(edges):
+                if value <= edge:
+                    counts[index] += 1
+                    break
+            else:
+                counts[-1] += 1
+        out: List[Tuple[Optional[int], int]] = list(zip(edges, counts))
+        out.append((None, counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the q-quantile from the fixed buckets.
+
+        Linear interpolation inside the winning bucket (Prometheus
+        ``histogram_quantile`` style); the overflow bucket returns the
+        exact maximum observation.  None when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile {q} outside [0, 1]")
+        observations = self.observations
+        total = len(observations)
+        if total == 0:
+            return None
+        rank = q * total
+        edges = self.spec.buckets
+        cumulative = 0
+        lower = 0.0
+        counts = [n for _, n in self.bucket_counts()]
+        for index, edge in enumerate(edges):
+            in_bucket = counts[index]
+            if cumulative + in_bucket >= rank and in_bucket > 0:
+                fraction = (rank - cumulative) / in_bucket
+                return lower + (edge - lower) * fraction
+            cumulative += in_bucket
+            lower = float(edge)
+        return float(max(observations))
+
+
+@dataclass
+class MetricsRegistry:
+    """All declared metrics for one :class:`Tracer`.
+
+    Declaration is explicit and unique: declaring the same name twice
+    raises (two subsystems silently sharing a counter is exactly the
+    accounting bug this registry exists to prevent).
+    """
+
+    tracer: Tracer
+    _specs: Dict[str, MetricSpec] = field(default_factory=dict)
+
+    def declare(self, spec: MetricSpec) -> "MetricsRegistry":
+        spec.validate()
+        if spec.name in self._specs:
+            raise MetricError(f"metric {spec.name!r} declared twice")
+        self._specs[spec.name] = spec
+        return self
+
+    def lookup(self, name: str) -> Optional[MetricSpec]:
+        """Spec for an exact name, or the family covering it."""
+        spec = self._specs.get(name)
+        if spec is not None:
+            return spec
+        for candidate in self._specs.values():
+            if candidate.is_family and name.startswith(
+                candidate.family_prefix
+            ):
+                return candidate
+        return None
+
+    def specs(self) -> List[MetricSpec]:
+        return [self._specs[name] for name in sorted(self._specs)]
+
+    def _typed(self, name: str, kind: str) -> MetricSpec:
+        spec = self.lookup(name)
+        if spec is None:
+            raise MetricError(f"metric {name!r} not declared")
+        if spec.kind != kind:
+            raise MetricError(
+                f"metric {name!r} is a {spec.kind}, not a {kind}"
+            )
+        return spec
+
+    def counter(self, name: str) -> CounterMetric:
+        spec = self._typed(name, "counter")
+        if spec.is_family:
+            spec = MetricSpec(
+                name, "counter", spec.unit, spec.help, legacy=True
+            )
+        return CounterMetric(spec, self.tracer)
+
+    def gauge(self, name: str) -> GaugeMetric:
+        return GaugeMetric(self._typed(name, "gauge"), self.tracer)
+
+    def histogram(self, name: str) -> HistogramMetric:
+        return HistogramMetric(self._typed(name, "histogram"), self.tracer)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Current values of every declared metric (families expanded
+        to their live member names), for reports and debugging."""
+        out: Dict[str, object] = {}
+        for spec in self.specs():
+            if spec.kind == "counter":
+                if spec.is_family:
+                    for key in sorted(self.tracer.counters):
+                        if key.startswith(spec.family_prefix):
+                            out[key] = int(self.tracer.counters[key])
+                else:
+                    out[spec.name] = CounterMetric(spec, self.tracer).value
+            elif spec.kind == "gauge":
+                value = GaugeMetric(spec, self.tracer).value
+                if value is not None:
+                    out[spec.name] = value
+            else:
+                hist = HistogramMetric(spec, self.tracer)
+                if hist.count:
+                    out[spec.name] = {
+                        "count": hist.count,
+                        "mean": hist.sum / hist.count,
+                        "p50": hist.quantile(0.5),
+                        "p99": hist.quantile(0.99),
+                    }
+        return out

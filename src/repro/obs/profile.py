@@ -1,0 +1,160 @@
+"""Engine profiling: per-event-kind dispatch time and heap-depth sampling.
+
+Answers "where does the *simulator* spend wall-clock time" — which
+process kinds dominate dispatch, and how deep the event heap runs —
+without touching the simulated results.  The profiler attaches to a
+:class:`~repro.sim.engine.Simulator` via :meth:`attach_profiler`; when
+none is attached the engine's run loop is the unmodified fast path, so
+profiling is strictly zero-cost when off.
+
+Profiled runs read the host's monotonic clock and are therefore
+**excluded from digested/replayed runs by construction**: the DET001
+lint rule bans wall-clock reads everywhere except here, and nothing in
+the profiler feeds back into simulated state.
+
+Enable it per process with ``REPRO_PROFILE=1`` (the
+:class:`~repro.experiments.system.System` composition root checks the
+environment) or from the sweep CLI::
+
+    PYTHONPATH=src REPRO_PROFILE=1 python examples/quickstart.py
+    PYTHONPATH=src python -m repro.experiments.runner fig6 --profile
+
+Both print a table like::
+
+    kind                      events      total ms     avg us
+    hostcore                   51240         312.4        6.1
+    rmm-core                   24031         201.7        8.4
+    ...
+    heap depth: p50=38 p95=71 max=96 (sampled every 64 events)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "EngineProfiler",
+    "profiler_from_env",
+    "render_profile",
+    "PROFILE_ENV_VAR",
+]
+
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+
+
+def _classify(timer) -> str:
+    """Stable, low-cardinality kind for one dispatched timer.
+
+    Process timers group by the process-name prefix before the first
+    ``:`` or digit (``rmm-core7`` → ``rmm-core``); bare callbacks group
+    by the callback's qualified name.
+    """
+    proc = timer.proc
+    if proc is not None:
+        name = proc.name
+        head = name.split(":", 1)[0]
+        return head.rstrip("0123456789") or head
+    callback = timer.callback
+    # functools.partial wraps the interesting callee
+    func = getattr(callback, "func", callback)
+    return getattr(func, "__qualname__", type(func).__name__)
+
+
+class EngineProfiler:
+    """Accumulates dispatch-time and heap-depth statistics.
+
+    Duck-typed against :meth:`Simulator.attach_profiler`: the engine
+    calls ``clock()`` around each dispatch and ``note(timer,
+    elapsed_ns, heap_len)`` after it.  One profiler may span several
+    simulators (a sweep aggregates across cells).
+    """
+
+    def __init__(self, heap_sample_every: int = 64):
+        #: kind -> [dispatch count, total wall ns]
+        self.dispatch: Dict[str, List[int]] = {}
+        self.events = 0
+        self.heap_sample_every = max(1, heap_sample_every)
+        self.heap_depths: List[int] = []
+        self.clock = time.perf_counter_ns  # lint: allow(DET001)
+
+    def note(self, timer, elapsed_ns: int, heap_len: int) -> None:
+        kind = _classify(timer)
+        entry = self.dispatch.get(kind)
+        if entry is None:
+            self.dispatch[kind] = [1, elapsed_ns]
+        else:
+            entry[0] += 1
+            entry[1] += elapsed_ns
+        self.events += 1
+        if self.events % self.heap_sample_every == 0:
+            self.heap_depths.append(heap_len)
+
+    # -- reporting ----------------------------------------------------
+
+    def rows(self) -> List[Tuple[str, int, int]]:
+        """``(kind, count, total_ns)`` rows, heaviest first."""
+        return sorted(
+            (
+                (kind, entry[0], entry[1])
+                for kind, entry in self.dispatch.items()
+            ),
+            key=lambda row: -row[2],
+        )
+
+    def heap_stats(self) -> Dict[str, int]:
+        depths = sorted(self.heap_depths)
+        if not depths:
+            return {"p50": 0, "p95": 0, "max": 0}
+        return {
+            "p50": depths[len(depths) // 2],
+            "p95": depths[min(len(depths) - 1, (len(depths) * 95) // 100)],
+            "max": depths[-1],
+        }
+
+
+def render_profile(profiler: EngineProfiler, top: int = 12) -> str:
+    """The human-readable dispatch table printed by ``--profile``."""
+    lines = [
+        f"{'kind':<28s}{'events':>10s}{'total ms':>12s}{'avg us':>9s}"
+    ]
+    rows = profiler.rows()
+    for kind, count, total_ns in rows[:top]:
+        lines.append(
+            f"{kind:<28s}{count:>10d}{total_ns / 1e6:>12.1f}"
+            f"{total_ns / count / 1e3:>9.1f}"
+        )
+    if len(rows) > top:
+        rest_count = sum(row[1] for row in rows[top:])
+        rest_ns = sum(row[2] for row in rows[top:])
+        lines.append(
+            f"{'(other)':<28s}{rest_count:>10d}{rest_ns / 1e6:>12.1f}"
+            f"{rest_ns / max(1, rest_count) / 1e3:>9.1f}"
+        )
+    stats = profiler.heap_stats()
+    lines.append(
+        f"heap depth: p50={stats['p50']} p95={stats['p95']} "
+        f"max={stats['max']} (sampled every "
+        f"{profiler.heap_sample_every} events); "
+        f"{profiler.events} dispatches total"
+    )
+    return "\n".join(lines)
+
+
+def profiler_from_env() -> Optional[EngineProfiler]:
+    """A shared per-process profiler when ``REPRO_PROFILE`` is set.
+
+    Returns the same instance on every call, so every
+    :class:`~repro.experiments.system.System` built in this process
+    (e.g. all cells of a serial sweep) aggregates into one report.
+    """
+    if os.environ.get(PROFILE_ENV_VAR, "").strip() in ("", "0"):
+        return None
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = EngineProfiler()
+    return _SHARED
+
+
+_SHARED: Optional[EngineProfiler] = None

@@ -288,6 +288,14 @@ class DedicatedCore:
         call.page.exit = rec_exit
         self.tracer.count(f"exit:{rec_exit.reason.value}")
         self.tracer.count("exits_total")
+        if self.tracer.enabled:
+            self.tracer.event(
+                self.sim.now,
+                "exit",
+                core=self.core.index,
+                domain=rec.name,
+                detail=rec_exit.reason.value,
+            )
         yield from self.core.execute(
             MONITOR_DOMAIN,
             self.costs.rec_exit_ns
@@ -396,7 +404,10 @@ class DedicatedCore:
                         interruptible=False,
                     )
                     self.engine.deliver_vipi(
-                        rec.realm_id, action.target_vcpu, payload
+                        rec.realm_id,
+                        action.target_vcpu,
+                        payload,
+                        from_core=self.core.index,
                     )
                 else:
                     return RecExit(
@@ -530,12 +541,24 @@ class CoreGapEngine:
             "acked": acked,
         }
 
-    def deliver_vipi(self, realm_id: int, target_vcpu: int, payload) -> None:
-        """Inject a guest IPI into a sibling REC without host involvement."""
+    def deliver_vipi(
+        self,
+        realm_id: int,
+        target_vcpu: int,
+        payload,
+        from_core: Optional[int] = None,
+    ) -> None:
+        """Inject a guest IPI into a sibling REC without host involvement.
+
+        ``from_core`` is trace metadata only (the sending dedicated
+        core, when known); delivery is unaffected.
+        """
         realm = self.rmm.realms[realm_id]
         target = realm.rec(target_vcpu)
         target.vgic.inject(VIPI_VIRQ, from_host=False)
         target.runtime.inject_virq(VIPI_VIRQ, payload)
         target.vgic.deliver(VIPI_VIRQ)
         if target.bound_core is not None:
-            self.machine.gic.send_sgi(target.bound_core, RMM_VIPI_SGI)
+            self.machine.gic.send_sgi(
+                target.bound_core, RMM_VIPI_SGI, from_core=from_core
+            )

@@ -61,15 +61,25 @@ class SyncRpcPort:
     dedicated core's inbox (its polled shared-memory ring).
     """
 
-    def __init__(self, sim: Simulator, name: str):
+    def __init__(
+        self, sim: Simulator, name: str, tracer: Optional[Any] = None
+    ):
         self.sim = sim
         self.name = name
         self.call_count = 0
+        #: duck-typed Tracer (layering: rpc must not import repro.obs)
+        self.tracer = tracer
 
     def post(self, payload: Any) -> RpcRequest:
         """Client: marshal one request (the caller charges
         ``rpc_write_ns`` on its core and enqueues it to the inbox)."""
         self.call_count += 1
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.event(
+                self.sim.now,
+                "rpc.sync",
+                detail={"port": self.name, "seq": self.call_count},
+            )
         request = RpcRequest(payload=payload, submitted_at=self.sim.now)
         request.done = Event(f"sync-done:{self.name}")
         return request
@@ -112,6 +122,7 @@ class AsyncRpcPort:
         sim: Simulator,
         name: str,
         notify_exit: Callable[["AsyncRpcPort"], None],
+        tracer: Optional[Any] = None,
     ):
         self.sim = sim
         self.name = name
@@ -121,6 +132,9 @@ class AsyncRpcPort:
         self.slot = CompletionSlot(name=name)
         self.submit_count = 0
         self.complete_count = 0
+        #: duck-typed Tracer; ``event()`` is pure observability, so the
+        #: slot protocol is byte-identical with tracing on or off
+        self.tracer = tracer
         #: fault-injection hook (repro.faults): maps the about-to-be
         #: published result to ``(publish_delay_ns, result)``.  None
         #: (the default) publishes immediately and unchanged.
@@ -142,6 +156,12 @@ class AsyncRpcPort:
         self.slot.result = None
         self.slot.submitted_at = self.sim.now
         self.slot.claimed = Event(f"claimed:{self.name}")
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.event(
+                self.sim.now,
+                "rpc.submit",
+                detail={"port": self.name, "seq": self.submit_count},
+            )
         return self.slot
 
     def collect(self) -> Any:
@@ -153,6 +173,12 @@ class AsyncRpcPort:
             )
         result = self.slot.result
         self.slot.state = "idle"
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.event(
+                self.sim.now,
+                "rpc.collect",
+                detail={"port": self.name, "seq": self.submit_count},
+            )
         return result
 
     # -- server (RMM dedicated core) side ------------------------------------
@@ -180,4 +206,10 @@ class AsyncRpcPort:
         self.slot.result = result
         self.slot.completed_at = self.sim.now
         self.complete_count += 1
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.event(
+                self.sim.now,
+                "rpc.complete",
+                detail={"port": self.name, "seq": self.submit_count},
+            )
         self._notify_exit(self)

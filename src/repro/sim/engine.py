@@ -261,6 +261,9 @@ class Simulator:
         self.tie_break = tie_break
         self._fifo = tie_break == "fifo"
         self._tie_key = self._make_tie_key(tie_break)
+        #: optional dispatch profiler (see repro.obs.profile); None keeps
+        #: run() on the uninstrumented fast path — zero cost when off
+        self._profiler: Optional[Any] = None
 
     @classmethod
     def _make_tie_key(cls, tie_break: str) -> Callable[[int], int]:
@@ -495,11 +498,28 @@ class Simulator:
             return timer
         return None
 
+    def attach_profiler(self, profiler: Any) -> None:
+        """Route :meth:`run` through the profiled loop.
+
+        ``profiler`` is duck-typed (see :class:`repro.obs.profile.
+        EngineProfiler`): it needs ``clock()`` returning monotonic
+        integer nanoseconds and ``note(timer, elapsed_ns, heap_len)``.
+        The engine itself never reads a wall clock — the profiler owns
+        the (nondeterministic) time source, which is why profiling is
+        excluded from digested runs rather than special-cased in them.
+        """
+        self._profiler = profiler
+
+    def detach_profiler(self) -> None:
+        self._profiler = None
+
     def run(self, until: Optional[int] = None) -> int:
         """Process events until the heap drains or the clock passes ``until``.
 
         Returns the simulated time at which the run stopped.
         """
+        if self._profiler is not None:
+            return self._run_profiled(until)
         step = self._step
         pop_next = self._pop_next
         while True:
@@ -512,6 +532,34 @@ class Simulator:
                 step(proc, timer.value, None)
             else:
                 timer.callback()
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def _run_profiled(self, until: Optional[int] = None) -> int:
+        """The :meth:`run` loop with per-dispatch wall-time attribution.
+
+        A separate copy so the common path stays branch-free inside the
+        loop; simulated behaviour is identical (same pops, same order).
+        """
+        profiler = self._profiler
+        clock = profiler.clock
+        note = profiler.note
+        step = self._step
+        pop_next = self._pop_next
+        heap = self._heap
+        while True:
+            timer = pop_next(until)
+            if timer is None:
+                break
+            self.now = timer.when
+            proc = timer.proc
+            start = clock()
+            if proc is not None:
+                step(proc, timer.value, None)
+            else:
+                timer.callback()
+            note(timer, clock() - start, len(heap))
         if until is not None and until > self.now:
             self.now = until
         return self.now
@@ -539,6 +587,15 @@ class Simulator:
             return
         self.now = timer.when
         proc = timer.proc
+        profiler = self._profiler
+        if profiler is not None:
+            start = profiler.clock()
+            if proc is not None:
+                self._step(proc, timer.value, None)
+            else:
+                timer.callback()
+            profiler.note(timer, profiler.clock() - start, len(self._heap))
+            return
         if proc is not None:
             self._step(proc, timer.value, None)
         else:

@@ -40,16 +40,30 @@ class ExecutionSpan:
 
 
 class Tracer:
-    """Records trace events, execution spans and named counters.
+    """Records trace events, execution spans, named counters and gauges.
 
     ``enabled=False`` keeps only the counters, so the large macro
     benchmarks do not pay the cost of storing full schedules.
+
+    Two record-producing entry points with different contracts:
+
+    * :meth:`record` — counts *and* (when enabled) stores the record;
+      the counter side is part of the accounting surface and moves the
+      sanitizer digest (DESIGN.md invariant #6).
+    * :meth:`event` — pure observability: stores the record only when
+      enabled and **never** touches the counters, so instrumented and
+      uninstrumented runs digest bit-identically when tracing is off.
+      The Perfetto exporter (:mod:`repro.obs.perfetto`) consumes these.
     """
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self.records: List[TraceRecord] = []
         self.counters: Counter = Counter()
+        #: last-write-wins named scalars, harvested at the end of a run
+        #: (structural totals like ``gic_sgi_sent_count``); never part
+        #: of the sanitizer digest
+        self.gauges: Dict[str, float] = {}
         self._open_spans: Dict[int, Tuple[str, int]] = {}
         self.spans: List[ExecutionSpan] = []
         self._samples: Dict[str, List[float]] = defaultdict(list)
@@ -68,6 +82,18 @@ class Tracer:
         if self.enabled:
             self.records.append(TraceRecord(time, kind, core, domain, detail))
 
+    def event(
+        self,
+        time: int,
+        kind: str,
+        core: Optional[int] = None,
+        domain: Optional[str] = None,
+        detail: Optional[Any] = None,
+    ) -> None:
+        """Store a pure-observability record; no-op when disabled."""
+        if self.enabled:
+            self.records.append(TraceRecord(time, kind, core, domain, detail))
+
     def count(self, kind: str, amount: int = 1) -> None:
         self.counters[kind] += amount
 
@@ -77,6 +103,10 @@ class Tracer:
 
     def samples(self, name: str) -> List[float]:
         return self._samples.get(name, [])
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Publish a last-write-wins scalar (end-of-run totals)."""
+        self.gauges[name] = value
 
     # -- execution spans --------------------------------------------------
 

@@ -1,0 +1,103 @@
+"""Fixture snippets for the observability pass (OBS001–OBS002)."""
+
+import textwrap
+
+from repro.lint.contract import LintContract
+from repro.lint.findings import load_source
+from repro.lint.obs import check_obs
+
+
+def lint_snippet(tmp_path, code):
+    path = tmp_path / "snippet.py"
+    path.write_text(textwrap.dedent(code))
+    return check_obs(load_source(path), LintContract())
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestObs001:
+    def test_undeclared_counter_name(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "def f(tracer):\n    tracer.count('typo_total')\n"
+        )
+        assert rules_of(findings) == ["OBS001"]
+        assert "typo_total" in findings[0].message
+
+    def test_undeclared_fstring_prefix(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "def f(tracer, x):\n    tracer.count(f'nope:{x}')\n",
+        )
+        assert rules_of(findings) == ["OBS001"]
+
+    def test_declared_family_prefix_is_clean(self, tmp_path):
+        assert (
+            lint_snippet(
+                tmp_path,
+                "def f(tracer, r):\n    tracer.count(f'exit:{r}')\n",
+            )
+            == []
+        )
+
+    def test_declared_names_are_clean(self, tmp_path):
+        code = """
+        def f(tracer, metrics):
+            tracer.count('exits_total')
+            tracer.sample('run_to_run_ns', 1)
+            tracer.set_gauge('sim_end_ns', 2)
+            metrics.gauge('gic_sgi_sent_count')
+            metrics.histogram('vipi_latency_ns')
+        """
+        assert lint_snippet(tmp_path, code) == []
+
+    def test_fully_dynamic_names_are_skipped(self, tmp_path):
+        assert (
+            lint_snippet(
+                tmp_path, "def f(tracer, n):\n    tracer.count(n)\n"
+            )
+            == []
+        )
+
+    def test_non_tracer_receivers_are_ignored(self, tmp_path):
+        assert (
+            lint_snippet(
+                tmp_path,
+                "def f(widget):\n    widget.count('typo_total')\n",
+            )
+            == []
+        )
+
+    def test_pragma_suppression(self, tmp_path):
+        code = (
+            "def f(tracer):\n"
+            "    tracer.count('typo_total')  # lint: allow(OBS001)\n"
+        )
+        assert lint_snippet(tmp_path, code) == []
+
+
+class TestObs002:
+    def test_histogram_published_as_counter(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "def f(tracer):\n    tracer.count('run_to_run_ns')\n",
+        )
+        assert rules_of(findings) == ["OBS002"]
+        assert "histogram" in findings[0].message
+
+    def test_gauge_accessed_as_counter(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "def f(metrics):\n    metrics.counter('sim_end_ns')\n",
+        )
+        assert rules_of(findings) == ["OBS002"]
+
+    def test_matching_kinds_are_clean(self, tmp_path):
+        assert (
+            lint_snippet(
+                tmp_path,
+                "def f(tracer):\n    tracer.sample('vipi_latency_ns', 9)\n",
+            )
+            == []
+        )

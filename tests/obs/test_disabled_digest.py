@@ -1,0 +1,34 @@
+"""Observability must be inert when off: bit-identical disabled digests.
+
+The golden file was captured from the sanitizer probe *before* the
+observability instrumentation landed (traces disabled).  If any
+instrumentation — trace events, gauges, profiling hooks — perturbs a
+``trace_schedules=False`` run's records, spans, counters or metrics,
+this comparison breaks byte-for-byte.
+"""
+
+import json
+from pathlib import Path
+
+from repro.lint.sanitizer import run_probe
+
+GOLDEN = Path(__file__).parent / "golden" / "disabled_probe_digest.json"
+
+
+def canonical(digest) -> str:
+    return (
+        json.dumps(json.loads(digest.to_json()), sort_keys=True, indent=1)
+        + "\n"
+    )
+
+
+class TestDisabledRunsAreUntouched:
+    def test_disabled_probe_matches_pre_instrumentation_golden(self):
+        digest = run_probe(trace_schedules=False)
+        assert canonical(digest) == GOLDEN.read_text(encoding="utf-8")
+
+    def test_disabled_probe_stores_no_records(self):
+        digest = run_probe(trace_schedules=False)
+        assert digest.records == []
+        # counters (the digested accounting surface) are still kept
+        assert any(":exits_total" in key for key in digest.counters)

@@ -1,0 +1,60 @@
+"""EXPERIMENTS.md freshness: committed sections must match regeneration.
+
+The marked sections of EXPERIMENTS.md are artifacts of the run-report
+generator over the checked-in measurements in ``benchmarks/results/``.
+Hand-edits to a generated section, or committing new measurements
+without re-syncing the document, both fail here (and in the CI ``obs``
+job via ``python -m repro.obs.report all --check``).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.report import (
+    SWEEPS,
+    build_report,
+    build_section,
+    extract_marked,
+    load_measurements,
+    replace_marked,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+EXPERIMENTS_MD = REPO_ROOT / "EXPERIMENTS.md"
+
+
+@pytest.mark.parametrize("sweep", sorted(SWEEPS))
+class TestCommittedSectionsAreFresh:
+    def test_section_matches_regeneration(self, sweep):
+        data = load_measurements(sweep, RESULTS_DIR)
+        regenerated = build_section(sweep, data)
+        committed = extract_marked(
+            EXPERIMENTS_MD.read_text(encoding="utf-8"), sweep
+        )
+        assert committed is not None, f"no obs markers for {sweep}"
+        assert committed == regenerated, (
+            f"EXPERIMENTS.md {sweep} section is stale; run "
+            f"`python -m repro.obs.report {sweep} --sync-experiments`"
+        )
+
+    def test_report_embeds_the_same_rows(self, sweep):
+        """The standalone report and the document carry identical rows."""
+        data = load_measurements(sweep, RESULTS_DIR)
+        assert build_section(sweep, data) in build_report(sweep, data)
+
+
+class TestMarkerSurgery:
+    def test_replace_marked_swaps_only_the_block(self):
+        text = "before\n<!-- obs:begin x -->\nold\n<!-- obs:end x -->\nafter"
+        block = "<!-- obs:begin x -->\nnew\n<!-- obs:end x -->"
+        out = replace_marked(text, "x", block)
+        assert out == f"before\n{block}\nafter"
+
+    def test_replace_marked_requires_markers(self):
+        with pytest.raises(ValueError, match="no obs markers"):
+            replace_marked("no markers here", "x", "block")
+
+    def test_extract_missing_returns_none(self):
+        assert extract_marked("nothing", "fig6") is None

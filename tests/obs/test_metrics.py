@@ -1,0 +1,158 @@
+"""Metrics registry: declaration rules, histograms, catalog coverage."""
+
+import pytest
+
+from repro.obs.catalog import CATALOG, build_registry, catalog_names, lookup
+from repro.obs.metrics import (
+    DEFAULT_NS_BUCKETS,
+    MetricError,
+    MetricSpec,
+    MetricsRegistry,
+    Unit,
+)
+from repro.sim.trace import Tracer
+
+
+def registry():
+    return MetricsRegistry(Tracer(enabled=True))
+
+
+class TestDeclaration:
+    def test_double_declaration_rejected(self):
+        reg = registry()
+        spec = MetricSpec("widgets_count", "counter", Unit.COUNT, "x")
+        reg.declare(spec)
+        with pytest.raises(MetricError, match="declared twice"):
+            reg.declare(spec)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(MetricError, match="unknown kind"):
+            registry().declare(
+                MetricSpec("widgets_count", "meter", Unit.COUNT, "x")
+            )
+
+    def test_unit_suffix_enforced_for_new_names(self):
+        with pytest.raises(MetricError, match="_ns"):
+            registry().declare(
+                MetricSpec("latency", "histogram", Unit.NS, "x")
+            )
+
+    def test_legacy_names_skip_the_suffix_check(self):
+        reg = registry()
+        reg.declare(
+            MetricSpec("exits_total", "counter", Unit.COUNT, "x", legacy=True)
+        )
+        assert reg.lookup("exits_total").legacy
+
+    def test_families_must_be_counters(self):
+        with pytest.raises(MetricError, match="families"):
+            registry().declare(
+                MetricSpec("lat:*", "histogram", Unit.NS, "x")
+            )
+
+    def test_undeclared_use_rejected(self):
+        with pytest.raises(MetricError, match="not declared"):
+            registry().counter("nope_count")
+
+    def test_kind_mismatch_rejected(self):
+        reg = registry()
+        reg.declare(MetricSpec("widgets_count", "gauge", Unit.COUNT, "x"))
+        with pytest.raises(MetricError, match="is a gauge"):
+            reg.counter("widgets_count")
+
+
+class TestCountersAndGauges:
+    def test_counter_feeds_tracer_counters(self):
+        tracer = Tracer(enabled=False)
+        reg = build_registry(tracer)
+        reg.counter("exits_total").inc(3)
+        assert tracer.counters["exits_total"] == 3
+        assert reg.counter("exits_total").value == 3
+
+    def test_family_members_resolve(self):
+        tracer = Tracer(enabled=False)
+        reg = build_registry(tracer)
+        reg.counter("exit:timer").inc()
+        assert tracer.counters["exit:timer"] == 1
+        assert lookup("exit:timer").is_family
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(MetricError, match="only go up"):
+            build_registry(Tracer(enabled=False)).counter(
+                "exits_total"
+            ).inc(-1)
+
+    def test_gauge_is_last_write_wins_and_undigested(self):
+        tracer = Tracer(enabled=False)
+        reg = build_registry(tracer)
+        gauge = reg.gauge("sim_end_ns")
+        gauge.set(10)
+        gauge.set(20)
+        assert gauge.value == 20
+        assert tracer.gauges == {"sim_end_ns": 20}
+        assert not tracer.counters  # gauges never leak into the digest
+
+
+class TestHistogram:
+    def test_bucket_counts_inclusive_edges(self):
+        reg = build_registry(Tracer(enabled=False))
+        hist = reg.histogram("run_to_run_ns")
+        for value in (100, 101, 1_000, 5_000, 2_000_000_000):
+            hist.observe(value)
+        counts = dict(hist.bucket_counts())
+        assert counts[100] == 1  # the edge itself lands in its bucket
+        assert counts[1_000] == 2  # 101 and 1000
+        assert counts[10_000] == 1  # 5000
+        assert counts[None] == 1  # overflow
+        assert hist.count == 5
+        assert hist.sum == 2_000_006_201
+
+    def test_quantiles_interpolate_and_handle_overflow(self):
+        reg = build_registry(Tracer(enabled=False))
+        hist = reg.histogram("vipi_latency_ns")
+        for value in (500, 600, 700, 800):
+            hist.observe(value)
+        p50 = hist.quantile(0.5)
+        assert 100 < p50 <= 1_000  # inside the (100, 1000] bucket
+        hist.observe(5_000_000_000)  # beyond the last edge
+        assert hist.quantile(1.0) == 5_000_000_000
+
+    def test_empty_histogram_has_no_quantile(self):
+        hist = build_registry(Tracer(enabled=False)).histogram(
+            "planner_launch_ns"
+        )
+        assert hist.quantile(0.5) is None
+        with pytest.raises(MetricError, match="outside"):
+            hist.quantile(1.5)
+
+    def test_histogram_shares_tracer_samples(self):
+        tracer = Tracer(enabled=False)
+        hist = build_registry(tracer).histogram("run_to_run_ns")
+        tracer.sample("run_to_run_ns", 42)  # legacy producer path
+        hist.observe(43)
+        assert hist.observations == [42, 43]
+
+
+class TestCatalog:
+    def test_catalog_declares_cleanly_and_uniquely(self):
+        reg = build_registry(Tracer(enabled=False))
+        assert len(reg.specs()) == len(CATALOG)
+
+    def test_every_spec_validates(self):
+        for spec in CATALOG:
+            spec.validate()
+
+    def test_new_style_names_carry_unit_suffixes(self):
+        for spec in CATALOG:
+            if spec.legacy or spec.is_family:
+                continue
+            suffix = Unit.SUFFIX[spec.unit]
+            if suffix:
+                assert spec.name.endswith(suffix), spec.name
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_NS_BUCKETS) == sorted(DEFAULT_NS_BUCKETS)
+
+    def test_lookup_misses_return_none(self):
+        assert lookup("never_declared_total") is None
+        assert "exits_total" in catalog_names()
