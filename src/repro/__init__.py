@@ -14,6 +14,7 @@ Subpackages
 ``repro.security``     side channels, attacks, vulnerability catalog, auditor
 ``repro.analysis``     statistics and report rendering
 ``repro.experiments``  one harness per paper table/figure
+``repro.fleet``        declarative multi-server scenarios, open-loop serving
 """
 
 __version__ = "1.0.0"

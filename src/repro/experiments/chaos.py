@@ -297,7 +297,7 @@ def run_chaos_case(
     injector.attach_engine(system.engine)
     kvm.run_wait_retry = RetryPolicy(ms(1), max_retries=6)
     if scenario == "netpipe":
-        device = system.add_virtio_net(vm, kvm, echo_peer=True)
+        device = system.add_virtio_net(kvm, echo_peer=True)
         injector.attach_device(device)
     system.start(kvm)
 

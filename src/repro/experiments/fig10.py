@@ -60,7 +60,7 @@ def _run_one(
         memory_gib=48,
     )
     kvm = system.launch(vm)
-    system.add_virtio_blk(vm, kvm, "virtio-blk0")
+    system.add_virtio_blk(kvm, "virtio-blk0")
     start = system.sim.now
     system.start(kvm)
     system.run_until_vm_done(kvm, limit_ns=sec(600))

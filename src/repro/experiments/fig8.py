@@ -75,9 +75,9 @@ def _run_one(
     )
     kvm = system.launch(vm)
     if passthrough:
-        system.add_sriov_nic(vm, kvm, device_name, echo_peer=True)
+        system.add_sriov_nic(kvm, device_name, echo_peer=True)
     else:
-        system.add_virtio_net(vm, kvm, device_name, echo_peer=True)
+        system.add_virtio_net(kvm, device_name, echo_peer=True)
     system.start(kvm)
     expected = len(sizes) * pings
     system.run_until(

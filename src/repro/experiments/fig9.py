@@ -59,7 +59,7 @@ def _run_one(
         costs=costs,
     )
     kvm = system.launch(vm)
-    system.add_virtio_blk(vm, kvm, "virtio-blk0")
+    system.add_virtio_blk(kvm, "virtio-blk0")
     system.start(kvm)
     expected = len(records) * 2 * ops
     system.run_until(

@@ -331,6 +331,11 @@ def _sweep_registry() -> Dict[str, Callable[[Optional[int]], Any]]:
 
         return mod.run_chaos_matrix(jobs=jobs)
 
+    def fleet(jobs: Optional[int]) -> Any:
+        from ..fleet import sweep as mod
+
+        return mod.run_fleet(jobs=jobs)
+
     return {
         "fig6": fig6,
         "fig7": fig7,
@@ -340,6 +345,7 @@ def _sweep_registry() -> Dict[str, Callable[[Optional[int]], Any]]:
         "table5": table5,
         "ext_shared_cvm": ext_shared_cvm,
         "chaos": chaos,
+        "fleet": fleet,
     }
 
 

@@ -8,7 +8,8 @@ end-to-end tests.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+import warnings
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..costs import CostModel, DEFAULT_COSTS
 from ..guest.vm import GuestVm
@@ -40,9 +41,11 @@ class System:
 
     def __init__(
         self,
-        config: SystemConfig = SystemConfig(),
+        config: Optional[SystemConfig] = None,
         costs: CostModel = DEFAULT_COSTS,
     ):
+        if config is None:
+            config = SystemConfig()
         self.config = config
         self.costs = costs
         topology = SocTopology(
@@ -172,10 +175,62 @@ class System:
         self._next_spi += 1
         return spi
 
+    def _coerce_device_args(
+        self,
+        method: str,
+        kvm,
+        name,
+        legacy: Tuple,
+        default_name: str,
+    ) -> Tuple[KvmVm, str]:
+        """Support the deprecated ``add_*(vm, kvm, ...)`` calling shape.
+
+        The canonical signature takes only ``kvm`` (it already holds
+        ``kvm.vm``).  A leading :class:`GuestVm` positional marks the
+        pre-redesign shape: warn, shift the arguments over, and check
+        the redundant pair actually matched.
+        """
+        if isinstance(kvm, GuestVm):
+            warnings.warn(
+                f"System.{method}(vm, kvm, ...) is deprecated; the vm "
+                f"argument is redundant (kvm.vm) — call "
+                f"System.{method}(kvm, ...)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            vm, kvm = kvm, name
+            if not isinstance(kvm, KvmVm):
+                raise TypeError(
+                    f"System.{method}(vm, ...): second argument must be "
+                    f"the KvmVm, got {kvm!r}"
+                )
+            if kvm.vm is not vm:
+                raise ValueError(
+                    f"System.{method}: vm is not kvm.vm "
+                    f"({vm.name!r} vs {kvm.vm.name!r})"
+                )
+            name = legacy[0] if legacy else default_name
+            legacy = legacy[1:]
+        if legacy:
+            raise TypeError(
+                f"System.{method}() got unexpected positional arguments "
+                f"{legacy!r}"
+            )
+        if not isinstance(kvm, KvmVm):
+            raise TypeError(
+                f"System.{method}: first argument must be a KvmVm, "
+                f"got {kvm!r}"
+            )
+        return kvm, default_name if name is None else name
+
     def add_virtio_net(
-        self, vm: GuestVm, kvm: KvmVm, name: str = "virtio-net0",
+        self, kvm: KvmVm, name: Optional[str] = None, *legacy,
         echo_peer: bool = False,
     ) -> VirtioBackend:
+        kvm, name = self._coerce_device_args(
+            "add_virtio_net", kvm, name, legacy, "virtio-net0"
+        )
+        vm = kvm.vm
         device = VirtioBackend(
             name,
             "net",
@@ -192,8 +247,12 @@ class System:
         return device
 
     def add_virtio_blk(
-        self, vm: GuestVm, kvm: KvmVm, name: str = "virtio-blk0"
+        self, kvm: KvmVm, name: Optional[str] = None, *legacy
     ) -> VirtioBackend:
+        kvm, name = self._coerce_device_args(
+            "add_virtio_blk", kvm, name, legacy, "virtio-blk0"
+        )
+        vm = kvm.vm
         device = VirtioBackend(
             name,
             "blk",
@@ -209,9 +268,13 @@ class System:
         return device
 
     def add_sriov_nic(
-        self, vm: GuestVm, kvm: KvmVm, name: str = "sriov-net0",
+        self, kvm: KvmVm, name: Optional[str] = None, *legacy,
         echo_peer: bool = False,
     ) -> SriovNic:
+        kvm, name = self._coerce_device_args(
+            "add_sriov_nic", kvm, name, legacy, "sriov-net0"
+        )
+        vm = kvm.vm
         device = SriovNic(
             name,
             self.machine,
@@ -234,27 +297,36 @@ class System:
     def run_for(self, duration_ns: int) -> None:
         self.sim.run(until=self.sim.now + duration_ns)
 
-    def run_until_event(self, event: Event, limit_ns: Optional[int] = None) -> None:
+    def _drive(
+        self,
+        predicate: Callable[[], bool],
+        limit_ns: Optional[int],
+        what: str,
+    ) -> None:
+        """Run events until ``predicate()`` holds, a deadline passes, or
+        the simulation drains dry.
+
+        The single driver behind every ``run_until_*``; the deadline
+        check is inclusive (``>=``) so ``limit_ns=0`` cannot run a
+        single event past the deadline.
+        """
         deadline = None if limit_ns is None else self.sim.now + limit_ns
-        while not event.fired:
+        while not predicate():
             if self.sim.pending_events == 0:
-                raise SimulationError("deadlock waiting for event")
-            if deadline is not None and self.sim.now > deadline:
-                raise SimulationError("timeout waiting for event")
+                raise SimulationError(f"deadlock waiting for {what}")
+            if deadline is not None and self.sim.now >= deadline:
+                raise SimulationError(f"timeout waiting for {what}")
             self.sim.run_one()
+
+    def run_until_event(self, event: Event, limit_ns: Optional[int] = None) -> None:
+        self._drive(lambda: event.fired, limit_ns, "event")
 
     def run_until_vm_done(self, kvm: KvmVm, limit_ns: Optional[int] = None) -> int:
         self.run_until_event(kvm.done_event, limit_ns)
         return self.sim.now
 
     def run_until(self, predicate: Callable[[], bool], limit_ns: Optional[int] = None) -> None:
-        deadline = None if limit_ns is None else self.sim.now + limit_ns
-        while not predicate():
-            if self.sim.pending_events == 0:
-                raise SimulationError("deadlock waiting for predicate")
-            if deadline is not None and self.sim.now > deadline:
-                raise SimulationError("timeout waiting for predicate")
-            self.sim.run_one()
+        self._drive(predicate, limit_ns, "predicate")
 
     # ------------------------------------------------------------------
     # results

@@ -90,7 +90,7 @@ def _run_one(
         costs=costs,
     )
     kvm = system.launch(vm)
-    system.add_virtio_net(vm, kvm, "virtio-net0")
+    system.add_virtio_net(kvm, "virtio-net0")
     system.start(kvm)
 
     # background host-injected interrupts, round-robin over vCPUs

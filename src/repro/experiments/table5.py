@@ -73,7 +73,7 @@ def _run_one(
         costs=costs,
     )
     kvm = system.launch(vm)
-    device = system.add_sriov_nic(vm, kvm, "sriov-net0")
+    device = system.add_sriov_nic(kvm, "sriov-net0")
     system.start(kvm)
     client = RedisClientSim(
         system.sim, device, n_vcpus, op, n_requests, n_clients=50,

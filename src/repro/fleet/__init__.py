@@ -1,0 +1,73 @@
+"""repro.fleet: declarative scenarios + multi-server tenant serving.
+
+The fleet layer stands on the :class:`~repro.experiments.system.System`
+builder and gives it an API surface fit for racks instead of
+one-off experiments:
+
+* **specs** (:mod:`repro.fleet.spec`) -- ``VmSpec`` / ``TenantSpec`` /
+  ``ScenarioSpec``: pure data describing servers, tenants, arrival
+  process and duration; ``ScenarioSpec.boot()`` replaces the imperative
+  ``System(...)`` + ``launch`` + ``add_*`` + ``run_until_*`` incantation;
+* **placement** (:mod:`repro.fleet.placement`) -- core-gap-aware
+  bin-packing with admission control: a CVM's vCPUs are a hard
+  reservation of non-host cores, not a hint;
+* **traffic** (:mod:`repro.fleet.traffic`) -- seeded open-loop Poisson
+  load over the Table 5 Redis cost model, with per-tenant latency
+  percentiles and SLO-violation accounting;
+* **sweep** (:mod:`repro.fleet.sweep`) -- the ``fleet`` runner sweep:
+  shared vs gapped racks across consolidation levels, one
+  digest-deterministic cell per simulated server.
+"""
+
+from .placement import FleetAdmissionError, Placement, place, server_capacity
+from .scenario import (
+    BootedServer,
+    BootedVm,
+    Fleet,
+    FleetResult,
+    TenantResult,
+    boot_scenario,
+    boot_server,
+    boot_vm,
+    run_server,
+)
+from .spec import (
+    DeviceSpec,
+    ScenarioSpec,
+    TenantSpec,
+    TrafficSpec,
+    VmSpec,
+    redis_tenant,
+    uniform_rack,
+)
+from .sweep import FleetSweepResult, consolidation_scenario, fleet_cells, run_fleet
+from .traffic import OpenLoopClient, TenantStats
+
+__all__ = [
+    "BootedServer",
+    "BootedVm",
+    "DeviceSpec",
+    "Fleet",
+    "FleetAdmissionError",
+    "FleetResult",
+    "FleetSweepResult",
+    "OpenLoopClient",
+    "Placement",
+    "ScenarioSpec",
+    "TenantResult",
+    "TenantSpec",
+    "TenantStats",
+    "TrafficSpec",
+    "VmSpec",
+    "boot_scenario",
+    "boot_server",
+    "boot_vm",
+    "consolidation_scenario",
+    "fleet_cells",
+    "place",
+    "redis_tenant",
+    "run_fleet",
+    "run_server",
+    "server_capacity",
+    "uniform_rack",
+]

@@ -1,0 +1,201 @@
+"""The ``fleet`` sweep: shared vs gapped serving across consolidation levels.
+
+The paper evaluates one core-gapped server at a time (Table 5 runs a
+single Redis CVM); this sweep asks the production question instead:
+what happens when a *rack* of servers packs several serving CVMs per
+machine?  For each consolidation level (tenants per server) it runs the
+same open-loop Redis tenants on shared-core and core-gapped racks and
+compares throughput, tail latency and SLO violations.
+
+Every (level, mode, server) triple is one independent runner cell --
+its own :class:`~repro.sim.engine.Simulator`, its own derived seed --
+so the sweep is ``--jobs``-safe and digest-deterministic end to end::
+
+    PYTHONPATH=src python -m repro.experiments.runner fleet --jobs 4
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..costs import CostModel, DEFAULT_COSTS
+from ..experiments.config import SystemConfig
+from ..experiments.runner import Cell, cell, run_cells
+from ..guest.workloads.redis import OP_GET, OP_SET
+from ..sim.clock import ms
+from .placement import place
+from .scenario import TenantResult, boot_server, run_server
+from .spec import ScenarioSpec, redis_tenant, uniform_rack
+
+__all__ = [
+    "DEFAULT_LEVELS",
+    "FleetSweepResult",
+    "consolidation_scenario",
+    "fleet_cells",
+    "run_fleet",
+]
+
+DEFAULT_LEVELS: Tuple[int, ...] = (1, 2, 3)
+DEFAULT_MODES: Tuple[str, ...] = ("shared", "gapped")
+#: tenant ops alternate: even tenants write-heavy, odd tenants read-heavy
+_TENANT_OPS = (OP_SET, OP_GET)
+
+
+def consolidation_scenario(
+    level: int,
+    mode: str,
+    n_servers: int = 2,
+    n_cores: int = 16,
+    vcpus_per_tenant: int = 4,
+    rate_rps: float = 6000.0,
+    slo_ms: float = 2.0,
+    duration_ns: int = ms(300),
+    seed: int = 0,
+    costs: CostModel = DEFAULT_COSTS,
+) -> ScenarioSpec:
+    """``level`` Redis tenants per server on a uniform rack.
+
+    Spread placement balances the rack, so each server hosts exactly
+    ``level`` tenants; the gapped rack's admission control still gates
+    the result (``level * vcpus_per_tenant`` must fit the non-host
+    cores).
+    """
+    template = SystemConfig(mode=mode, n_cores=n_cores)
+    tenants = tuple(
+        redis_tenant(
+            name=f"tenant-{index}",
+            n_vcpus=vcpus_per_tenant,
+            rate_rps=rate_rps,
+            op=_TENANT_OPS[index % len(_TENANT_OPS)],
+            slo_ms=slo_ms,
+            costs=costs,
+        )
+        for index in range(level * n_servers)
+    )
+    return ScenarioSpec(
+        servers=uniform_rack(
+            n_servers, template, seed=_scenario_seed(seed, level, mode)
+        ),
+        tenants=tenants,
+        duration_ns=duration_ns,
+        seed=seed,
+        placement="spread",
+    )
+
+
+def _scenario_seed(seed: int, level: int, mode: str) -> int:
+    """Distinct rack seeds per sweep point, stable across processes."""
+    from ..sim.rng import derive_seed
+
+    return derive_seed(seed, "fleet-sweep", f"{level}/{mode}")
+
+
+def _run_server_cell(
+    level: int,
+    mode: str,
+    server_index: int,
+    n_servers: int,
+    rate_rps: float,
+    duration_ns: int,
+    seed: int,
+    costs: CostModel,
+) -> List[TenantResult]:
+    """One sweep data point: a single server of one rack, served."""
+    spec = consolidation_scenario(
+        level,
+        mode,
+        n_servers=n_servers,
+        rate_rps=rate_rps,
+        duration_ns=duration_ns,
+        seed=seed,
+        costs=costs,
+    )
+    placement = place(spec)
+    if placement.rejected:
+        names = [name for name, _ in placement.rejected]
+        raise ValueError(
+            f"fleet sweep level {level}/{mode}: admission refused {names}; "
+            "lower the level or grow the servers"
+        )
+    server = boot_server(spec, placement, server_index, costs)
+    return run_server(server, spec)
+
+
+@dataclass
+class FleetSweepResult:
+    """Per-tenant rows for every (level, mode, server) in the sweep."""
+
+    levels: List[int] = field(default_factory=list)
+    modes: List[str] = field(default_factory=list)
+    #: (level, mode) -> tenant rows, merged in cell order
+    rows: Dict[Tuple[int, str], List[TenantResult]] = field(
+        default_factory=dict
+    )
+
+    def summary(self, level: int, mode: str) -> Dict[str, float]:
+        """Rack-level aggregates for one sweep point."""
+        tenants = self.rows.get((level, mode), [])
+        issued = sum(r.issued for r in tenants)
+        violations = sum(r.slo_violations for r in tenants)
+        return {
+            "tenants": len(tenants),
+            "issued": issued,
+            "completed": sum(r.completed for r in tenants),
+            "dropped": sum(r.dropped for r in tenants),
+            "throughput_krps": sum(r.throughput_krps for r in tenants),
+            "p99_ms": max((r.p99_ms for r in tenants), default=0.0),
+            "slo_violation_pct": (
+                100.0 * violations / issued if issued else 0.0
+            ),
+        }
+
+
+def fleet_cells(
+    levels: Sequence[int] = DEFAULT_LEVELS,
+    modes: Sequence[str] = DEFAULT_MODES,
+    n_servers: int = 2,
+    rate_rps: float = 6000.0,
+    duration_ns: int = ms(300),
+    seed: int = 0,
+    costs: CostModel = DEFAULT_COSTS,
+) -> List[Cell]:
+    """The fleet sweep as independent runner cells, in merge order."""
+    return [
+        cell(
+            f"fleet/{level}/{mode}/server{server_index}",
+            _run_server_cell,
+            level=level,
+            mode=mode,
+            server_index=server_index,
+            n_servers=n_servers,
+            rate_rps=rate_rps,
+            duration_ns=duration_ns,
+            seed=seed,
+            costs=costs,
+        )
+        for level in levels
+        for mode in modes
+        for server_index in range(n_servers)
+    ]
+
+
+def run_fleet(
+    levels: Sequence[int] = DEFAULT_LEVELS,
+    modes: Sequence[str] = DEFAULT_MODES,
+    n_servers: int = 2,
+    rate_rps: float = 6000.0,
+    duration_ns: int = ms(300),
+    seed: int = 0,
+    costs: CostModel = DEFAULT_COSTS,
+    jobs: Optional[int] = None,
+) -> FleetSweepResult:
+    cells = fleet_cells(
+        levels, modes, n_servers, rate_rps, duration_ns, seed, costs
+    )
+    outputs = run_cells(cells, jobs=jobs)
+    result = FleetSweepResult(levels=list(levels), modes=list(modes))
+    for c, tenants in zip(cells, outputs):
+        key = (c.kwargs["level"], c.kwargs["mode"])
+        result.rows.setdefault(key, []).extend(tenants)
+    return result

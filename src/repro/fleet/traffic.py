@@ -1,0 +1,158 @@
+"""Open-loop tenant traffic: seeded Poisson arrivals, SLO accounting.
+
+Table 5's ``RedisClientSim`` keeps 50 connections in *closed* loop: a
+new request is issued only when a reply lands, so the client can never
+overload the server.  Serving heavy public traffic is the opposite
+regime -- arrivals do not wait for replies -- so the fleet layer drives
+each tenant with an **open-loop** Poisson process: inter-arrival gaps
+are exponential draws from a per-tenant substream of the server's
+:class:`~repro.sim.rng.RngFactory`, and every request rides the exact
+same wire/NIC/guest cost model as the closed-loop client
+(``net_wire_ns`` -> ``deliver_rx`` -> guest netstack -> command cost ->
+doorbell reply).
+
+Per tenant we record every completed request's latency, count SLO
+violations (completed late *or* still in flight when the scenario
+ends), and publish the declared ``fleet_*`` metrics through the
+system's typed registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..analysis.stats import mean, percentile
+from ..costs import CostModel, DEFAULT_COSTS
+from .spec import TenantSpec
+
+__all__ = ["TenantStats", "OpenLoopClient"]
+
+
+@dataclass
+class TenantStats:
+    """Raw per-tenant accounting (latencies in integer simulated ns)."""
+
+    issued: int = 0
+    completed: int = 0
+    latencies_ns: List[int] = field(default_factory=list)
+    slo_late: int = 0
+    started_at: int = 0
+    stopped_at: int = 0
+    finished_at: int = 0
+
+    @property
+    def dropped(self) -> int:
+        """Requests still unanswered when the scenario ended."""
+        return self.issued - self.completed
+
+    @property
+    def slo_violations(self) -> int:
+        """Late completions plus requests that never completed at all."""
+        return self.slo_late + self.dropped
+
+    def percentile_ms(self, pct: float) -> float:
+        return percentile(self.latencies_ns, pct) / 1e6
+
+    def mean_ms(self) -> float:
+        return mean(self.latencies_ns) / 1e6
+
+    def throughput_krps(self) -> float:
+        """Completions per second of offered-load window, in krps."""
+        window = self.stopped_at - self.started_at
+        if window <= 0:
+            return 0.0
+        return self.completed / (window / 1e9) / 1e3
+
+
+class OpenLoopClient:
+    """One tenant's load generator against its (booted) serving VM."""
+
+    def __init__(
+        self,
+        system,
+        tenant: TenantSpec,
+        device,
+        rng,
+        costs: CostModel = DEFAULT_COSTS,
+    ):
+        if tenant.traffic is None:
+            raise ValueError(f"tenant {tenant.name!r} has no traffic spec")
+        self.system = system
+        self.tenant = tenant
+        self.traffic = tenant.traffic
+        self.device = device
+        self.rng = rng
+        self.costs = costs
+        self.sim = system.sim
+        self.stats = TenantStats()
+        slo_ms = tenant.vm.slo_ms
+        self._slo_ns: Optional[int] = (
+            None if slo_ms is None else int(round(slo_ms * 1e6))
+        )
+        #: mean inter-arrival gap in ns (Poisson process parameter)
+        self._mean_gap_ns = 1e9 / self.traffic.rate_rps
+        self._deadline: Optional[int] = None
+        self._open = False
+
+    # ------------------------------------------------------------------
+    # arrival process
+    # ------------------------------------------------------------------
+
+    def start(self, duration_ns: int) -> None:
+        """Offer load for ``duration_ns`` of simulated time from now."""
+        self.stats.started_at = self.sim.now
+        self.stats.stopped_at = self.sim.now + duration_ns
+        self._deadline = self.sim.now + duration_ns
+        self._open = True
+        self._schedule_arrival()
+
+    def _schedule_arrival(self) -> None:
+        gap_ns = int(self.rng.expovariate(1.0 / self._mean_gap_ns)) + 1
+        if self._deadline is not None and self.sim.now + gap_ns >= self._deadline:
+            self._open = False  # offered-load window over; stop drawing
+            return
+        self.sim.schedule(gap_ns, self._arrive)
+
+    def _arrive(self) -> None:
+        self._issue()
+        self._schedule_arrival()
+
+    # ------------------------------------------------------------------
+    # request path (the RedisClientSim cost model, open loop)
+    # ------------------------------------------------------------------
+
+    def _issue(self) -> None:
+        self.stats.issued += 1
+        op = self.traffic.op
+        request: Dict[str, Any] = {
+            "op": op,
+            "sent_at": self.sim.now,
+            "reply_fn": self._on_reply,
+        }
+        # client -> server wire latency, then the NIC rx path in the guest
+        vcpu = 0  # the single Redis instance listens on vCPU 0
+        self.sim.schedule(
+            self.costs.net_wire_ns,
+            lambda: self.device.deliver_rx(vcpu, request, op.request_bytes),
+        )
+
+    def _on_reply(self, reply: Dict[str, Any]) -> None:
+        latency_ns = self.sim.now - reply["sent_at"]
+        stats = self.stats
+        stats.completed += 1
+        stats.latencies_ns.append(latency_ns)
+        stats.finished_at = self.sim.now
+        metrics = self.system.metrics
+        metrics.counter("fleet_request_count").inc()
+        metrics.histogram("fleet_request_latency_ns").observe(latency_ns)
+        if self._slo_ns is not None and latency_ns > self._slo_ns:
+            stats.slo_late += 1
+            metrics.counter("fleet_slo_violation_count").inc()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def drained(self) -> bool:
+        """No arrivals left to draw and every issued request answered."""
+        return not self._open and self.stats.completed >= self.stats.issued

@@ -78,6 +78,37 @@ CATALOG: List[MetricSpec] = [
         Unit.NS,
         "CVM launch latency: hotplug + realm build + REC binding",
     ),
+    # -- fleet serving (repro.fleet: open-loop tenant traffic) ---------
+    MetricSpec(
+        "fleet_request_count",
+        "counter",
+        Unit.COUNT,
+        "open-loop tenant requests completed",
+    ),
+    MetricSpec(
+        "fleet_slo_violation_count",
+        "counter",
+        Unit.COUNT,
+        "completed requests over their tenant's latency SLO",
+    ),
+    MetricSpec(
+        "fleet_request_latency_ns",
+        "histogram",
+        Unit.NS,
+        "open-loop tenant request latency (send to reply)",
+    ),
+    MetricSpec(
+        "fleet_offered_count",
+        "gauge",
+        Unit.COUNT,
+        "open-loop requests issued across a server's tenants",
+    ),
+    MetricSpec(
+        "fleet_dropped_count",
+        "gauge",
+        Unit.COUNT,
+        "requests still unanswered when the scenario ended",
+    ),
     # -- end-of-run structural gauges (harvested by System.finish) -----
     MetricSpec(
         "gic_sgi_sent_count", "gauge", Unit.COUNT, "SGIs (IPIs) sent"

@@ -1,0 +1,107 @@
+"""System API contract: kvm-only device calls, shims, drive-loop limits."""
+
+import warnings
+
+import pytest
+
+from repro.experiments import System, SystemConfig
+from repro.guest.actions import Compute
+from repro.guest.vm import GuestVm
+from repro.sim.engine import SimulationError
+
+
+def forever(vm, index):
+    def body():
+        while True:
+            yield Compute(100_000)
+
+    return body()
+
+
+def launch(system):
+    vm = GuestVm("t", 2, forever)
+    return vm, system.launch(vm)
+
+
+class TestDeviceApi:
+    def test_new_path_takes_kvm_only_without_warning(self):
+        system = System(SystemConfig(mode="shared", n_cores=4))
+        _, kvm = launch(system)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            net = system.add_virtio_net(kvm, "net0")
+            blk = system.add_virtio_blk(kvm, "blk0")
+            nic = system.add_sriov_nic(kvm, "vf0")
+        assert (net.name, blk.name, nic.name) == ("net0", "blk0", "vf0")
+
+    @pytest.mark.parametrize(
+        "method, default",
+        [
+            ("add_virtio_net", "virtio-net0"),
+            ("add_virtio_blk", "virtio-blk0"),
+            ("add_sriov_nic", "sriov-net0"),
+        ],
+    )
+    def test_legacy_vm_kvm_pair_warns_and_still_works(self, method, default):
+        system = System(SystemConfig(mode="shared", n_cores=4))
+        vm, kvm = launch(system)
+        with pytest.warns(DeprecationWarning, match="vm argument is redundant"):
+            device = getattr(system, method)(vm, kvm)
+        assert device.name == default
+
+    def test_legacy_pair_with_name_keeps_the_name(self):
+        system = System(SystemConfig(mode="shared", n_cores=4))
+        vm, kvm = launch(system)
+        with pytest.warns(DeprecationWarning):
+            device = system.add_virtio_net(vm, kvm, "lan0")
+        assert device.name == "lan0"
+
+    def test_mismatched_pair_rejected(self):
+        system = System(SystemConfig(mode="shared", n_cores=8))
+        vm_a, _ = launch(system)
+        other = GuestVm("u", 2, forever)
+        kvm_b = system.launch(other)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="is not kvm.vm"):
+                system.add_virtio_net(vm_a, kvm_b)
+
+    def test_wrong_first_argument_type_rejected(self):
+        system = System(SystemConfig(mode="shared", n_cores=4))
+        with pytest.raises(TypeError):
+            system.add_virtio_net("not-a-kvm")
+
+
+class TestDefaultConfig:
+    def test_omitting_config_builds_a_default_system(self):
+        system = System()
+        assert system.config.mode == SystemConfig().mode
+
+    def test_default_configs_not_shared_between_instances(self):
+        assert System().config is not System().config
+
+
+class TestDriveLimits:
+    def test_zero_limit_times_out_immediately(self):
+        system = System(SystemConfig(mode="shared", n_cores=4))
+        _, kvm = launch(system)
+        system.start(kvm)
+        with pytest.raises(SimulationError, match="timeout waiting for"):
+            system.run_until(lambda: False, limit_ns=0)
+
+    def test_deadline_is_inclusive(self):
+        from repro.sim.engine import Event
+
+        system = System(SystemConfig(mode="shared", n_cores=4))
+        _, kvm = launch(system)
+        system.start(kvm)
+        event = Event("never")
+        with pytest.raises(SimulationError, match="timeout waiting for event"):
+            system.run_until_event(event, limit_ns=50_000)
+
+    def test_deadlock_message_unified(self):
+        system = System(
+            SystemConfig(mode="shared", n_cores=2, housekeeping=None)
+        )
+        system.sim.run()  # drain boot-time events
+        with pytest.raises(SimulationError, match="deadlock waiting for"):
+            system.run_until(lambda: False, limit_ns=1_000_000)

@@ -76,9 +76,9 @@ class TestSystemBuilder:
         system = System(SystemConfig(mode="shared", n_cores=4))
         vm = GuestVm("t", 2, forever)
         kvm = system.launch(vm)
-        a = system.add_virtio_net(vm, kvm, "net0")
-        b = system.add_virtio_blk(vm, kvm, "blk0")
-        c = system.add_sriov_nic(vm, kvm, "vf0")
+        a = system.add_virtio_net(kvm, "net0")
+        b = system.add_virtio_blk(kvm, "blk0")
+        c = system.add_sriov_nic(kvm, "vf0")
         assert len({a.intid, b.intid, c.intid}) == 3
 
     def test_multiple_launches_use_distinct_cores(self):

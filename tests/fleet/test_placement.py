@@ -1,0 +1,121 @@
+"""Core-gap-aware placement: capacity, packing, admission control."""
+
+import pytest
+
+from repro.experiments.config import SystemConfig
+from repro.fleet import (
+    FleetAdmissionError,
+    ScenarioSpec,
+    TenantSpec,
+    VmSpec,
+    place,
+    server_capacity,
+)
+
+
+def idle(vm, index):
+    return None
+
+
+def tenant(name, n_vcpus):
+    return TenantSpec(vm=VmSpec(name, n_vcpus, idle))
+
+
+def scenario(servers, tenants, placement="pack"):
+    return ScenarioSpec(
+        servers=tuple(servers), tenants=tuple(tenants), placement=placement
+    )
+
+
+GAPPED_8 = SystemConfig(mode="gapped", n_cores=8)  # 7 free (1 host core)
+SHARED_8 = SystemConfig(mode="shared", n_cores=8)  # all 8 usable
+
+
+class TestServerCapacity:
+    def test_gapped_loses_the_host_cores(self):
+        assert server_capacity(GAPPED_8) == 7
+        assert (
+            server_capacity(
+                SystemConfig(mode="gapped", n_cores=8, n_host_cores=2)
+            )
+            == 6
+        )
+
+    def test_shared_offers_every_core(self):
+        assert server_capacity(SHARED_8) == 8
+
+
+class TestPack:
+    def test_best_fit_consolidates(self):
+        # both tenants fit on one server; the second goes to the fuller one
+        spec = scenario([GAPPED_8, GAPPED_8], [tenant("a", 3), tenant("b", 3)])
+        placement = place(spec)
+        assert placement.assignments == (("a", 0), ("b", 0))
+        assert placement.free == (1, 7)
+
+    def test_overflow_spills_to_next_server(self):
+        spec = scenario(
+            [GAPPED_8, GAPPED_8],
+            [tenant("a", 4), tenant("b", 4), tenant("c", 4)],
+        )
+        placement = place(spec)
+        assert placement.server_of("a") == 0
+        assert placement.server_of("b") == 1
+        # c fits neither remainder (3, 3): best-fit leaves it out
+        assert placement.server_of("c") is None
+        assert placement.rejected[0][0] == "c"
+
+    def test_rejection_reason_names_the_shortfall(self):
+        spec = scenario([GAPPED_8], [tenant("big", 12)])
+        placement = place(spec)
+        (name, reason), = placement.rejected
+        assert name == "big"
+        assert "12 core(s)" in reason
+
+
+class TestSpread:
+    def test_emptiest_first_balances(self):
+        spec = scenario(
+            [GAPPED_8, GAPPED_8],
+            [tenant("a", 3), tenant("b", 3)],
+            placement="spread",
+        )
+        placement = place(spec)
+        assert placement.assignments == (("a", 0), ("b", 1))
+        assert placement.free == (4, 4)
+
+    def test_ties_break_to_lowest_index(self):
+        spec = scenario(
+            [SHARED_8, SHARED_8], [tenant("a", 2)], placement="spread"
+        )
+        assert place(spec).server_of("a") == 0
+
+
+class TestDeterminism:
+    def test_same_spec_same_placement(self):
+        spec = scenario(
+            [GAPPED_8, SHARED_8, GAPPED_8],
+            [tenant(f"t{i}", 1 + i % 3) for i in range(6)],
+        )
+        assert place(spec) == place(spec)
+
+
+class TestAdmissionControl:
+    def test_strict_boot_refuses_oversized_scenarios(self):
+        spec = scenario([GAPPED_8], [tenant("big", 12)])
+        with pytest.raises(FleetAdmissionError, match="big"):
+            spec.boot()
+
+    def test_lenient_boot_serves_the_placeable_subset(self):
+        from repro.sim.clock import ms
+
+        spec = ScenarioSpec(
+            servers=(GAPPED_8,),
+            tenants=(tenant("ok", 2), tenant("big", 12)),
+            duration_ns=ms(5),
+        )
+        fleet = spec.boot(strict=False)
+        result = fleet.run()
+        assert result.rejected == ["big"]
+        names = [vm.spec.name for server in fleet.servers for vm in server.vms]
+        assert names == ["ok"]

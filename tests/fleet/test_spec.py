@@ -1,0 +1,93 @@
+"""Spec validation and the convenience constructors."""
+
+import pytest
+
+from repro.experiments.config import SystemConfig
+from repro.fleet import (
+    DeviceSpec,
+    ScenarioSpec,
+    TenantSpec,
+    TrafficSpec,
+    VmSpec,
+    redis_tenant,
+    uniform_rack,
+)
+from repro.guest.workloads.redis import OP_SET
+
+
+def idle(vm, index):
+    return None
+
+
+class TestDeviceSpec:
+    def test_known_kinds(self):
+        for kind in ("virtio-net", "virtio-blk", "sriov-nic"):
+            assert DeviceSpec(kind).kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown device kind"):
+            DeviceSpec("pcie-doorbell")
+
+
+class TestVmSpec:
+    def test_requires_at_least_one_vcpu(self):
+        with pytest.raises(ValueError, match="n_vcpus"):
+            VmSpec("t", 0, idle)
+
+
+class TestTrafficSpec:
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValueError, match="rate_rps"):
+            TrafficSpec(rate_rps=0.0)
+
+    def test_only_poisson_arrivals(self):
+        with pytest.raises(ValueError, match="arrival process"):
+            TrafficSpec(rate_rps=1000.0, process="bursty")
+
+
+class TestScenarioSpec:
+    def test_needs_servers(self):
+        with pytest.raises(ValueError, match="at least one server"):
+            ScenarioSpec(servers=(), tenants=())
+
+    def test_rejects_duplicate_tenant_names(self):
+        servers = (SystemConfig(mode="shared", n_cores=4),)
+        twin = TenantSpec(vm=VmSpec("t", 1, idle))
+        with pytest.raises(ValueError, match="duplicate tenant names"):
+            ScenarioSpec(servers=servers, tenants=(twin, twin))
+
+    def test_rejects_unknown_placement(self):
+        servers = (SystemConfig(mode="shared", n_cores=4),)
+        with pytest.raises(ValueError, match="placement strategy"):
+            ScenarioSpec(servers=servers, tenants=(), placement="random")
+
+
+class TestRedisTenant:
+    def test_shape(self):
+        tenant = redis_tenant("acme", n_vcpus=4, rate_rps=5000.0, op=OP_SET)
+        assert tenant.name == "acme"
+        assert tenant.vm.n_vcpus == 4
+        assert tenant.vm.slo_ms == 2.0
+        assert tenant.vm.devices[0].kind == "sriov-nic"
+        assert tenant.traffic.device == tenant.vm.devices[0].name
+        assert tenant.traffic.op is OP_SET
+
+
+class TestUniformRack:
+    def test_per_server_seeds_distinct_and_stable(self):
+        template = SystemConfig(mode="gapped", n_cores=8)
+        rack = uniform_rack(3, template, seed=5)
+        again = uniform_rack(3, template, seed=5)
+        seeds = [config.seed for config in rack]
+        assert len(set(seeds)) == 3
+        assert seeds == [config.seed for config in again]
+
+    def test_scenario_seed_changes_every_server(self):
+        template = SystemConfig(mode="gapped", n_cores=8)
+        a = {config.seed for config in uniform_rack(2, template, seed=0)}
+        b = {config.seed for config in uniform_rack(2, template, seed=1)}
+        assert a.isdisjoint(b)
+
+    def test_needs_a_server(self):
+        with pytest.raises(ValueError, match="n_servers"):
+            uniform_rack(0, SystemConfig(mode="shared", n_cores=4))

@@ -24,11 +24,11 @@ def run_vm(mode, factory, n_vcpus=2, duration=ms(50), devices=(), n_cores=4):
     kvm = system.launch(vm)
     for kind in devices:
         if kind == "virtio-blk":
-            system.add_virtio_blk(vm, kvm, "virtio-blk0")
+            system.add_virtio_blk(kvm, "virtio-blk0")
         elif kind == "virtio-net":
-            system.add_virtio_net(vm, kvm, "virtio-net0", echo_peer=True)
+            system.add_virtio_net(kvm, "virtio-net0", echo_peer=True)
         elif kind == "sriov":
-            system.add_sriov_nic(vm, kvm, "sriov-net0", echo_peer=True)
+            system.add_sriov_nic(kvm, "sriov-net0", echo_peer=True)
     system.start(kvm)
     system.run_for(duration)
     return system, vm, kvm

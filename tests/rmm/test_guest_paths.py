@@ -20,7 +20,7 @@ def run_vm(mode, factory, n_vcpus=2, duration=ms(50), n_cores=4,
     )
     vm = GuestVm("t", n_vcpus, factory)
     kvm = system.launch(vm)
-    system.add_virtio_net(vm, kvm, "virtio-net0")
+    system.add_virtio_net(kvm, "virtio-net0")
     system.start(kvm)
     system.run_for(duration)
     return system, vm, kvm
