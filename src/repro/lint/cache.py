@@ -1,0 +1,157 @@
+"""Content-hash incremental cache for per-file lint verdicts.
+
+Re-linting an unchanged tree should be near-instant: the expensive
+work is parsing + walking every file's AST, and a file's verdict
+(findings **and** its extracted facts for the tree-level passes)
+depends only on its bytes and the contract.  So the cache keys on the
+sha256 of the file *content* — never mtimes, which are wall-clock
+state and would make cache behaviour non-reproducible across
+checkouts — and the whole store is salted with
+:meth:`LintContract.digest` plus the selected pass list: editing the
+contract or choosing different passes invalidates every entry at
+once, which is always correct and never subtle.
+
+The store is one JSON file (default ``.repro-lint-cache.json`` next
+to ``pyproject.toml``, gitignored).  A version/salt mismatch or any
+parse problem silently yields an empty cache — a cache must never be
+able to make lint *fail*.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .contract import LintContract
+from .findings import Finding
+
+__all__ = [
+    "LintCache",
+    "cache_salt",
+    "content_hash",
+    "DEFAULT_CACHE_NAME",
+    "LINT_CACHE_VERSION",
+]
+
+DEFAULT_CACHE_NAME = ".repro-lint-cache.json"
+
+#: bump when the on-disk entry shape or any pass semantics change in a
+#: way the contract digest cannot see
+LINT_CACHE_VERSION = 1
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def cache_salt(contract: LintContract, passes: Sequence[str]) -> str:
+    payload = json.dumps(
+        {
+            "version": LINT_CACHE_VERSION,
+            "contract": contract.digest(),
+            "passes": sorted(passes),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class LintCache:
+    """Load-mutate-save JSON store of per-file ``(findings, facts)``.
+
+    Keys are paths as given on the command line (normalised to posix
+    relative form when possible) so a checkout moved wholesale still
+    hits.  ``facts`` is the JSON-serialisable dict from
+    :func:`repro.lint.secflow.extract_facts` (or ``None`` for files
+    that failed to parse) — cached so warm runs can still execute the
+    tree-level passes without re-parsing anything.
+    """
+
+    def __init__(self, path: Optional[Path], salt: str) -> None:
+        self.path = path
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+        self._files: Dict[str, Dict] = {}
+        self._dirty = False
+        if path is not None and path.exists():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                data = {}
+            if (
+                isinstance(data, dict)
+                and data.get("salt") == salt
+                and isinstance(data.get("files"), dict)
+            ):
+                self._files = data["files"]
+
+    @staticmethod
+    def key_for(path: Path) -> str:
+        return path.as_posix()
+
+    def get(
+        self, path: Path, digest: str
+    ) -> Optional[Tuple[List[Finding], Optional[Dict]]]:
+        """Cached ``(findings, facts)`` for ``path`` at ``digest``, else None."""
+        entry = self._files.get(self.key_for(path))
+        if not isinstance(entry, dict) or entry.get("hash") != digest:
+            self.misses += 1
+            return None
+        try:
+            findings = [
+                Finding(str(f[0]), int(f[1]), str(f[2]), str(f[3]))
+                for f in entry["findings"]
+            ]
+        except (KeyError, IndexError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings, entry.get("facts")
+
+    def put(
+        self,
+        path: Path,
+        digest: str,
+        findings: List[Finding],
+        facts: Optional[Dict],
+    ) -> None:
+        self._files[self.key_for(path)] = {
+            "hash": digest,
+            "findings": [
+                [f.path, f.line, f.rule, f.message] for f in findings
+            ],
+            "facts": facts,
+        }
+        self._dirty = True
+
+    def prune(self, live: Sequence[Path]) -> None:
+        """Drop entries for files no longer part of the linted set."""
+        keep = {self.key_for(p) for p in live}
+        dead = [key for key in self._files if key not in keep]
+        for key in dead:
+            del self._files[key]
+            self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        payload = {
+            "version": LINT_CACHE_VERSION,
+            "salt": self.salt,
+            "files": self._files,
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")),
+            encoding="utf-8",
+        )
+        tmp.replace(self.path)
+        self._dirty = False
+
+    def stats(self) -> str:
+        total = self.hits + self.misses
+        pct = (100 * self.hits // total) if total else 0
+        return f"cache {self.hits}/{total} hits ({pct}%)"

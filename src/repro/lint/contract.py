@@ -9,16 +9,26 @@ trees in the linter's own tests).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
+
+from .domains import DomainContract
 
 try:  # Python >= 3.11
     import tomllib
 except ImportError:  # pragma: no cover - 3.9/3.10 without tomli
     tomllib = None  # type: ignore[assignment]
 
-__all__ = ["LintContract", "ForbiddenCombo", "load_contract", "DEFAULT_LAYERS"]
+__all__ = [
+    "LintContract",
+    "ForbiddenCombo",
+    "load_contract",
+    "DEFAULT_LAYERS",
+    "find_pyproject",
+]
 
 
 #: Default DESIGN.md import DAG: subsystem -> subsystems it may import.
@@ -104,6 +114,29 @@ class LintContract:
     forbidden_combos: List[ForbiddenCombo] = field(default_factory=list)
     #: the single module allowed to construct raw random.Random streams
     rng_module: str = DEFAULT_RNG_MODULE
+    #: the cross-domain isolation tables ([tool.repro.lint.domains])
+    domains: DomainContract = field(default_factory=DomainContract)
+
+    def digest(self) -> str:
+        """Stable hash of the whole contract (incremental-cache salt:
+        a contract edit must invalidate every cached file verdict)."""
+        payload = {
+            "layers": self.layers,
+            "combos": [
+                [c.modules, c.allowed_in] for c in self.forbidden_combos
+            ],
+            "rng_module": self.rng_module,
+            "domains": {
+                "modules": self.domains.modules,
+                "structures": self.domains.structures,
+                "crossing_surfaces": self.domains.crossing_surfaces,
+                "crossing_roots": self.domains.crossing_roots,
+                "streams": self.domains.streams,
+                "seed_roots": self.domains.seed_roots,
+            },
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def subsystem_of(self, module: str) -> Optional[str]:
         """Longest contract key that is a dotted prefix of ``module``.
@@ -183,4 +216,31 @@ def load_contract(start: Optional[Path] = None) -> LintContract:
             for combo in section["forbidden-combinations"]
         ]
     contract.rng_module = section.get("rng-module", contract.rng_module)
+    if "domains" in section:
+        contract.domains = _load_domains(section["domains"])
     return contract
+
+
+def _load_domains(section: Dict) -> DomainContract:
+    """Build the :class:`DomainContract` from ``[tool.repro.lint.domains]``.
+
+    Any table present replaces the built-in default wholesale (same
+    policy as the layering table: the pyproject is the source of
+    truth, defaults only cover contract-less fixture trees).
+    """
+    kwargs = {}
+    if "modules" in section:
+        kwargs["modules"] = {k: str(v) for k, v in section["modules"].items()}
+    if "structures" in section:
+        kwargs["structures"] = {
+            k: str(v) for k, v in section["structures"].items()
+        }
+    if "crossing-surfaces" in section:
+        kwargs["crossing_surfaces"] = list(section["crossing-surfaces"])
+    if "crossing-roots" in section:
+        kwargs["crossing_roots"] = list(section["crossing-roots"])
+    if "streams" in section:
+        kwargs["streams"] = {k: str(v) for k, v in section["streams"].items()}
+    if "seed-roots" in section:
+        kwargs["seed_roots"] = list(section["seed-roots"])
+    return DomainContract(**kwargs)

@@ -1,0 +1,214 @@
+"""The cross-domain isolation contract (data for the secflow pass).
+
+The paper's core-gap argument is *structural*: host, guest and monitor
+(RMM) never share core-local microarchitectural state, and every
+legitimate interaction crosses one of a handful of audited surfaces
+(RMI calls, the shared-memory RPC ports, SMC).  ``repro.security``
+checks that claim at runtime over simulated schedules; this module
+carries the same contract as *data* so :mod:`repro.lint.secflow` can
+check it statically, before a single event is simulated.
+
+The tables live in ``[tool.repro.lint.domains]`` of ``pyproject.toml``:
+
+``modules``
+    dotted module prefix -> owning :class:`SecurityDomain` name
+    (``host`` / ``guest`` / ``rmm`` / ``shared``).  Longest prefix
+    wins, so ``repro.guest`` can be ``guest`` while
+    ``repro.guest.actions`` (the exit ABI both sides read) is
+    ``shared``.
+
+``structures``
+    ``"module:ClassName"`` -> domain, for the core-local µarch
+    structures in ``repro.hw`` (the paper's Table 1 list).  Any class
+    under ``repro.hw`` exposing ``domains_present`` — the runtime
+    auditor's duck type — must appear here (SEC002).
+
+``crossing-surfaces``
+    module prefixes whose symbols *are* the sanctioned crossing
+    points: accessing them from any domain is legitimate by design
+    (they are what the runtime auditor audits).
+
+``crossing-roots``
+    module prefixes allowed to reach across domains freely: the
+    composition roots (experiments, fleet) and the tooling that
+    inspects every domain by design (security auditor, lint itself).
+
+``streams``
+    RNG stream-namespace prefix (the token before the first ``:`` in a
+    ``stream``/``fork`` name) -> owning domain, for SEED002.
+
+Note on layering (deliberate): the canonical domain vocabulary comes
+from :mod:`repro.isa.worlds` — a types-only module with no imports —
+NOT from ``repro.security``.  Importing the auditor here would create
+a ``lint -> security -> hw`` edge for the sake of four names; the
+types-only module gives us the same single source of truth with no
+cycle risk (see ``[tool.repro.lint.layering]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..isa.worlds import HOST_DOMAIN, MONITOR_DOMAIN, World
+
+__all__ = [
+    "DomainContract",
+    "VALID_DOMAINS",
+    "SHARED",
+    "DEFAULT_DOMAIN_MODULES",
+    "DEFAULT_STRUCTURES",
+    "DEFAULT_CROSSING_SURFACES",
+    "DEFAULT_CROSSING_ROOTS",
+    "DEFAULT_STREAMS",
+    "DEFAULT_SEED_ROOTS",
+]
+
+#: state belonging to no single distrusting principal (hardware that is
+#: multi-domain by nature, or an ABI surface both sides read)
+SHARED = "shared"
+
+#: the three mutually distrusting principals of the paper's threat
+#: model plus "shared".  Anchored to the canonical objects in
+#: repro.isa.worlds so the vocabulary cannot drift from the runtime
+#: auditor's: "host" is HOST_DOMAIN by name, "guest" covers the
+#: realm_domain(n) principals (World.REALM, distrusted), and "rmm" is
+#: the monitor (World.REALM, trusted_by_all — hence not "guest").
+assert HOST_DOMAIN.world is World.NORMAL
+assert MONITOR_DOMAIN.world is World.REALM and MONITOR_DOMAIN.trusted_by_all
+VALID_DOMAINS = frozenset({HOST_DOMAIN.name, "guest", "rmm", SHARED})
+
+
+DEFAULT_DOMAIN_MODULES: Dict[str, str] = {
+    "repro.host": "host",
+    "repro.guest": "guest",
+    # the action/exit ABI is the run-page payload both sides parse: a
+    # sanctioned shared surface, not guest-private state
+    "repro.guest.actions": SHARED,
+    "repro.guest.vm": SHARED,
+    "repro.rmm": "rmm",
+    "repro.hw": SHARED,
+}
+
+DEFAULT_STRUCTURES: Dict[str, str] = {
+    "repro.hw.cache:SetAssociativeCache": SHARED,
+    "repro.hw.tlb:Tlb": SHARED,
+    "repro.hw.branch:BranchPredictor": SHARED,
+    "repro.hw.uarch:StoreBuffer": SHARED,
+    "repro.hw.uarch:CoreUarchState": SHARED,
+}
+
+DEFAULT_CROSSING_SURFACES: List[str] = [
+    "repro.rmm.rmi",
+    "repro.rmm.core_gap",
+    "repro.rmm.attestation",
+    "repro.rpc",
+    "repro.isa.smc",
+]
+
+DEFAULT_CROSSING_ROOTS: List[str] = [
+    "repro.experiments",
+    "repro.fleet",
+    "repro.faults",
+    "repro.security",
+    "repro.lint",
+    "repro.obs",
+]
+
+DEFAULT_STREAMS: Dict[str, str] = {
+    "fault": SHARED,
+    "arrivals": SHARED,
+    "fleet-server": SHARED,
+    "fleet-sweep": SHARED,
+}
+
+#: modules allowed to construct a root RngFactory (everything else must
+#: fork an existing factory, so every draw traces back to the run seed)
+DEFAULT_SEED_ROOTS: List[str] = [
+    "repro.sim.rng",
+    "repro.experiments.system",
+]
+
+
+@dataclass
+class DomainContract:
+    """Who owns what, and where crossing is sanctioned."""
+
+    modules: Dict[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_DOMAIN_MODULES)
+    )
+    structures: Dict[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_STRUCTURES)
+    )
+    crossing_surfaces: List[str] = field(
+        default_factory=lambda: list(DEFAULT_CROSSING_SURFACES)
+    )
+    crossing_roots: List[str] = field(
+        default_factory=lambda: list(DEFAULT_CROSSING_ROOTS)
+    )
+    streams: Dict[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_STREAMS)
+    )
+    seed_roots: List[str] = field(
+        default_factory=lambda: list(DEFAULT_SEED_ROOTS)
+    )
+
+    def __post_init__(self) -> None:
+        for table in (self.modules, self.structures, self.streams):
+            for key, domain in sorted(table.items()):
+                if domain not in VALID_DOMAINS:
+                    raise ValueError(
+                        f"[tool.repro.lint.domains]: {key!r} declares "
+                        f"unknown domain {domain!r}; valid: "
+                        f"{', '.join(sorted(VALID_DOMAINS))}"
+                    )
+
+    # ------------------------------------------------------------------
+    # lookups (all longest-prefix over dotted names)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _longest_prefix(
+        dotted: str, table: Dict[str, str]
+    ) -> Optional[str]:
+        best: Optional[str] = None
+        for key in table:
+            if dotted == key or dotted.startswith(key + "."):
+                if best is None or len(key) > len(best):
+                    best = key
+        return best
+
+    def domain_of(self, dotted: str) -> Optional[str]:
+        """Owning domain of a dotted module (or module-qualified symbol)."""
+        key = self._longest_prefix(dotted, self.modules)
+        return None if key is None else self.modules[key]
+
+    def is_private(self, dotted: str) -> bool:
+        """True when ``dotted`` belongs to one distrusting principal."""
+        domain = self.domain_of(dotted)
+        return domain is not None and domain != SHARED
+
+    def is_crossing_surface(self, dotted: str) -> bool:
+        return any(
+            dotted == prefix or dotted.startswith(prefix + ".")
+            for prefix in self.crossing_surfaces
+        )
+
+    def is_crossing_root(self, module: str) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.crossing_roots
+        )
+
+    def is_seed_root(self, module: str) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.seed_roots
+        )
+
+    def stream_domain(self, namespace: str) -> Optional[str]:
+        """Owning domain of an RNG stream namespace, if declared."""
+        return self.streams.get(namespace)
+
+    def structure_domain(self, module: str, cls: str) -> Optional[str]:
+        return self.structures.get(f"{module}:{cls}")

@@ -2,8 +2,20 @@
 
 Every lint pass — static or runtime — reports :class:`Finding` objects
 carrying (path, line, rule id, message).  The rule registry maps each
-rule id to a one-line description and the DESIGN.md invariant it
-guards, so reports and docs stay in sync.
+rule id to a one-line description, the DESIGN.md invariant it guards,
+and the contract key that parameterizes it, so reports, ``--list-rules``
+and the DESIGN.md §5.1 table all generate from one source.
+
+Suppressions come in two spellings::
+
+    x = wall_clock()  # lint: allow(DET001)            (legacy)
+    x = wall_clock()  # lint: ignore[DET001] reason=calibration harness
+
+Both suppress the named rule(s) on that line.  The ``ignore[...]``
+form carries a machine-readable reason; an ``ignore`` pragma with no
+parseable rule id is itself a finding (**SUP001**) — a suppression
+that silently suppresses nothing (or everything) is how dead pragmas
+accumulate.
 """
 
 from __future__ import annotations
@@ -14,7 +26,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Set
 
-__all__ = ["Finding", "Rule", "RULES", "SourceFile", "load_source"]
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "SourceFile",
+    "load_source",
+    "fingerprint",
+]
 
 
 @dataclass(frozen=True, order=True)
@@ -30,6 +49,25 @@ class Finding:
         return f"{self.path}:{self.line}: {self.rule} {self.message}"
 
 
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding for baseline matching.
+
+    Deliberately excludes the line number (baselined findings must
+    survive unrelated edits above them) and normalises the path to
+    repo-relative posix form.
+    """
+    import hashlib
+
+    path = Path(finding.path).as_posix()
+    for anchor in ("src/", "benchmarks/"):
+        idx = path.find(anchor)
+        if idx >= 0:
+            path = path[idx:]
+            break
+    payload = f"{path}|{finding.rule}|{finding.message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
 @dataclass(frozen=True)
 class Rule:
     """A registered lint rule and the invariant it protects."""
@@ -38,7 +76,13 @@ class Rule:
     summary: str
     #: DESIGN.md invariant (or architectural property) the rule guards
     guards: str
+    #: the pyproject/config key that parameterizes the rule ("built-in"
+    #: when the rule has no knobs)
+    contract: str = "built-in"
 
+
+_LAYERING_KEY = "[tool.repro.lint.layering]"
+_DOMAINS_KEY = "[tool.repro.lint.domains]"
 
 RULES: Dict[str, Rule] = {
     rule.rule_id: rule
@@ -62,6 +106,7 @@ RULES: Dict[str, Rule] = {
             "DET004",
             "raw random.Random() outside repro.sim.rng",
             "invariant #6: RngFactory is the only sanctioned seed deriver",
+            "[tool.repro.lint] rng-module",
         ),
         Rule(
             "DET005",
@@ -72,16 +117,19 @@ RULES: Dict[str, Rule] = {
             "LAY001",
             "import violates the subsystem layering contract",
             "DESIGN.md import DAG (sim -> hw -> rmm/host -> experiments)",
+            _LAYERING_KEY,
         ),
         Rule(
             "LAY002",
             "forbidden subsystem combination imported together",
             "only repro.experiments composes workloads + host + rmm",
+            "[tool.repro.lint.forbidden-combinations]",
         ),
         Rule(
             "LAY003",
             "module imports a subsystem absent from the contract",
             "the layering table must name every subsystem explicitly",
+            _LAYERING_KEY,
         ),
         Rule(
             "UNIT001",
@@ -97,11 +145,82 @@ RULES: Dict[str, Rule] = {
             "OBS001",
             "metric name not declared in repro.obs.catalog",
             "observability: every published metric is declared and typed",
+            "repro.obs.catalog",
         ),
         Rule(
             "OBS002",
             "metric published through the wrong accessor for its kind",
             "observability: one name, one kind — no shape disagreements",
+            "repro.obs.catalog",
+        ),
+        Rule(
+            "SEC001",
+            "cross-domain attribute access outside a sanctioned crossing",
+            "core-gap contract: host/guest/rmm state never touched "
+            "directly across domains (paper S3, runtime auditor's "
+            "static twin)",
+            f"{_DOMAINS_KEY} modules / crossing-*",
+        ),
+        Rule(
+            "SEC002",
+            "µarch structure in repro.hw missing a domain declaration",
+            "threat-model completeness: every core-local structure of "
+            "the paper's Table 1 is declared and auditable",
+            f"{_DOMAINS_KEY} structures",
+        ),
+        Rule(
+            "SEC003",
+            "engine callback captures a cross-domain object",
+            "core-gap contract: deferred callbacks must not smuggle "
+            "live references across a domain boundary",
+            f"{_DOMAINS_KEY} modules / crossing-*",
+        ),
+        Rule(
+            "SEC004",
+            "public __init__ re-exports a domain-private symbol",
+            "core-gap contract: domain-private names stay behind the "
+            "audited surfaces (re-export chains chased transitively)",
+            f"{_DOMAINS_KEY} modules / crossing-*",
+        ),
+        Rule(
+            "SEED001",
+            "RngFactory constructed outside the declared seed roots",
+            "invariant #6: one run seed reaches every stream via "
+            "machine.rng.fork(...)/derive_seed",
+            f"{_DOMAINS_KEY} seed-roots",
+        ),
+        Rule(
+            "SEED002",
+            "RNG stream namespace drawn from a foreign domain",
+            "seed discipline: sharing one stream across domains couples "
+            "their draws (and models a covert channel)",
+            f"{_DOMAINS_KEY} streams",
+        ),
+        Rule(
+            "SEED003",
+            "stream/seed name lacks a literal namespace prefix",
+            "seed discipline: unprefixed dynamic names reintroduce the "
+            "pre-derive_seed collision class",
+        ),
+        Rule(
+            "SUP001",
+            "malformed suppression pragma (ignore without a rule id)",
+            "suppression policy: every ignore names its rule(s) and "
+            "carries a reason",
+        ),
+        Rule(
+            "BASE001",
+            "baseline entry expired but its finding is still present",
+            "suppression policy: grandfathered findings carry an expiry; "
+            "fix the finding or renew the entry deliberately",
+            "lint-baseline.toml",
+        ),
+        Rule(
+            "BASE002",
+            "stale baseline entry matches no current finding",
+            "suppression policy: fixed findings leave the baseline so "
+            "it cannot mask future regressions",
+            "lint-baseline.toml",
         ),
         Rule(
             "SAN001",
@@ -121,7 +240,12 @@ RULES: Dict[str, Rule] = {
     ]
 }
 
-_PRAGMA = re.compile(r"#\s*lint:\s*allow\(\s*([A-Z0-9_,\s]+?)\s*\)")
+_PRAGMA_ALLOW = re.compile(r"#\s*lint:\s*allow\(\s*([A-Z0-9_,\s]+?)\s*\)")
+_PRAGMA_IGNORE = re.compile(
+    r"#\s*lint:\s*ignore(?:\[\s*([A-Z0-9_,\s]*?)\s*\])?"
+    r"(?:\s+reason=(?P<reason>[^#]*))?"
+)
+_RULE_ID = re.compile(r"^[A-Z]{2,8}[0-9]{3}$")
 
 
 @dataclass
@@ -138,6 +262,10 @@ class SourceFile:
     is_package: bool
     #: line number -> rule ids suppressed on that line via pragma
     allow: Dict[int, Set[str]] = field(default_factory=dict)
+    #: line number -> suppression reason (ignore[...] reason=... form)
+    reasons: Dict[int, str] = field(default_factory=dict)
+    #: lines carrying an ignore pragma with no valid rule id (SUP001)
+    bad_pragmas: List[int] = field(default_factory=list)
 
     def suppressed(self, line: int, rule: str) -> bool:
         return rule in self.allow.get(line, ())
@@ -158,16 +286,40 @@ def _module_name(path: Path) -> Optional[str]:
     return ".".join(parts)
 
 
+def _parse_pragmas(
+    text: str,
+) -> tuple:
+    allow: Dict[int, Set[str]] = {}
+    reasons: Dict[int, str] = {}
+    bad: List[int] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _PRAGMA_ALLOW.search(line)
+        if match:
+            rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+            allow.setdefault(lineno, set()).update(rules)
+        match = _PRAGMA_IGNORE.search(line)
+        if match:
+            raw = match.group(1)
+            rules = {
+                r.strip()
+                for r in (raw or "").split(",")
+                if r.strip() and _RULE_ID.match(r.strip())
+            }
+            if not rules:
+                bad.append(lineno)
+            else:
+                allow.setdefault(lineno, set()).update(rules)
+                reason = (match.group("reason") or "").strip()
+                if reason:
+                    reasons[lineno] = reason
+    return allow, reasons, bad
+
+
 def load_source(path: Path) -> SourceFile:
     """Parse one Python file into a :class:`SourceFile` (raises on syntax errors)."""
     text = path.read_text(encoding="utf-8")
     tree = ast.parse(text, filename=str(path))
-    allow: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        match = _PRAGMA.search(line)
-        if match:
-            rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
-            allow[lineno] = rules
+    allow, reasons, bad = _parse_pragmas(text)
     module = _module_name(path)
     return SourceFile(
         path=path,
@@ -176,4 +328,6 @@ def load_source(path: Path) -> SourceFile:
         module=module,
         is_package=path.name == "__init__.py",
         allow=allow,
+        reasons=reasons,
+        bad_pragmas=bad,
     )

@@ -1,0 +1,209 @@
+"""SARIF 2.1.0 output: lint findings as CI-annotatable results.
+
+:func:`render_sarif` emits one run with the full rule registry as
+``tool.driver.rules`` (so viewers can show the guarded invariant and
+contract key per result) and one ``result`` per finding, with
+repo-relative artifact URIs.
+
+:func:`validate_sarif` is a dependency-free structural validator for
+the subset of the OASIS SARIF 2.1.0 schema this tool can produce —
+the properties the spec marks *required* on the objects we emit, plus
+cross-references (every ``ruleId`` must resolve into the driver's
+rule array, ``ruleIndex`` must agree).  CI and the test suite run it
+on every emitted document; it exists because the container has no
+jsonschema package, not because the checks are optional.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from .findings import Finding, RULES, fingerprint
+
+__all__ = ["render_sarif", "validate_sarif", "SARIF_VERSION", "SARIF_SCHEMA_URI"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: findings with line 0 (file-scope, e.g. stale baseline entries) still
+#: need a valid region — SARIF requires startLine >= 1
+_MIN_LINE = 1
+
+
+def _relative_uri(path: str, base: Path) -> str:
+    """Repo-relative posix URI when possible, else the path as given."""
+    try:
+        return Path(path).resolve().relative_to(base.resolve()).as_posix()
+    except (ValueError, OSError):
+        return Path(path).as_posix()
+
+
+def render_sarif(
+    findings: Iterable[Finding], base_dir: Path
+) -> str:
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.message))
+    rule_ids = sorted(RULES)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": RULES[rule_id].summary},
+            "help": {"text": RULES[rule_id].guards},
+            "properties": {"contract": RULES[rule_id].contract},
+        }
+        for rule_id in rule_ids
+    ]
+    results: List[Dict] = []
+    for finding in ordered:
+        result: Dict = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(finding.path, base_dir),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, _MIN_LINE)
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {
+                "reproLint/v1": fingerprint(finding)
+            },
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/lint"
+                        ),
+                        "semanticVersion": "1.0.0",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": base_dir.resolve().as_uri() + "/"}
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def validate_sarif(document: Dict) -> List[str]:
+    """Structural 2.1.0 conformance problems ([] when valid)."""
+    problems: List[str] = []
+
+    def need(obj: Dict, key: str, kind, where: str) -> bool:
+        if key not in obj:
+            problems.append(f"{where}: required property {key!r} missing")
+            return False
+        if kind is not None and not isinstance(obj[key], kind):
+            problems.append(
+                f"{where}.{key}: expected {kind.__name__ if isinstance(kind, type) else kind}, "
+                f"got {type(obj[key]).__name__}"
+            )
+            return False
+        return True
+
+    if not isinstance(document, dict):
+        return ["document: not an object"]
+    need(document, "version", str, "document")
+    if document.get("version") != SARIF_VERSION:
+        problems.append(
+            f"document.version: must be {SARIF_VERSION!r}, got "
+            f"{document.get('version')!r}"
+        )
+    if not need(document, "runs", list, "document"):
+        return problems
+    for run_idx, run in enumerate(document["runs"]):
+        where = f"runs[{run_idx}]"
+        if not isinstance(run, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        driver: Dict = {}
+        if need(run, "tool", dict, where):
+            tool = run["tool"]
+            if need(tool, "driver", dict, f"{where}.tool"):
+                driver = tool["driver"]
+                need(driver, "name", str, f"{where}.tool.driver")
+        declared: Dict[str, int] = {}
+        for rule_idx, rule in enumerate(driver.get("rules", [])):
+            rwhere = f"{where}.tool.driver.rules[{rule_idx}]"
+            if isinstance(rule, dict):
+                if need(rule, "id", str, rwhere):
+                    declared[rule["id"]] = rule_idx
+            else:
+                problems.append(f"{rwhere}: not an object")
+        for res_idx, result in enumerate(run.get("results", [])):
+            rwhere = f"{where}.results[{res_idx}]"
+            if not isinstance(result, dict):
+                problems.append(f"{rwhere}: not an object")
+                continue
+            if need(result, "message", dict, rwhere):
+                need(result["message"], "text", str, f"{rwhere}.message")
+            rule_id = result.get("ruleId")
+            if rule_id is not None and declared and rule_id not in declared:
+                problems.append(
+                    f"{rwhere}.ruleId: {rule_id!r} not in tool.driver.rules"
+                )
+            rule_index = result.get("ruleIndex")
+            if rule_index is not None:
+                if rule_id in declared and declared[rule_id] != rule_index:
+                    problems.append(
+                        f"{rwhere}.ruleIndex: {rule_index} disagrees with "
+                        f"driver rule order ({declared[rule_id]})"
+                    )
+            level = result.get("level")
+            if level is not None and level not in (
+                "none",
+                "note",
+                "warning",
+                "error",
+            ):
+                problems.append(f"{rwhere}.level: invalid {level!r}")
+            for loc_idx, loc in enumerate(result.get("locations", [])):
+                lwhere = f"{rwhere}.locations[{loc_idx}]"
+                if not isinstance(loc, dict):
+                    problems.append(f"{lwhere}: not an object")
+                    continue
+                phys = loc.get("physicalLocation")
+                if phys is None:
+                    continue
+                if need(phys, "artifactLocation", dict, lwhere):
+                    art = phys["artifactLocation"]
+                    if "uri" not in art and "index" not in art:
+                        problems.append(
+                            f"{lwhere}.artifactLocation: needs uri or index"
+                        )
+                region = phys.get("region")
+                if isinstance(region, dict):
+                    start = region.get("startLine")
+                    if start is not None and (
+                        not isinstance(start, int) or start < 1
+                    ):
+                        problems.append(
+                            f"{lwhere}.region.startLine: must be int >= 1, "
+                            f"got {start!r}"
+                        )
+    return problems

@@ -1,0 +1,206 @@
+"""Seed-discipline pass: every RNG stream traces back to the run seed.
+
+PRs 1–5 enforced a convention by hand; this pass codifies it.  The
+injection-proof derivation scheme of :mod:`repro.sim.rng` only
+protects streams that are actually *derived*: a root factory built ad
+hoc, or a stream named by a raw dynamic string, reintroduces exactly
+the collision/coupling bugs ``derive_seed`` was built to kill — and a
+stream drawn from another domain couples that domain's draws to ours
+(a determinism bug here; a covert channel in the system being
+modelled).
+
+* **SEED001** — ``RngFactory(...)`` constructed outside the declared
+  seed roots (``[tool.repro.lint.domains] seed-roots``).  Everything
+  else must reach randomness via ``machine.rng.fork(...)`` /
+  ``.stream(...)`` (or ``derive_seed`` for raw child seeds), so one
+  run seed reaches every consumer.
+* **SEED002** — a module tagged with one security domain draws from a
+  stream namespace owned by another (``[tool.repro.lint.domains.streams]``
+  maps the token before the first ``:`` of a stream/fork name to its
+  owning domain).  Shared namespaces and untagged modules are exempt.
+* **SEED003** — a stream/fork name with no literal namespace prefix
+  (a bare variable, ``str(x)``, or an f-string that *starts* with a
+  placeholder), or a ``derive_seed`` call whose ``kind`` argument is
+  not a string literal.  Unprefixed dynamic names are exactly how the
+  pre-PR-1 ``f"{seed}:{name}"`` collision happened.
+
+Receivers are matched heuristically: ``.stream(...)``/``.fork(...)``
+on anything whose dotted receiver mentions ``rng``, plus locals
+assigned from a ``.fork(...)`` call.  Scripts outside the ``repro``
+package are composition roots and are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from .contract import LintContract
+from .domains import SHARED
+from .findings import Finding, SourceFile
+
+__all__ = ["check_seeds"]
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return ".".join(parts)
+    return None
+
+
+def _literal_prefix(node: ast.expr) -> Tuple[Optional[str], bool]:
+    """``(prefix, exact)`` of a stream-name argument.
+
+    A plain string constant is exact; an f-string starting with a
+    literal yields that literal as prefix; anything else is dynamic
+    (``None``).
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value, True
+    if isinstance(node, ast.JoinedStr):
+        parts = node.values
+        if parts and isinstance(parts[0], ast.Constant) and isinstance(
+            parts[0].value, str
+        ):
+            return parts[0].value, False
+        return None, False
+    return None, False
+
+
+def _name_argument(node: ast.Call, position: int, keyword: str) -> Optional[ast.expr]:
+    if len(node.args) > position:
+        return node.args[position]
+    for kw in node.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    return None
+
+
+def check_seeds(source: SourceFile, contract: LintContract) -> List[Finding]:
+    domains = contract.domains
+    module = source.module or ""
+    in_tree = module == "repro" or module.startswith("repro.")
+    if not in_tree:
+        return []
+    path = str(source.path)
+    my_domain = domains.domain_of(module)
+    crossing_root = domains.is_crossing_root(module)
+    findings: List[Finding] = []
+
+    def report(node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if not source.suppressed(line, rule):
+            findings.append(Finding(path, line, rule, message))
+
+    # locals assigned from a .fork(...) call are rng factories too
+    rng_locals: Set[str] = set()
+    for node in ast.walk(source.tree):
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and node.value.func.attr == "fork"
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    rng_locals.add(target.id)
+
+    def is_rng_receiver(receiver: ast.expr) -> bool:
+        dotted = _dotted(receiver)
+        if dotted is None:
+            return False
+        if "rng" in dotted.lower():
+            return True
+        return dotted in rng_locals
+
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        base = dotted.rsplit(".", 1)[-1] if dotted else None
+
+        # SEED001 — root factory construction
+        if base == "RngFactory" and not domains.is_seed_root(module):
+            report(
+                node,
+                "SEED001",
+                "RngFactory constructed outside the declared seed roots; "
+                "fork the machine's factory (machine.rng.fork(...)) or "
+                "derive a child seed via derive_seed so every draw "
+                "traces to the run seed",
+            )
+            continue
+
+        # SEED003 (derive_seed form) — kind must be a string literal
+        if base == "derive_seed":
+            kind = _name_argument(node, 1, "kind")
+            if kind is not None and not (
+                isinstance(kind, ast.Constant)
+                and isinstance(kind.value, str)
+            ):
+                report(
+                    node,
+                    "SEED003",
+                    "derive_seed kind argument must be a string literal: "
+                    "the literal namespace is what makes the derivation "
+                    "injection-proof",
+                )
+            continue
+
+        # stream/fork sinks
+        if not isinstance(node.func, ast.Attribute):
+            continue
+        method = node.func.attr
+        if method not in ("stream", "fork"):
+            continue
+        if not is_rng_receiver(node.func.value):
+            continue
+        name_arg = _name_argument(node, 0, "name")
+        if name_arg is None:
+            continue
+        prefix, exact = _literal_prefix(name_arg)
+        if prefix is None:
+            report(
+                node,
+                "SEED003",
+                f".{method}() name has no literal namespace prefix; "
+                "start the name with a literal token "
+                "(e.g. f\"arrivals:{tenant}\") so substreams cannot "
+                "collide across consumers",
+            )
+            continue
+        namespace = prefix.split(":", 1)[0]
+        if not namespace or (not exact and ":" not in prefix):
+            # f"fault{x}:..." — the namespace token itself is dynamic
+            report(
+                node,
+                "SEED003",
+                f".{method}() literal prefix {prefix!r} does not close "
+                "its namespace token with ':' before the first "
+                "placeholder",
+            )
+            continue
+        owner = domains.stream_domain(namespace)
+        if (
+            owner is not None
+            and owner != SHARED
+            and my_domain is not None
+            and my_domain != SHARED
+            and owner != my_domain
+            and not crossing_root
+        ):
+            report(
+                node,
+                "SEED002",
+                f"stream namespace {namespace!r} is owned by the "
+                f"{owner!r} domain but drawn from a {my_domain!r} "
+                "module; sharing one stream across domains couples "
+                "their draws",
+            )
+    return findings

@@ -1,0 +1,204 @@
+"""Suppression policy: inline pragmas and the expiring baseline.
+
+Two mechanisms, two time horizons:
+
+* **Inline pragmas** (``# lint: ignore[RULE001] reason=...`` or the
+  legacy ``# lint: allow(RULE)``) are *permanent*, reviewed-in-place
+  exceptions — a deliberate design decision sitting next to the code
+  it excuses.  A pragma that names no valid rule id is itself a
+  finding (**SUP001**): it either suppresses nothing (typo) or was
+  meant to suppress everything (never allowed).
+
+* **The baseline file** (``lint-baseline.toml`` next to
+  ``pyproject.toml``) carries *grandfathered* findings: violations
+  that existed when a rule was introduced and were consciously
+  deferred rather than fixed.  Every entry names the finding's stable
+  fingerprint, a reason, and an **expiry date** — grandfathering is a
+  loan, not a waiver.  On expiry the finding comes back as
+  **BASE001**; an entry whose finding no longer exists is **BASE002**
+  (stale baselines are how real regressions hide).
+
+Baseline entry shape::
+
+    [[entry]]
+    rule = "SEED001"
+    path = "src/repro/hw/machine.py"
+    fingerprint = "0123456789abcdef"
+    reason = "bare Machine() default; System always injects the seeded factory"
+    expires = 2027-01-01
+
+Fingerprints come from :func:`repro.lint.findings.fingerprint`
+(path + rule + message, line-number free, so baselined findings
+survive unrelated edits).  Run ``--explain-baseline`` to print the
+fingerprint of every current finding.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - 3.9/3.10 without tomli
+    tomllib = None  # type: ignore[assignment]
+
+from .findings import Finding, SourceFile, fingerprint
+
+__all__ = [
+    "BaselineEntry",
+    "Baseline",
+    "load_baseline",
+    "find_baseline",
+    "apply_baseline",
+    "pragma_findings",
+    "BASELINE_NAME",
+]
+
+BASELINE_NAME = "lint-baseline.toml"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    fingerprint: str
+    reason: str
+    expires: datetime.date
+
+
+@dataclass
+class Baseline:
+    path: Optional[Path]
+    entries: List[BaselineEntry]
+
+    def by_fingerprint(self) -> Dict[str, BaselineEntry]:
+        return {entry.fingerprint: entry for entry in self.entries}
+
+
+def find_baseline(start: Path) -> Optional[Path]:
+    """Walk up from ``start`` to the nearest ``lint-baseline.toml``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in [current, *current.parents]:
+        baseline = candidate / BASELINE_NAME
+        if baseline.exists():
+            return baseline
+    return None
+
+
+def load_baseline(path: Optional[Path]) -> Baseline:
+    """Parse the baseline file; a missing file is an empty baseline.
+
+    Malformed entries (missing reason or expiry) raise: a baseline
+    entry without an owner-visible justification and a deadline is
+    exactly the silent waiver the policy exists to prevent.
+    """
+    if path is None or not path.exists() or tomllib is None:
+        return Baseline(path=path, entries=[])
+    with path.open("rb") as handle:
+        data = tomllib.load(handle)
+    entries: List[BaselineEntry] = []
+    for raw in data.get("entry", []):
+        missing = [
+            key
+            for key in ("rule", "path", "fingerprint", "reason", "expires")
+            if key not in raw
+        ]
+        if missing:
+            raise ValueError(
+                f"{path}: baseline entry {raw.get('fingerprint', '?')!r} "
+                f"missing required key(s): {', '.join(missing)}"
+            )
+        expires = raw["expires"]
+        if isinstance(expires, datetime.datetime):
+            expires = expires.date()
+        if not isinstance(expires, datetime.date):
+            raise ValueError(
+                f"{path}: baseline entry {raw['fingerprint']!r} expires "
+                f"must be a TOML date (got {expires!r})"
+            )
+        if not str(raw["reason"]).strip():
+            raise ValueError(
+                f"{path}: baseline entry {raw['fingerprint']!r} has an "
+                "empty reason"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                fingerprint=str(raw["fingerprint"]),
+                reason=str(raw["reason"]),
+                expires=expires,
+            )
+        )
+    return Baseline(path=path, entries=entries)
+
+
+def apply_baseline(
+    findings: List[Finding],
+    baseline: Baseline,
+    today: Optional[datetime.date] = None,
+) -> Tuple[List[Finding], int]:
+    """Filter grandfathered findings; surface expired/stale entries.
+
+    Returns ``(remaining findings, suppressed count)``.  The remaining
+    list gains a **BASE001** per expired-but-still-present entry and a
+    **BASE002** per entry matching nothing.
+    """
+    if today is None:
+        today = datetime.date.today()  # lint: allow(DET001)
+    index = baseline.by_fingerprint()
+    matched: Dict[str, Finding] = {}
+    remaining: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        entry = index.get(fingerprint(finding))
+        if entry is None or entry.rule != finding.rule:
+            remaining.append(finding)
+            continue
+        matched[entry.fingerprint] = finding
+        if entry.expires < today:
+            remaining.append(
+                Finding(
+                    finding.path,
+                    finding.line,
+                    "BASE001",
+                    f"baseline entry for {entry.rule} expired "
+                    f"{entry.expires.isoformat()} but the finding is "
+                    f"still present: {finding.message}",
+                )
+            )
+        else:
+            suppressed += 1
+    baseline_path = str(baseline.path) if baseline.path else BASELINE_NAME
+    for entry in baseline.entries:
+        if entry.fingerprint not in matched:
+            remaining.append(
+                Finding(
+                    baseline_path,
+                    0,
+                    "BASE002",
+                    f"stale baseline entry {entry.fingerprint} "
+                    f"({entry.rule} in {entry.path}) matches no current "
+                    "finding; delete it",
+                )
+            )
+    return remaining, suppressed
+
+
+def pragma_findings(source: SourceFile) -> List[Finding]:
+    """SUP001 findings for malformed ignore pragmas in one file."""
+    return [
+        Finding(
+            str(source.path),
+            line,
+            "SUP001",
+            "suppression pragma names no valid rule id; write "
+            "'# lint: ignore[RULE001] reason=...'",
+        )
+        for line in source.bad_pragmas
+    ]

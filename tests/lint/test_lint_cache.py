@@ -1,0 +1,151 @@
+"""Incremental cache: correctness first (warm == cold, byte for byte),
+then effectiveness (unchanged tree == all hits) and parallel equivalence."""
+
+import json
+from pathlib import Path
+
+from repro.lint import LintCache, cache_salt, lint_paths, load_contract
+from repro.lint.analyze import analyze_files
+from repro.lint.findings import Finding
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def repo_contract():
+    return load_contract(REPO_ROOT)
+
+
+def plant_tree(tmp_path):
+    pkg = tmp_path / "repro" / "hw"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").touch()
+    (pkg / "__init__.py").touch()
+    (pkg / "clean.py").write_text("x = 1\n")
+    (pkg / "dirty.py").write_text("import time\nSTART = time.time()\n")
+    return tmp_path
+
+
+def make_cache(tmp_path, contract, passes=("determinism",)):
+    return LintCache(
+        tmp_path / "cache.json", cache_salt(contract, list(passes))
+    )
+
+
+class TestCacheStore:
+    def test_roundtrip(self, tmp_path):
+        contract = repo_contract()
+        cache = make_cache(tmp_path, contract)
+        finding = Finding("a.py", 1, "DET001", "m")
+        cache.put(Path("a.py"), "hash1", [finding], {"module": None})
+        cache.save()
+        reloaded = make_cache(tmp_path, contract)
+        got = reloaded.get(Path("a.py"), "hash1")
+        assert got is not None
+        assert got[0] == [finding]
+        assert got[1] == {"module": None}
+
+    def test_content_change_misses(self, tmp_path):
+        contract = repo_contract()
+        cache = make_cache(tmp_path, contract)
+        cache.put(Path("a.py"), "hash1", [], None)
+        assert cache.get(Path("a.py"), "hash2") is None
+
+    def test_salt_change_empties_store(self, tmp_path):
+        contract = repo_contract()
+        cache = make_cache(tmp_path, contract, passes=("determinism",))
+        cache.put(Path("a.py"), "hash1", [], None)
+        cache.save()
+        other = make_cache(tmp_path, contract, passes=("layering",))
+        assert other.get(Path("a.py"), "hash1") is None
+
+    def test_corrupt_file_tolerated(self, tmp_path):
+        (tmp_path / "cache.json").write_text("{nope")
+        cache = make_cache(tmp_path, repo_contract())
+        assert cache.get(Path("a.py"), "h") is None
+
+    def test_prune_drops_dead_entries(self, tmp_path):
+        contract = repo_contract()
+        cache = make_cache(tmp_path, contract)
+        cache.put(Path("a.py"), "h", [], None)
+        cache.put(Path("b.py"), "h", [], None)
+        cache.prune([Path("a.py")])
+        cache.save()
+        data = json.loads((tmp_path / "cache.json").read_text())
+        assert sorted(data["files"]) == ["a.py"]
+
+
+class TestCacheEffectiveness:
+    def test_second_run_all_hits_and_identical(self, tmp_path):
+        tree = plant_tree(tmp_path)
+        contract = repo_contract()
+        cache = make_cache(tmp_path, contract)
+        cold = lint_paths([tree], contract=contract, cache=cache)
+        cache.save()
+        assert cache.hits == 0 and cache.misses > 0
+
+        warm_cache = LintCache(cache.path, cache.salt)
+        warm = lint_paths([tree], contract=contract, cache=warm_cache)
+        assert warm_cache.misses == 0
+        assert warm_cache.hits == cache.misses
+        assert warm == cold
+
+    def test_edited_file_misses_alone(self, tmp_path):
+        tree = plant_tree(tmp_path)
+        contract = repo_contract()
+        cache = make_cache(tmp_path, contract)
+        lint_paths([tree], contract=contract, cache=cache)
+        cache.save()
+
+        (tree / "repro" / "hw" / "clean.py").write_text("y = 2\n")
+        warm_cache = LintCache(cache.path, cache.salt)
+        lint_paths([tree], contract=contract, cache=warm_cache)
+        assert warm_cache.misses == 1
+        assert warm_cache.hits == cache.misses - 1
+
+    def test_warm_tree_passes_still_run(self, tmp_path):
+        # SEC004 is tree-level and computed from cached facts: a warm
+        # run must still report it
+        pkg = tmp_path / "repro"
+        (pkg / "guest").mkdir(parents=True)
+        (pkg / "host").mkdir()
+        (pkg / "__init__.py").touch()
+        (pkg / "guest" / "__init__.py").touch()
+        (pkg / "guest" / "secrets.py").write_text("class GuestKey:\n    pass\n")
+        (pkg / "host" / "__init__.py").write_text(
+            'from ..guest.secrets import GuestKey\n__all__ = ["GuestKey"]\n'
+        )
+        contract = repo_contract()
+        cache = make_cache(tmp_path, contract, passes=("secflow",))
+        cold = lint_paths(
+            [tmp_path], contract=contract, passes=["secflow"], cache=cache
+        )
+        cache.save()
+        warm_cache = LintCache(cache.path, cache.salt)
+        warm = lint_paths(
+            [tmp_path],
+            contract=contract,
+            passes=["secflow"],
+            cache=warm_cache,
+        )
+        assert warm_cache.misses == 0
+        assert any(f.rule == "SEC004" for f in warm)
+        assert warm == cold
+
+
+class TestParallelEquivalence:
+    def test_jobs_two_matches_serial(self, tmp_path):
+        tree = plant_tree(tmp_path)
+        contract = repo_contract()
+        serial = lint_paths([tree], contract=contract, jobs=1)
+        parallel = lint_paths([tree], contract=contract, jobs=2)
+        assert parallel == serial
+        assert any(f.rule == "DET001" for f in serial)
+
+    def test_pool_results_in_file_order(self, tmp_path):
+        tree = plant_tree(tmp_path)
+        contract = repo_contract()
+        files = sorted(tree.rglob("*.py"))
+        results = analyze_files(
+            files, contract, ["determinism"], jobs=2
+        )
+        assert [r.path for r in results] == [str(f) for f in files]

@@ -1,0 +1,85 @@
+"""--list-rules and the generated DESIGN.md §5.1 table stay in sync."""
+
+import json
+from pathlib import Path
+
+from repro.lint.cli import main, rules_markdown
+from repro.lint.findings import RULES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BEGIN = "<!-- rules-table:begin (generated; do not edit by hand) -->"
+END = "<!-- rules-table:end -->"
+
+
+class TestRegistry:
+    def test_every_rule_fully_described(self):
+        for rule_id, rule in RULES.items():
+            assert rule.rule_id == rule_id
+            assert rule.summary.strip()
+            assert rule.guards.strip()
+            assert rule.contract.strip()
+
+    def test_new_rule_families_registered(self):
+        for rule_id in [
+            "SEC001",
+            "SEC002",
+            "SEC003",
+            "SEC004",
+            "SEED001",
+            "SEED002",
+            "SEED003",
+            "SUP001",
+            "BASE001",
+            "BASE002",
+        ]:
+            assert rule_id in RULES
+
+    def test_contract_keys_name_their_tables(self):
+        assert "domains" in RULES["SEC001"].contract
+        assert "structures" in RULES["SEC002"].contract
+        assert "seed-roots" in RULES["SEED001"].contract
+        assert "streams" in RULES["SEED002"].contract
+        assert RULES["BASE001"].contract == "lint-baseline.toml"
+
+
+class TestDesignSync:
+    def test_design_table_matches_generator(self):
+        design = (REPO_ROOT / "DESIGN.md").read_text()
+        start = design.index(BEGIN) + len(BEGIN)
+        end = design.index(END)
+        embedded = design[start:end].strip()
+        assert embedded == rules_markdown().strip(), (
+            "DESIGN.md §5.1 rule table is stale; regenerate with "
+            "`python -m repro.lint --list-rules --format markdown`"
+        )
+
+    def test_markdown_covers_every_rule(self):
+        table = rules_markdown()
+        for rule_id in RULES:
+            assert f"| {rule_id} |" in table
+
+
+class TestListRulesCli:
+    def test_text_format_lists_contract_keys(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in out
+        assert "contract:" in out
+
+    def test_json_format_round_trips(self, capsys):
+        assert main(["--list-rules", "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {row["rule"] for row in rows} == set(RULES)
+        assert all(
+            row["summary"] and row["guards"] and row["contract"]
+            for row in rows
+        )
+
+    def test_markdown_format_emits_table(self, capsys):
+        assert main(["--list-rules", "--format", "markdown"]) == 0
+        assert capsys.readouterr().out.strip() == rules_markdown().strip()
+
+    def test_markdown_without_list_rules_is_usage_error(self, tmp_path):
+        assert main([str(tmp_path), "--format", "markdown"]) == 2

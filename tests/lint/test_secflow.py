@@ -1,0 +1,315 @@
+"""SEC001–SEC004: the core-gap contract's static twin.
+
+Fixture trees recreate the ``repro`` package chain under ``tmp_path``
+so module resolution matches the real tree, then plant one violation
+per test.  The mutation test copies the *real* ``repro.hw.uarch``
+source, injects a single cross-domain read, and demands exactly one
+SEC001 — the acceptance criterion that the pass catches a realistic
+edit, not just toy fixtures.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths, load_contract
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def repo_contract():
+    contract = load_contract(REPO_ROOT)
+    assert "repro.host" in contract.domains.modules
+    return contract
+
+
+def plant(tmp_path, relpath, code):
+    parts = Path(relpath).parts
+    directory = tmp_path
+    for part in parts[:-1]:
+        directory = directory / part
+        directory.mkdir(exist_ok=True)
+        init = directory / "__init__.py"
+        if not init.exists():
+            init.touch()
+    path = directory / parts[-1]
+    path.write_text(code)
+    return path
+
+
+def lint_tree(tmp_path, rules=None):
+    return lint_paths(
+        [tmp_path], contract=repo_contract(), rules=rules
+    )
+
+
+class TestSec001CrossDomainAccess:
+    def test_annotated_parameter_access_caught(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/guest/planted.py",
+            "from repro.host.kernel import HostKernel\n"
+            "\n"
+            "def peek(kernel: HostKernel) -> int:\n"
+            "    return kernel.run_queue\n",
+        )
+        findings = lint_tree(tmp_path, rules=["SEC001"])
+        assert len(findings) == 1
+        assert findings[0].line == 4
+        assert "'host'-domain" in findings[0].message
+
+    def test_constructor_assignment_tracked(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/rmm/planted.py",
+            "from repro.host.kernel import HostKernel\n"
+            "\n"
+            "def build():\n"
+            "    k = HostKernel()\n"
+            "    return k.scheduler\n",
+        )
+        findings = lint_tree(tmp_path, rules=["SEC001"])
+        assert [f.line for f in findings] == [5]
+
+    def test_crossing_surface_symbols_exempt(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/host/planted.py",
+            "from repro.rmm.rmi import RmiInterface\n"
+            "\n"
+            "def call(rmi: RmiInterface):\n"
+            "    return rmi.data_create(0)\n",
+        )
+        assert lint_tree(tmp_path, rules=["SEC001"]) == []
+
+    def test_same_domain_access_exempt(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/host/planted.py",
+            "from repro.host.kernel import HostKernel\n"
+            "\n"
+            "def ok(kernel: HostKernel):\n"
+            "    return kernel.run_queue\n",
+        )
+        assert lint_tree(tmp_path, rules=["SEC001"]) == []
+
+    def test_crossing_root_module_exempt(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/experiments/planted.py",
+            "from repro.host.kernel import HostKernel\n"
+            "\n"
+            "def harness(kernel: HostKernel):\n"
+            "    return kernel.run_queue\n",
+        )
+        assert lint_tree(tmp_path, rules=["SEC001"]) == []
+
+    def test_optional_annotation_unwrapped(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/guest/planted.py",
+            "from typing import Optional\n"
+            "from repro.rmm.monitor import Monitor\n"
+            "\n"
+            "def touch(m: Optional[Monitor]):\n"
+            "    return m.realms\n",
+        )
+        findings = lint_tree(tmp_path, rules=["SEC001"])
+        assert [f.line for f in findings] == [5]
+
+    def test_pragma_suppresses(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/guest/planted.py",
+            "from repro.host.kernel import HostKernel\n"
+            "\n"
+            "def peek(kernel: HostKernel) -> int:\n"
+            "    return kernel.run_queue"
+            "  # lint: ignore[SEC001] reason=test fixture\n",
+        )
+        assert lint_tree(tmp_path, rules=["SEC001"]) == []
+
+
+class TestSec001Mutation:
+    """Acceptance criterion: one injected cross-domain read in a copy
+    of the real repro.hw.uarch yields exactly one SEC001."""
+
+    def test_injected_read_yields_exactly_one_sec001(self, tmp_path):
+        original = (REPO_ROOT / "src/repro/hw/uarch.py").read_text()
+        mutated = original + (
+            "\n\nfrom repro.host.kernel import HostKernel\n"
+            "\n\ndef _leak(kernel: HostKernel) -> int:\n"
+            "    return kernel.run_queue\n"
+        )
+        plant(tmp_path, "repro/hw/uarch.py", mutated)
+        findings = lint_tree(tmp_path, rules=["SEC001"])
+        assert len(findings) == 1
+        assert findings[0].rule == "SEC001"
+        assert findings[0].path.endswith("uarch.py")
+
+    def test_unmutated_copy_is_sec_clean(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/hw/uarch.py",
+            (REPO_ROOT / "src/repro/hw/uarch.py").read_text(),
+        )
+        findings = lint_tree(
+            tmp_path, rules=["SEC001", "SEC002", "SEC003", "SEC004"]
+        )
+        assert findings == []
+
+
+class TestSec002StructureDeclarations:
+    def test_undeclared_uarch_structure_caught(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/hw/planted.py",
+            "class PrefetchBuffer:\n"
+            "    def domains_present(self):\n"
+            "        return set()\n",
+        )
+        findings = lint_tree(tmp_path, rules=["SEC002"])
+        assert len(findings) == 1
+        assert "PrefetchBuffer" in findings[0].message
+
+    def test_declared_structure_passes(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/hw/tlb.py",
+            "class Tlb:\n"
+            "    def domains_present(self):\n"
+            "        return set()\n",
+        )
+        assert lint_tree(tmp_path, rules=["SEC002"]) == []
+
+    def test_non_hw_class_ignored(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/guest/planted.py",
+            "class Whatever:\n"
+            "    def domains_present(self):\n"
+            "        return set()\n",
+        )
+        assert lint_tree(tmp_path, rules=["SEC002"]) == []
+
+
+class TestSec003CallbackCapture:
+    def test_nested_function_capture_caught(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/host/planted.py",
+            "from repro.guest.vcpu import GuestVcpu\n"
+            "\n"
+            "def arm(sim, vcpu: GuestVcpu):\n"
+            "    def fire():\n"
+            "        vcpu.kick()\n"
+            "    sim.schedule(10, fire)\n",
+        )
+        findings = lint_tree(tmp_path, rules=["SEC003"])
+        assert [f.line for f in findings] == [6]
+        assert "'guest'-domain" in findings[0].message
+
+    def test_lambda_capture_caught(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/host/planted.py",
+            "from repro.guest.vcpu import GuestVcpu\n"
+            "\n"
+            "def arm(sim, vcpu: GuestVcpu):\n"
+            "    sim.call_soon(lambda: vcpu.kick())\n",
+        )
+        findings = lint_tree(tmp_path, rules=["SEC003"])
+        assert [f.line for f in findings] == [4]
+
+    def test_constant_case_import_exempt(self, tmp_path):
+        # VTIMER_VIRQ-style ABI constants are immutable shared values,
+        # not live domain state (the real host/kvm.py relies on this)
+        plant(
+            tmp_path,
+            "repro/host/planted.py",
+            "from repro.guest.vcpu import VTIMER_VIRQ\n"
+            "\n"
+            "def arm(sim, inject):\n"
+            "    def fire():\n"
+            "        inject(VTIMER_VIRQ)\n"
+            "    sim.schedule(10, fire)\n",
+        )
+        assert lint_tree(tmp_path, rules=["SEC003"]) == []
+
+    def test_shared_domain_capture_exempt(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/host/planted.py",
+            "from repro.hw.cache import SetAssociativeCache\n"
+            "\n"
+            "def arm(sim, cache: SetAssociativeCache):\n"
+            "    sim.schedule(10, lambda: cache.flush())\n",
+        )
+        assert lint_tree(tmp_path, rules=["SEC003"]) == []
+
+
+class TestSec004ReexportLaundering:
+    def test_direct_reexport_caught(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/guest/secrets.py",
+            "class GuestKey:\n    pass\n",
+        )
+        plant(
+            tmp_path,
+            "repro/host/__init__.py",
+            "from ..guest.secrets import GuestKey\n"
+            '__all__ = ["GuestKey"]\n',
+        )
+        findings = lint_tree(tmp_path, rules=["SEC004"])
+        assert len(findings) == 1
+        assert findings[0].line == 1
+        assert "'guest'-domain" in findings[0].message
+
+    def test_chain_chased_through_shim(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/guest/secrets.py",
+            "class GuestKey:\n    pass\n",
+        )
+        plant(
+            tmp_path,
+            "repro/hw/shim.py",
+            "from repro.guest.secrets import GuestKey\n",
+        )
+        plant(
+            tmp_path,
+            "repro/host/__init__.py",
+            "from ..hw.shim import GuestKey\n"
+            '__all__ = ["GuestKey"]\n',
+        )
+        findings = lint_tree(tmp_path, rules=["SEC004"])
+        assert len(findings) == 1
+        assert "repro.guest.secrets" in findings[0].message
+
+    def test_same_domain_reexport_fine(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/host/kernel2.py",
+            "class HostThing:\n    pass\n",
+        )
+        plant(
+            tmp_path,
+            "repro/host/__init__.py",
+            "from .kernel2 import HostThing\n"
+            '__all__ = ["HostThing"]\n',
+        )
+        assert lint_tree(tmp_path, rules=["SEC004"]) == []
+
+    def test_pragma_on_import_line_suppresses(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/guest/secrets.py",
+            "class GuestKey:\n    pass\n",
+        )
+        plant(
+            tmp_path,
+            "repro/host/__init__.py",
+            "from ..guest.secrets import GuestKey"
+            "  # lint: ignore[SEC004] reason=test fixture\n"
+            '__all__ = ["GuestKey"]\n',
+        )
+        assert lint_tree(tmp_path, rules=["SEC004"]) == []

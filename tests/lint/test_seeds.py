@@ -1,0 +1,198 @@
+"""SEED001–SEED003: seed-discipline pass."""
+
+from pathlib import Path
+
+from repro.lint import DomainContract, LintContract, lint_paths, load_contract
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def repo_contract():
+    contract = load_contract(REPO_ROOT)
+    assert "repro.sim.rng" in contract.domains.seed_roots
+    return contract
+
+
+def plant(tmp_path, relpath, code):
+    parts = Path(relpath).parts
+    directory = tmp_path
+    for part in parts[:-1]:
+        directory = directory / part
+        directory.mkdir(exist_ok=True)
+        init = directory / "__init__.py"
+        if not init.exists():
+            init.touch()
+    (directory / parts[-1]).write_text(code)
+
+
+def lint_tree(tmp_path, contract=None, rules=None):
+    return lint_paths(
+        [tmp_path],
+        contract=contract or repo_contract(),
+        passes=["seeds"],
+        rules=rules,
+    )
+
+
+class TestSeed001RootFactories:
+    def test_factory_outside_seed_roots_caught(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/guest/planted.py",
+            "from repro.sim.rng import RngFactory\n"
+            "\n"
+            "rng = RngFactory(7)\n",
+        )
+        findings = lint_tree(tmp_path, rules=["SEED001"])
+        assert [f.line for f in findings] == [3]
+
+    def test_factory_inside_seed_root_fine(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/experiments/system.py",
+            "from repro.sim.rng import RngFactory\n"
+            "\n"
+            "def build(seed):\n"
+            "    return RngFactory(seed)\n",
+        )
+        assert lint_tree(tmp_path, rules=["SEED001"]) == []
+
+    def test_non_repro_scripts_exempt(self, tmp_path):
+        plant(
+            tmp_path,
+            "scratch.py",
+            "from repro.sim.rng import RngFactory\n"
+            "rng = RngFactory(0)\n",
+        )
+        assert lint_tree(tmp_path, rules=["SEED001"]) == []
+
+
+class TestSeed002ForeignStreams:
+    def contract(self):
+        return LintContract(
+            domains=DomainContract(
+                streams={"hostsched": "host", "arrivals": "shared"},
+            )
+        )
+
+    def test_foreign_namespace_caught(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/guest/planted.py",
+            "def draw(machine):\n"
+            '    return machine.rng.stream("hostsched:ticks")\n',
+        )
+        findings = lint_tree(
+            tmp_path, contract=self.contract(), rules=["SEED002"]
+        )
+        assert [f.line for f in findings] == [2]
+        assert "'host'" in findings[0].message
+
+    def test_own_namespace_fine(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/host/planted.py",
+            "def draw(machine):\n"
+            '    return machine.rng.stream("hostsched:ticks")\n',
+        )
+        assert (
+            lint_tree(tmp_path, contract=self.contract(), rules=["SEED002"])
+            == []
+        )
+
+    def test_shared_namespace_fine(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/guest/planted.py",
+            "def draw(machine):\n"
+            '    return machine.rng.stream(f"arrivals:{0}")\n',
+        )
+        assert (
+            lint_tree(tmp_path, contract=self.contract(), rules=["SEED002"])
+            == []
+        )
+
+
+class TestSeed003LiteralPrefixes:
+    def test_bare_variable_name_caught(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/guest/planted.py",
+            "def draw(machine, name):\n"
+            "    return machine.rng.stream(name)\n",
+        )
+        findings = lint_tree(tmp_path, rules=["SEED003"])
+        assert [f.line for f in findings] == [2]
+
+    def test_fstring_leading_placeholder_caught(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/guest/planted.py",
+            "def draw(machine, tenant):\n"
+            '    return machine.rng.stream(f"{tenant}:arrivals")\n',
+        )
+        findings = lint_tree(tmp_path, rules=["SEED003"])
+        assert [f.line for f in findings] == [2]
+
+    def test_fstring_open_namespace_token_caught(self, tmp_path):
+        # f"fault{i}:x" — the namespace token itself is partly dynamic
+        plant(
+            tmp_path,
+            "repro/guest/planted.py",
+            "def draw(machine, i):\n"
+            '    return machine.rng.stream(f"fault{i}:x")\n',
+        )
+        findings = lint_tree(tmp_path, rules=["SEED003"])
+        assert [f.line for f in findings] == [2]
+
+    def test_fstring_closed_namespace_fine(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/guest/planted.py",
+            "def draw(machine, tenant):\n"
+            '    return machine.rng.stream(f"arrivals:{tenant}")\n',
+        )
+        assert lint_tree(tmp_path, rules=["SEED003"]) == []
+
+    def test_plain_literal_fine(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/guest/planted.py",
+            "def draw(machine):\n"
+            '    return machine.rng.fork("fault")\n',
+        )
+        assert lint_tree(tmp_path, rules=["SEED003"]) == []
+
+    def test_forked_local_is_tracked_as_rng(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/guest/planted.py",
+            "def draw(machine, name):\n"
+            '    child = machine.rng.fork("fault")\n'
+            "    return child.stream(name)\n",
+        )
+        findings = lint_tree(tmp_path, rules=["SEED003"])
+        assert [f.line for f in findings] == [3]
+
+    def test_derive_seed_dynamic_kind_caught(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/guest/planted.py",
+            "from repro.sim.rng import derive_seed\n"
+            "\n"
+            "def child(seed, kind):\n"
+            "    return derive_seed(seed, kind)\n",
+        )
+        findings = lint_tree(tmp_path, rules=["SEED003"])
+        assert [f.line for f in findings] == [4]
+
+    def test_derive_seed_literal_kind_fine(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/guest/planted.py",
+            "from repro.sim.rng import derive_seed\n"
+            "\n"
+            "def child(seed):\n"
+            '    return derive_seed(seed, "arrivals")\n',
+        )
+        assert lint_tree(tmp_path, rules=["SEED003"]) == []

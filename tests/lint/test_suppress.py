@@ -1,0 +1,202 @@
+"""Suppression policy: pragmas, fingerprints, and the expiring baseline."""
+
+import datetime
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+from repro.lint.findings import Finding, fingerprint
+from repro.lint.suppress import (
+    Baseline,
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+)
+
+TODAY = datetime.date(2026, 6, 1)
+
+
+def write(tmp_path, name, code):
+    path = tmp_path / name
+    path.write_text(code)
+    return path
+
+
+def entry_for(finding, expires, rule=None):
+    return BaselineEntry(
+        rule=rule or finding.rule,
+        path=finding.path,
+        fingerprint=fingerprint(finding),
+        reason="test",
+        expires=expires,
+    )
+
+
+class TestFingerprint:
+    def test_line_number_free(self):
+        a = Finding("src/repro/hw/x.py", 10, "DET001", "msg")
+        b = Finding("src/repro/hw/x.py", 99, "DET001", "msg")
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_absolute_and_relative_paths_agree(self):
+        a = Finding("/root/repo/src/repro/hw/x.py", 1, "DET001", "msg")
+        b = Finding("src/repro/hw/x.py", 1, "DET001", "msg")
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_rule_and_message_distinguish(self):
+        base = Finding("src/x.py", 1, "DET001", "msg")
+        assert fingerprint(base) != fingerprint(
+            Finding("src/x.py", 1, "DET002", "msg")
+        )
+        assert fingerprint(base) != fingerprint(
+            Finding("src/x.py", 1, "DET001", "other")
+        )
+
+
+class TestPragmas:
+    def test_ignore_with_reason_suppresses(self, tmp_path):
+        path = write(
+            tmp_path,
+            "planted.py",
+            "import time\n"
+            "START = time.time()  # lint: ignore[DET001] reason=calibration\n",
+        )
+        assert lint_paths([path]) == []
+
+    def test_ignore_without_rule_id_is_sup001(self, tmp_path):
+        path = write(tmp_path, "planted.py", "x = 1  # lint: ignore\n")
+        findings = lint_paths([path])
+        assert [f.rule for f in findings] == ["SUP001"]
+        assert findings[0].line == 1
+
+    def test_ignore_with_invalid_rule_id_is_sup001(self, tmp_path):
+        path = write(
+            tmp_path, "planted.py", "x = 1  # lint: ignore[BOGUS]\n"
+        )
+        findings = lint_paths([path])
+        assert [f.rule for f in findings] == ["SUP001"]
+
+    def test_legacy_allow_still_works(self, tmp_path):
+        path = write(
+            tmp_path,
+            "planted.py",
+            "import time\nSTART = time.time()  # lint: allow(DET001)\n",
+        )
+        assert lint_paths([path]) == []
+
+
+class TestBaseline:
+    def finding(self):
+        return Finding("src/repro/hw/machine.py", 41, "SEED001", "planted")
+
+    def test_active_entry_suppresses(self):
+        f = self.finding()
+        baseline = Baseline(
+            path=None, entries=[entry_for(f, datetime.date(2027, 1, 1))]
+        )
+        remaining, suppressed = apply_baseline([f], baseline, today=TODAY)
+        assert remaining == []
+        assert suppressed == 1
+
+    def test_expired_entry_becomes_base001(self):
+        f = self.finding()
+        baseline = Baseline(
+            path=None, entries=[entry_for(f, datetime.date(2026, 1, 1))]
+        )
+        remaining, suppressed = apply_baseline([f], baseline, today=TODAY)
+        assert suppressed == 0
+        assert [r.rule for r in remaining] == ["BASE001"]
+        assert remaining[0].line == f.line
+
+    def test_stale_entry_becomes_base002(self):
+        f = self.finding()
+        baseline = Baseline(
+            path=Path("lint-baseline.toml"),
+            entries=[entry_for(f, datetime.date(2027, 1, 1))],
+        )
+        remaining, suppressed = apply_baseline([], baseline, today=TODAY)
+        assert suppressed == 0
+        assert [r.rule for r in remaining] == ["BASE002"]
+        assert f.path in remaining[0].message
+
+    def test_rule_mismatch_does_not_suppress(self):
+        f = self.finding()
+        wrong = BaselineEntry(
+            rule="DET001",
+            path=f.path,
+            fingerprint=fingerprint(f),
+            reason="test",
+            expires=datetime.date(2027, 1, 1),
+        )
+        baseline = Baseline(path=None, entries=[wrong])
+        remaining, suppressed = apply_baseline([f], baseline, today=TODAY)
+        assert suppressed == 0
+        # the finding survives AND the entry is stale
+        assert sorted(r.rule for r in remaining) == ["BASE002", "SEED001"]
+
+
+class TestBaselineFile:
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = load_baseline(tmp_path / "lint-baseline.toml")
+        assert baseline.entries == []
+
+    def write_baseline(self, tmp_path, body):
+        path = tmp_path / "lint-baseline.toml"
+        path.write_text(body)
+        return path
+
+    def test_well_formed_entry_parses(self, tmp_path):
+        path = self.write_baseline(
+            tmp_path,
+            '[[entry]]\nrule = "SEED001"\npath = "src/x.py"\n'
+            'fingerprint = "abcd"\nreason = "legacy"\n'
+            "expires = 2027-01-01\n",
+        )
+        baseline = load_baseline(path)
+        assert len(baseline.entries) == 1
+        assert baseline.entries[0].expires == datetime.date(2027, 1, 1)
+
+    def test_missing_reason_rejected(self, tmp_path):
+        path = self.write_baseline(
+            tmp_path,
+            '[[entry]]\nrule = "SEED001"\npath = "src/x.py"\n'
+            'fingerprint = "abcd"\nexpires = 2027-01-01\n',
+        )
+        with pytest.raises(ValueError, match="missing required key"):
+            load_baseline(path)
+
+    def test_empty_reason_rejected(self, tmp_path):
+        path = self.write_baseline(
+            tmp_path,
+            '[[entry]]\nrule = "SEED001"\npath = "src/x.py"\n'
+            'fingerprint = "abcd"\nreason = "  "\n'
+            "expires = 2027-01-01\n",
+        )
+        with pytest.raises(ValueError, match="empty reason"):
+            load_baseline(path)
+
+    def test_string_expiry_rejected(self, tmp_path):
+        path = self.write_baseline(
+            tmp_path,
+            '[[entry]]\nrule = "SEED001"\npath = "src/x.py"\n'
+            'fingerprint = "abcd"\nreason = "legacy"\n'
+            'expires = "2027-01-01"\n',
+        )
+        with pytest.raises(ValueError, match="TOML date"):
+            load_baseline(path)
+
+
+class TestRepoBaseline:
+    """The checked-in baseline itself obeys the policy."""
+
+    REPO_ROOT = Path(__file__).resolve().parents[2]
+
+    def test_repo_baseline_parses_and_is_unexpired(self):
+        baseline = load_baseline(self.REPO_ROOT / "lint-baseline.toml")
+        assert baseline.entries, "repo baseline should carry entries"
+        for entry in baseline.entries:
+            assert entry.expires >= datetime.date(2026, 8, 7), (
+                f"baseline entry {entry.fingerprint} expired "
+                f"{entry.expires}: fix the finding or renew deliberately"
+            )
