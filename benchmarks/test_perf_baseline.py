@@ -128,3 +128,71 @@ def test_suite_parallel_speedup():
     }
     if cpus >= 4:
         assert speedup >= 2.0, f"parallel speedup collapsed: {speedup:.2f}x"
+
+
+def test_snapshot_fork_vs_reboot():
+    """Fork one booted rack into N variants vs N from-scratch boots.
+
+    The boot prefix (realm build, REC binding, device attach, client
+    wiring) is what ``fork_map`` amortizes; the serve phase is paid
+    either way.  Recorded as boot-amortization speedup: (boot+serve)*N
+    from scratch vs boot once + N copy-on-write forks.
+    """
+    from repro.experiments.config import SystemConfig
+    from repro.fleet import ScenarioSpec, boot_server, place, redis_tenant, uniform_rack
+    from repro.snap import can_fork, fork_map
+
+    if not can_fork():
+        RESULTS["snap"] = {"note": "os.fork unavailable; not measured"}
+        pytest.skip("os.fork unavailable on this platform")
+
+    spec = ScenarioSpec(
+        servers=uniform_rack(1, SystemConfig(mode="gapped", n_cores=8), seed=1),
+        tenants=(
+            redis_tenant("acme", n_vcpus=3, rate_rps=6000.0),
+            redis_tenant("bravo", n_vcpus=3, rate_rps=4000.0),
+        ),
+        duration_ns=int(ms(10)),
+        seed=1,
+    )
+    n_variants = 4
+    serve_ns = [int(ms(2)) * (i + 1) for i in range(n_variants)]
+
+    def boot():
+        server = boot_server(spec, place(spec), 0)
+        for client in server.clients:
+            client.start(spec.duration_ns)
+        return server
+
+    def reboot_all():
+        digests = []
+        for duration in serve_ns:
+            server = boot()
+            server.system.run_for(duration)
+            digests.append(server.system.state_digest())
+        return digests
+
+    def fork_all():
+        server = boot()
+
+        def variant(duration):
+            server.system.run_for(duration)
+            return server.system.state_digest()
+
+        return fork_map(serve_ns, variant)
+
+    assert fork_all() == reboot_all()  # warm-up doubles as correctness
+
+    reboot_s = _best_of(reboot_all, repeats=3)
+    fork_s = _best_of(fork_all, repeats=3)
+    speedup = reboot_s / fork_s
+    RESULTS["snap"] = {
+        "variants": n_variants,
+        "reboot_seconds": round(reboot_s, 4),
+        "fork_seconds": round(fork_s, 4),
+        "fork_vs_reboot_speedup": round(speedup, 3),
+    }
+    # forking must at least not cost more than rebooting; the real
+    # margin scales with boot cost, which is modest at this size, so
+    # the floor is deliberately loose against CI scheduler noise
+    assert speedup >= 1.0, f"fork slower than reboot: {speedup:.3f}x"

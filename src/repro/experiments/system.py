@@ -339,6 +339,20 @@ class System:
             if key.startswith("exit:") or key == "exits_total"
         }
 
+    def capture_state(self, extra: Optional[Dict] = None) -> Dict:
+        """Canonical snapshot capture of this system's live state
+        (:func:`repro.snap.capture_system`)."""
+        from ..snap import capture_system  # lazy: snap is optional here
+
+        return capture_system(self, extra=extra)
+
+    def state_digest(self, extra: Optional[Dict] = None) -> str:
+        """sha256 over :meth:`capture_state` — two systems in the same
+        state have the same digest, bit-for-bit."""
+        from ..snap import capture_digest
+
+        return capture_digest(self.capture_state(extra))
+
     def finish(self) -> None:
         self.machine.finish_tracing()
         self._harvest_gauges()

@@ -27,7 +27,7 @@ Fault sites (and the hook each attach method installs):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..rmm.rmi import RmiResult, RmiStatus
 from ..sim.rng import RngFactory
@@ -51,6 +51,9 @@ class FaultInjector:
             for index, spec in enumerate(plan.specs)
         }
         self._gic = None
+        #: undo closures, one per installed hook, so :meth:`detach_all`
+        #: can model "the faulty machine was replaced" after a restore
+        self._attached: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     # decision machinery
@@ -87,6 +90,7 @@ class FaultInjector:
     def attach_gic(self, gic) -> None:
         self._gic = gic
         gic.sgi_fault_hook = self._sgi_hook
+        self._attached.append(lambda: setattr(gic, "sgi_fault_hook", None))
 
     def _sgi_hook(self, target_core: int, intid: int) -> Optional[List[int]]:
         for index, spec in self.plan.of_kind(
@@ -109,6 +113,7 @@ class FaultInjector:
 
     def attach_port(self, port) -> None:
         port.completion_fault = self._completion_hook
+        self._attached.append(lambda: setattr(port, "completion_fault", None))
 
     def _completion_hook(self, port, result) -> Tuple[int, object]:
         for index, spec in self.plan.of_kind(
@@ -136,6 +141,7 @@ class FaultInjector:
 
     def attach_notifier(self, notifier) -> None:
         notifier.stall_hook = self._wakeup_stall_hook
+        self._attached.append(lambda: setattr(notifier, "stall_hook", None))
 
     def _wakeup_stall_hook(self) -> int:
         total = 0
@@ -147,6 +153,9 @@ class FaultInjector:
 
     def attach_kernel(self, kernel) -> None:
         kernel.fault_hooks["hotplug"] = self._hotplug_hook
+        self._attached.append(
+            lambda: kernel.fault_hooks.pop("hotplug", None)
+        )
 
     def _hotplug_hook(self, direction: str, core_index: int) -> bool:
         for index, spec in self.plan.of_kind(FaultKind.HOTPLUG_ABORT):
@@ -160,6 +169,9 @@ class FaultInjector:
 
     def attach_device(self, backend) -> None:
         backend.completion_fault_hook = self._virtio_hook
+        self._attached.append(
+            lambda: setattr(backend, "completion_fault_hook", None)
+        )
 
     def _virtio_hook(self, kind: str, vcpu_idx: int, request) -> int:
         total = 0
@@ -184,4 +196,21 @@ class FaultInjector:
             core.fail_after_runs = (
                 spec.after_runs if spec.after_runs is not None else 0
             )
+            self._attached.append(
+                lambda core=core: setattr(core, "fail_after_runs", None)
+            )
             self._record(index, spec)
+
+    # ------------------------------------------------------------------
+
+    def detach_all(self) -> None:
+        """Uninstall every hook and disarm pending core stalls.
+
+        The recovery supervisor calls this after replaying a restored
+        server to its checkpoint: the restored run is the same machine
+        with the faulty part replaced, so already-injected faults stay
+        in history but no new ones fire.  Idempotent.
+        """
+        for undo in self._attached:
+            undo()
+        self._attached.clear()

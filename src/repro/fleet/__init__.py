@@ -16,10 +16,23 @@ one-off experiments:
   percentiles and SLO-violation accounting;
 * **sweep** (:mod:`repro.fleet.sweep`) -- the ``fleet`` runner sweep:
   shared vs gapped racks across consolidation levels, one
-  digest-deterministic cell per simulated server.
+  digest-deterministic cell per simulated server;
+* **recovery** (:mod:`repro.fleet.recovery`) -- the checkpoint/restore
+  supervisor: periodic :mod:`repro.snap` checkpoints during serving,
+  verified restore + fault detach when a server dies, and SLO-honest
+  recovery accounting across the restore boundary.
 """
 
 from .placement import FleetAdmissionError, Placement, place, server_capacity
+from .recovery import (
+    RecoveryError,
+    RecoveryPolicy,
+    RecoveryReport,
+    RestoreEvent,
+    audit_server,
+    build_recoverable_server,
+    run_server_with_recovery,
+)
 from .scenario import (
     BootedServer,
     BootedVm,
@@ -29,7 +42,9 @@ from .scenario import (
     boot_scenario,
     boot_server,
     boot_vm,
+    drain_and_finish,
     run_server,
+    tenant_results,
 )
 from .spec import (
     DeviceSpec,
@@ -53,21 +68,29 @@ __all__ = [
     "FleetSweepResult",
     "OpenLoopClient",
     "Placement",
+    "RecoveryError",
+    "RecoveryPolicy",
+    "RecoveryReport",
+    "RestoreEvent",
     "ScenarioSpec",
     "TenantResult",
     "TenantSpec",
     "TenantStats",
     "TrafficSpec",
     "VmSpec",
+    "audit_server",
     "boot_scenario",
     "boot_server",
     "boot_vm",
+    "build_recoverable_server",
     "consolidation_scenario",
+    "drain_and_finish",
     "fleet_cells",
     "place",
     "redis_tenant",
     "run_fleet",
     "run_server",
+    "run_server_with_recovery",
     "server_capacity",
-    "uniform_rack",
+    "tenant_results",
 ]

@@ -37,6 +37,8 @@ __all__ = [
     "boot_vm",
     "boot_server",
     "run_server",
+    "drain_and_finish",
+    "tenant_results",
     "boot_scenario",
 ]
 
@@ -235,6 +237,14 @@ def run_server(server: BootedServer, spec: ScenarioSpec) -> List[TenantResult]:
     for client in server.clients:
         client.start(spec.duration_ns)
     system.run_for(spec.duration_ns)
+    drain_and_finish(server, spec)
+    return tenant_results(server)
+
+
+def drain_and_finish(server: BootedServer, spec: ScenarioSpec) -> None:
+    """The post-serving tail shared with the recovery supervisor: bounded
+    drain, ``System.finish``, and the offered/dropped gauges."""
+    system = server.system
     if server.clients and spec.drain_ns > 0:
         try:
             system.run_until(
@@ -251,6 +261,11 @@ def run_server(server: BootedServer, spec: ScenarioSpec) -> List[TenantResult]:
     metrics.gauge("fleet_dropped_count").set(
         sum(client.stats.dropped for client in server.clients)
     )
+
+
+def tenant_results(server: BootedServer) -> List[TenantResult]:
+    """Per-tenant outcomes from a served (finished) server."""
+    system = server.system
     results: List[TenantResult] = []
     for client in server.clients:
         stats = client.stats

@@ -36,6 +36,10 @@ class TenantStats:
     issued: int = 0
     completed: int = 0
     latencies_ns: List[int] = field(default_factory=list)
+    #: completion timestamp of each reply, aligned with latencies_ns --
+    #: the recovery supervisor uses these to attribute completions that
+    #: landed inside a restore window to recovery downtime
+    completed_at_ns: List[int] = field(default_factory=list)
     slo_late: int = 0
     started_at: int = 0
     stopped_at: int = 0
@@ -142,6 +146,7 @@ class OpenLoopClient:
         stats = self.stats
         stats.completed += 1
         stats.latencies_ns.append(latency_ns)
+        stats.completed_at_ns.append(self.sim.now)
         stats.finished_at = self.sim.now
         metrics = self.system.metrics
         metrics.counter("fleet_request_count").inc()

@@ -9,7 +9,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..sim.engine import Simulator
-from ..sim.rng import RngFactory
+from ..sim.rng import RngFactory, bare_factory
 from ..sim.trace import Tracer
 from .cache import SetAssociativeCache
 from .core import PhysicalCore
@@ -38,7 +38,7 @@ class Machine:
         self.topology = topology
         self.sim = sim or Simulator()
         self.tracer = tracer or Tracer(enabled=True)
-        self.rng = rng or RngFactory(0)
+        self.rng = rng if rng is not None else bare_factory("hw.machine")
         self.pollution_costs = pollution_costs or PollutionCosts()
         self.gic = Gic(
             self.sim,

@@ -32,6 +32,7 @@ from .layering import check_layering
 from .obs import check_obs
 from .secflow import check_secflow, extract_facts
 from .seeds import check_seeds
+from .snapcov import check_snapcov
 from .suppress import pragma_findings
 from .units import check_units
 
@@ -46,6 +47,7 @@ STATIC_PASSES: Dict[
     "obs": check_obs,
     "secflow": check_secflow,
     "seeds": check_seeds,
+    "snapcov": check_snapcov,
 }
 
 

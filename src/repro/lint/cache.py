@@ -47,14 +47,19 @@ def content_hash(data: bytes) -> str:
 
 
 def cache_salt(contract: LintContract, passes: Sequence[str]) -> str:
-    payload = json.dumps(
-        {
-            "version": LINT_CACHE_VERSION,
-            "contract": contract.digest(),
-            "passes": sorted(passes),
-        },
-        sort_keys=True,
-    )
+    salt = {
+        "version": LINT_CACHE_VERSION,
+        "contract": contract.digest(),
+        "passes": sorted(passes),
+    }
+    if "snapcov" in passes:
+        # the snapshot-coverage registry is contract for SNAP001/2 but
+        # lives in code, not pyproject; fold it in so editing coverage
+        # invalidates cached verdicts for every registered class
+        from ..snap.fields import registry_digest
+
+        salt["snapcov-registry"] = registry_digest()
+    payload = json.dumps(salt, sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

@@ -203,6 +203,21 @@ RULES: Dict[str, Rule] = {
             "pre-derive_seed collision class",
         ),
         Rule(
+            "SNAP001",
+            "live attribute of a registered class lacks snapshot coverage",
+            "checkpoint/restore: every attribute of a registered class "
+            "is captured or excluded deliberately, so snapshots cannot "
+            "silently stop covering new state",
+            "repro.snap.fields SNAP_FIELDS",
+        ),
+        Rule(
+            "SNAP002",
+            "stale snapshot-coverage entry (attribute or class is gone)",
+            "checkpoint/restore: dead registry entries mask the next "
+            "real coverage drift and must be deleted",
+            "repro.snap.fields SNAP_FIELDS",
+        ),
+        Rule(
             "SUP001",
             "malformed suppression pragma (ignore without a rule id)",
             "suppression policy: every ignore names its rule(s) and "

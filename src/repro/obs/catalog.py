@@ -109,6 +109,33 @@ CATALOG: List[MetricSpec] = [
         Unit.COUNT,
         "requests still unanswered when the scenario ended",
     ),
+    # -- checkpoint/restore (repro.snap + fleet recovery supervisor) ---
+    MetricSpec(
+        "snap_checkpoint_count",
+        "gauge",
+        Unit.COUNT,
+        "checkpoints taken by the recovery supervisor",
+    ),
+    MetricSpec(
+        "fleet_restore_count",
+        "gauge",
+        Unit.COUNT,
+        "restores performed after server failures",
+    ),
+    MetricSpec(
+        "fleet_recovery_downtime_ns",
+        "gauge",
+        Unit.NS,
+        "simulated time lost to failures (checkpoint to failure, plus "
+        "the modelled restore penalty)",
+    ),
+    MetricSpec(
+        "fleet_recovery_slo_violation_count",
+        "gauge",
+        Unit.COUNT,
+        "completions attributed to recovery windows and charged "
+        "against tenant SLOs",
+    ),
     # -- end-of-run structural gauges (harvested by System.finish) -----
     MetricSpec(
         "gic_sgi_sent_count", "gauge", Unit.COUNT, "SGIs (IPIs) sent"

@@ -18,7 +18,7 @@ import hashlib
 import random
 from typing import Dict
 
-__all__ = ["RngFactory", "derive_seed"]
+__all__ = ["RngFactory", "bare_factory", "derive_seed"]
 
 
 def derive_seed(root_seed: int, kind: str, name: str) -> int:
@@ -55,3 +55,16 @@ class RngFactory:
     def fork(self, name: str) -> "RngFactory":
         """Derive a child factory with an independent seed space."""
         return RngFactory(derive_seed(self.seed, "fork", name))
+
+
+def bare_factory(consumer: str) -> RngFactory:
+    """A default factory for components constructed without one.
+
+    Bare construction (``Machine()`` in a unit test, with no experiment
+    harness threading the run seed through) still needs deterministic
+    draws.  Deriving the seed here -- inside the declared seed root,
+    under the ``bare-root`` namespace -- keeps SEED001's guarantee
+    intact: every root factory in the tree is created by a seed root,
+    and two bare consumers never share a seed by accident.
+    """
+    return RngFactory(derive_seed(0, "bare-root", consumer))

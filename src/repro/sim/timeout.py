@@ -94,15 +94,33 @@ class RetryPolicy:
     wait uses ``first_timeout_ns`` and each retry doubles it (capped at
     ``max_timeout_ns``), for ``max_retries`` retries after the initial
     attempt.
+
+    With ``jitter > 0`` each yielded wait is stretched by a uniform
+    draw in ``[0, jitter]`` of itself (full additive jitter, so waits
+    never shrink below the deterministic schedule).  The draws come
+    from a ``random.Random`` stream handed in by the caller -- obtained
+    from the machine's :class:`~repro.sim.rng.RngFactory` under a
+    ``retry:``-prefixed name -- so jittered schedules replay
+    bit-identically and never couple to another consumer's stream.
+    ``timeout_for`` stays pure (no draws); only ``timeouts()`` applies
+    jitter, which is the sequence retry loops actually consume.
     """
 
-    __slots__ = ("first_timeout_ns", "max_retries", "max_timeout_ns")
+    __slots__ = (
+        "first_timeout_ns",
+        "max_retries",
+        "max_timeout_ns",
+        "jitter",
+        "rng",
+    )
 
     def __init__(
         self,
         first_timeout_ns: int,
         max_retries: int,
         max_timeout_ns: Optional[int] = None,
+        jitter: float = 0.0,
+        rng=None,
     ):
         if first_timeout_ns <= 0:
             raise SimulationError(
@@ -110,14 +128,24 @@ class RetryPolicy:
             )
         if max_retries < 0:
             raise SimulationError(f"negative max_retries: {max_retries}")
+        if jitter < 0.0:
+            raise SimulationError(f"negative retry jitter: {jitter}")
+        if jitter > 0.0 and rng is None:
+            raise SimulationError(
+                "jittered RetryPolicy needs an rng stream (pass "
+                "machine.rng.stream('retry:<consumer>'))"
+            )
         self.first_timeout_ns = int(first_timeout_ns)
         self.max_retries = int(max_retries)
         self.max_timeout_ns = (
             None if max_timeout_ns is None else int(max_timeout_ns)
         )
+        self.jitter = float(jitter)
+        self.rng = rng
 
     def timeout_for(self, attempt: int) -> int:
-        """Timeout for attempt ``attempt`` (0 = the initial wait)."""
+        """Deterministic (un-jittered) timeout for attempt ``attempt``
+        (0 = the initial wait)."""
         timeout = self.first_timeout_ns << attempt
         if self.max_timeout_ns is not None:
             timeout = min(timeout, self.max_timeout_ns)
@@ -125,7 +153,12 @@ class RetryPolicy:
 
     def timeouts(self):
         for attempt in range(self.max_retries + 1):
-            yield self.timeout_for(attempt)
+            timeout = self.timeout_for(attempt)
+            if self.jitter > 0.0:
+                timeout += int(timeout * self.jitter * self.rng.random())
+            yield timeout
 
     def total_budget_ns(self) -> int:
-        return sum(self.timeouts())
+        """Worst-case wait across all attempts (jitter at its maximum)."""
+        base = sum(self.timeout_for(a) for a in range(self.max_retries + 1))
+        return base + int(base * self.jitter)

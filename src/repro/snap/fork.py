@@ -1,0 +1,104 @@
+"""O(1) in-memory forking of a booted system via ``os.fork``.
+
+Checkpoint-by-re-execution (:mod:`repro.snap.restore`) replays boot to
+reach a state; for sweep fan-out that cost is pure waste — N variants
+of one booted rack re-boot N times.  ``fork_map`` instead forks the
+*process*: each child inherits the entire live object graph (suspended
+generators included — the one thing no serializer can carry) for the
+price of a page-table copy, runs its variant, and ships the picklable
+result back over a pipe.  The parent's system is never touched, so one
+boot fans out into any number of divergent futures.
+
+Children run serially (deterministic, and honest on 1-CPU CI boxes);
+the speedup comes from skipping N-1 boots, not from parallelism —
+``benchmarks/test_perf_baseline.py`` records it.  On platforms without
+``os.fork`` (Windows), callers fall back to re-booting; ``can_fork``
+is the gate.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Callable, List, Sequence
+
+from .format import SnapshotError
+
+__all__ = ["can_fork", "fork_map", "ForkError"]
+
+
+class ForkError(SnapshotError):
+    """A forked child died or returned an unreadable result."""
+
+
+def can_fork() -> bool:
+    return hasattr(os, "fork")
+
+
+def _run_child(write_fd: int, fn: Callable[[Any], Any], variant: Any) -> None:
+    """Child side: run the variant, ship the pickled result, _exit.
+
+    ``os._exit`` (not ``sys.exit``) so the child never runs the
+    parent's atexit hooks, pytest teardown, or buffered-IO flushes —
+    it shares all of them with the parent and must touch none.
+    """
+    status = 1
+    try:
+        try:
+            payload = pickle.dumps(
+                ("ok", fn(variant)), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except BaseException as exc:  # ship the failure, don't vanish
+            payload = pickle.dumps(
+                ("err", f"{type(exc).__name__}: {exc}"),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        with os.fdopen(write_fd, "wb") as pipe:
+            pipe.write(len(payload).to_bytes(8, "big"))
+            pipe.write(payload)
+        status = 0
+    finally:
+        os._exit(status)
+
+
+def fork_map(
+    variants: Sequence[Any], fn: Callable[[Any], Any]
+) -> List[Any]:
+    """Run ``fn(variant)`` in a forked copy of this process, per variant.
+
+    Every child starts from the *same* parent memory image (the booted
+    system as it is right now), so each call explores an independent
+    future of one boot.  Results must pickle (pure-data results like
+    ``TenantResult`` do; live systems do not — return extracted data).
+    A child that fails re-raises here as :class:`ForkError`.
+    """
+    if not can_fork():
+        raise ForkError(
+            "os.fork is unavailable on this platform; re-boot per "
+            "variant instead (see examples/snapshot_fork.py)"
+        )
+    results: List[Any] = []
+    for index, variant in enumerate(variants):
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            os.close(read_fd)
+            _run_child(write_fd, fn, variant)  # never returns
+        os.close(write_fd)
+        with os.fdopen(read_fd, "rb") as pipe:
+            header = pipe.read(8)
+            payload = b""
+            if len(header) == 8:
+                want = int.from_bytes(header, "big")
+                payload = pipe.read(want)
+        _, raw_status = os.waitpid(pid, 0)
+        if not payload:
+            raise ForkError(
+                f"forked variant #{index} died without a result "
+                f"(wait status {raw_status})"
+            )
+        status, value = pickle.loads(payload)
+        if status != "ok":
+            raise ForkError(f"forked variant #{index} failed: {value}")
+        results.append(value)
+    return results

@@ -1,0 +1,130 @@
+"""The versioned snapshot format.
+
+A :class:`Snapshot` is a *recipe plus witness*: the deterministic
+build/advance procedure that reaches the captured point, the simulated
+time it was taken at, the canonical state capture, and a digest over
+the capture.  Restore re-executes the recipe and verifies the rebuilt
+state against the witness field-by-field — so a snapshot can never
+silently restore to a different state than it saved
+(:class:`SnapshotDriftError` carries the exact diverging fields).
+
+The capture/metadata half round-trips through JSON
+(:meth:`Snapshot.to_json` / :meth:`Snapshot.from_json`) for archival
+and cross-process transfer; the recipe half is a pair of callables and
+stays in-memory (a JSON-loaded snapshot must be given its recipe back
+before it can restore).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..sim.engine import SimulationError
+
+__all__ = [
+    "SNAP_FORMAT_VERSION",
+    "Recipe",
+    "Snapshot",
+    "SnapshotError",
+    "SnapshotDriftError",
+]
+
+#: bump when the capture shape changes incompatibly; ``from_json``
+#: refuses snapshots from a different format generation
+SNAP_FORMAT_VERSION = 1
+
+
+class SnapshotError(SimulationError):
+    """Malformed snapshot, version mismatch, or restore misuse."""
+
+
+class SnapshotDriftError(SnapshotError):
+    """Restore reached ``taken_at_ns`` but the rebuilt state differs."""
+
+    def __init__(self, label: str, divergences: List[str]):
+        self.divergences = divergences
+        shown = "; ".join(divergences[:5])
+        more = len(divergences) - min(len(divergences), 5)
+        suffix = f" (+{more} more)" if more > 0 else ""
+        super().__init__(
+            f"snapshot {label!r} drifted on restore: {shown}{suffix}"
+        )
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """The deterministic path to a snapshot's capture point.
+
+    ``build`` re-creates the system exactly as the original run did
+    (same spec, same seed, same fault plan, same hardening) and returns
+    it; ``advance`` runs it to an absolute simulated time.  The default
+    advance is the engine's own ``sim.run(until=t)``, which is
+    bit-identical whether time is covered in one call or many — the
+    property checkpointing leans on.
+    """
+
+    build: Callable[[], Any]
+    advance: Optional[Callable[[Any, int], None]] = None
+
+    def advance_to(self, system: Any, until_ns: int) -> None:
+        if self.advance is not None:
+            self.advance(system, until_ns)
+        else:
+            system.sim.run(until=until_ns)
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One captured instant of a running system."""
+
+    version: int
+    label: str
+    taken_at_ns: int
+    capture: Dict[str, Any]
+    digest: str
+    recipe: Optional[Recipe] = field(default=None, compare=False, repr=False)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": self.version,
+                "label": self.label,
+                "taken_at_ns": self.taken_at_ns,
+                "digest": self.digest,
+                "capture": self.capture,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str, recipe: Optional[Recipe] = None) -> "Snapshot":
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(f"unparseable snapshot payload: {exc}")
+        version = data.get("version")
+        if version != SNAP_FORMAT_VERSION:
+            raise SnapshotError(
+                f"snapshot format version {version!r} != "
+                f"{SNAP_FORMAT_VERSION} (this build)"
+            )
+        return cls(
+            version=version,
+            label=data["label"],
+            taken_at_ns=data["taken_at_ns"],
+            capture=data["capture"],
+            digest=data["digest"],
+            recipe=recipe,
+        )
+
+    def with_recipe(self, recipe: Recipe) -> "Snapshot":
+        return Snapshot(
+            version=self.version,
+            label=self.label,
+            taken_at_ns=self.taken_at_ns,
+            capture=self.capture,
+            digest=self.digest,
+            recipe=recipe,
+        )

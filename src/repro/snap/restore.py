@@ -1,0 +1,98 @@
+"""``snapshot(system) -> Snapshot`` and ``restore(Snapshot) -> System``.
+
+Restore is checkpoint-by-deterministic-re-execution: the recipe
+rebuilds the system from its spec and seed, advances the engine to the
+snapshot's simulated time, and the rebuilt state is verified
+field-by-field against the stored capture.  The engine's chunked-run
+equivalence (``run(until=t1); run(until=t2)`` == ``run(until=t2)``)
+makes the replayed timeline bit-identical to the original — which is
+what lets the sanitizer digest machinery pin restore correctness
+end-to-end (tests/snap/).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .capture import capture_digest, capture_system, diff_captures
+from .format import (
+    SNAP_FORMAT_VERSION,
+    Recipe,
+    Snapshot,
+    SnapshotDriftError,
+    SnapshotError,
+)
+
+__all__ = ["snapshot", "restore"]
+
+
+def snapshot(
+    system: Any,
+    recipe: Optional[Recipe] = None,
+    label: str = "",
+    extra: Optional[Dict[str, Any]] = None,
+) -> Snapshot:
+    """Capture ``system``'s full live state at the current instant.
+
+    Capturing is read-only: the run that continues after this call is
+    digest-identical to one that never snapshotted.  ``recipe`` may be
+    omitted for witness-only snapshots (drift detection, archival);
+    restoring requires one.
+    """
+    capture = capture_system(system, extra=extra)
+    return Snapshot(
+        version=SNAP_FORMAT_VERSION,
+        label=label or f"t={system.sim.now}",
+        taken_at_ns=system.sim.now,
+        capture=capture,
+        digest=capture_digest(capture),
+        recipe=recipe,
+    )
+
+
+def restore(
+    snap: Snapshot,
+    verify: bool = True,
+    extra_fn: Optional[Any] = None,
+) -> Any:
+    """Rebuild a system in the exact state ``snap`` captured.
+
+    ``extra_fn(system)`` must return the same ``extra`` mapping shape
+    the snapshot was taken with (the fleet supervisor passes its
+    rebuilt clients); verification covers it too.  With ``verify`` the
+    rebuilt state is re-captured and compared field-by-field — a
+    mismatch raises :class:`SnapshotDriftError` naming the diverging
+    fields rather than letting a wrong state continue silently.
+    """
+    if snap.recipe is None:
+        raise SnapshotError(
+            f"snapshot {snap.label!r} has no recipe attached; rebuild "
+            "requires one (Snapshot.with_recipe)"
+        )
+    if snap.version != SNAP_FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot format version {snap.version} != "
+            f"{SNAP_FORMAT_VERSION} (this build)"
+        )
+    system = snap.recipe.build()
+    if system.sim.now > snap.taken_at_ns:
+        raise SnapshotError(
+            f"recipe build ends at t={system.sim.now} past the snapshot "
+            f"instant t={snap.taken_at_ns}; the recipe must rebuild, "
+            "not overshoot"
+        )
+    if system.sim.now < snap.taken_at_ns:
+        snap.recipe.advance_to(system, snap.taken_at_ns)
+    if system.sim.now != snap.taken_at_ns:
+        raise SnapshotError(
+            f"recipe advanced to t={system.sim.now}, not the snapshot "
+            f"instant t={snap.taken_at_ns}"
+        )
+    if verify:
+        extra = extra_fn(system) if extra_fn is not None else None
+        rebuilt = capture_system(system, extra=extra)
+        if capture_digest(rebuilt) != snap.digest:
+            raise SnapshotDriftError(
+                snap.label, diff_captures(rebuilt, snap.capture)
+            )
+    return system

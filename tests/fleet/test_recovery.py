@@ -1,0 +1,163 @@
+"""The recovery supervisor keeps the books straight across a restore.
+
+A mid-traffic failure triggers restore-from-checkpoint: the failed
+timeline is discarded and replayed, so every conserved quantity must
+read as if the failure window simply took longer -- offered ==
+completed + dropped per tenant, the published ``fleet_*`` counters
+agree with per-tenant stats, the core-gap audit stays clean, and
+recovery downtime is charged against SLOs.
+"""
+
+import pytest
+
+from repro.experiments.config import SystemConfig
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.fleet import (
+    RecoveryError,
+    RecoveryPolicy,
+    ScenarioSpec,
+    place,
+    redis_tenant,
+    run_server_with_recovery,
+    uniform_rack,
+)
+from repro.sim.clock import ms
+from repro.sim.engine import SimulationError
+
+
+def fleet_spec(duration_ns=ms(12)) -> ScenarioSpec:
+    template = SystemConfig(
+        mode="gapped", n_cores=6, n_host_cores=2, seed=0, trace_schedules=True
+    )
+    return ScenarioSpec(
+        servers=uniform_rack(1, template),
+        tenants=(
+            redis_tenant("t0", 2, rate_rps=20000.0),
+            redis_tenant("t1", 2, rate_rps=12000.0),
+        ),
+        duration_ns=duration_ns,
+        drain_ns=ms(4),
+    )
+
+
+def dead_core_plan(after_runs=50) -> FaultPlan:
+    return FaultPlan.of(
+        "dead-core", FaultSpec(FaultKind.CORE_STALL, after_runs=after_runs)
+    )
+
+
+def supervised(spec, plan=None, **policy_kwargs):
+    policy_kwargs.setdefault("checkpoint_period_ns", ms(2))
+    placement = place(spec)
+    return run_server_with_recovery(
+        spec, placement, 0, RecoveryPolicy(**policy_kwargs), plan=plan
+    )
+
+
+class TestRestoreConservation:
+    def test_mid_traffic_restore_conserves_request_accounting(self):
+        spec = fleet_spec()
+        report = supervised(
+            spec, plan=dead_core_plan(), restore_penalty_ns=ms(1)
+        )
+        # the fault actually fired and forced at least one restore
+        assert report.restores, "dead-core plan produced no restore"
+        assert report.recovered
+
+        # per-tenant conservation: offered == completed + dropped
+        for tenant in report.tenants:
+            assert tenant.issued == tenant.completed + tenant.dropped
+
+        # published metrics agree with per-tenant stats across the
+        # restore boundary (no request double-counted from the replay,
+        # none lost in the rollback)
+        tracer = report.server.system.tracer
+        total_completed = sum(t.completed for t in report.tenants)
+        total_issued = sum(t.issued for t in report.tenants)
+        total_dropped = sum(t.dropped for t in report.tenants)
+        assert tracer.counters.get("fleet_request_count", 0) == total_completed
+        assert tracer.gauges["fleet_offered_count"] == total_issued
+        assert tracer.gauges["fleet_dropped_count"] == total_dropped
+        assert total_issued == total_completed + total_dropped
+
+    def test_recovery_metrics_published(self):
+        spec = fleet_spec()
+        report = supervised(
+            spec, plan=dead_core_plan(), restore_penalty_ns=ms(1)
+        )
+        gauges = report.server.system.tracer.gauges
+        assert gauges["snap_checkpoint_count"] == report.checkpoints
+        assert gauges["fleet_restore_count"] == len(report.restores)
+        assert gauges["fleet_recovery_downtime_ns"] == report.downtime_ns
+        assert (
+            gauges["fleet_recovery_slo_violation_count"]
+            == report.recovery_slo_violations
+        )
+        for event in report.restores:
+            assert event.lost_ns == event.failed_at_ns - event.checkpoint_ns
+            assert event.downtime_ns == event.lost_ns + ms(1)
+
+    def test_recovery_downtime_charged_against_slos(self):
+        spec = fleet_spec()
+        report = supervised(
+            spec, plan=dead_core_plan(), restore_penalty_ns=ms(1)
+        )
+        # the serving rate is tens of krps; a multi-ms outage window
+        # necessarily contains completions, and each one is charged
+        assert report.recovery_slo_violations > 0
+
+    def test_core_gap_audit_clean_across_restore(self):
+        spec = fleet_spec()
+        report = supervised(spec, plan=dead_core_plan())
+        assert report.audit_problems == []
+
+
+class TestSupervisorBehaviour:
+    def test_fault_free_supervision_takes_no_restores(self):
+        report = supervised(fleet_spec(duration_ns=ms(8)))
+        assert report.restores == []
+        assert report.checkpoints >= 4  # boot + one per period
+        assert report.recovery_slo_violations == 0
+        assert report.recovered
+
+    def test_restore_resumes_from_last_checkpoint(self):
+        spec = fleet_spec()
+        report = supervised(spec, plan=dead_core_plan())
+        for event in report.restores:
+            assert event.checkpoint_ns < event.failed_at_ns
+            assert "dead dedicated core" in event.reason or "run error" in event.reason
+
+    def test_max_restores_exhaustion_raises(self):
+        # a fault plan the supervisor cannot outrun: with zero allowed
+        # restores the first failure is terminal
+        spec = fleet_spec()
+        with pytest.raises(RecoveryError, match="giving up"):
+            supervised(spec, plan=dead_core_plan(), max_restores=0)
+
+    def test_policy_validation(self):
+        with pytest.raises(SimulationError):
+            RecoveryPolicy(checkpoint_period_ns=0)
+        with pytest.raises(SimulationError):
+            RecoveryPolicy(checkpoint_period_ns=1, restore_penalty_ns=-1)
+        with pytest.raises(SimulationError):
+            RecoveryPolicy(checkpoint_period_ns=1, max_restores=-1)
+
+
+class TestChaosWithRecoverySmoke:
+    """The CI smoke: one fault plan, supervisor enabled, clean audits,
+    bounded time (the supervisor never hangs -- failures either restore
+    or raise)."""
+
+    def test_dead_core_chaos_recovers_cleanly(self):
+        spec = fleet_spec(duration_ns=ms(10))
+        report = supervised(
+            spec,
+            plan=dead_core_plan(after_runs=30),
+            checkpoint_period_ns=ms(2),
+            restore_penalty_ns=ms(1),
+            max_restores=3,
+        )
+        assert report.recovered
+        assert report.audit_problems == []
+        assert report.restores
+        assert all(t.issued > 0 for t in report.tenants)

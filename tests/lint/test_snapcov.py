@@ -1,0 +1,179 @@
+"""SNAP001/SNAP002: the snapshot-coverage pass.
+
+Planted modules shadow real registered classes
+(``repro.rmm.attestation:PlatformRootOfTrust`` is the smallest), so
+the pass's verdicts are exercised against the *real* SNAP_FIELDS
+registry -- exactly how drift would appear in the tree.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths, load_contract
+from repro.snap import SNAP_FIELDS
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: the registered coverage for the class the fixtures shadow
+ROT_KEY = "repro.rmm.attestation:PlatformRootOfTrust"
+
+COVERED = (
+    "class PlatformRootOfTrust:\n"
+    "    def __init__(self, platform_id, key):\n"
+    "        self.platform_id = platform_id\n"
+    "        self._key = key\n"
+)
+
+
+def plant(tmp_path, relpath, code):
+    parts = Path(relpath).parts
+    directory = tmp_path
+    for part in parts[:-1]:
+        directory = directory / part
+        directory.mkdir(exist_ok=True)
+        init = directory / "__init__.py"
+        if not init.exists():
+            init.touch()
+    (directory / parts[-1]).write_text(code)
+
+
+def lint_tree(tmp_path, rules=None):
+    return lint_paths(
+        [tmp_path],
+        contract=load_contract(REPO_ROOT),
+        passes=["snapcov"],
+        rules=rules,
+    )
+
+
+class TestSnap001NewAttributes:
+    def test_fully_covered_class_is_clean(self, tmp_path):
+        assert ROT_KEY in SNAP_FIELDS
+        plant(tmp_path, "repro/rmm/attestation.py", COVERED)
+        assert lint_tree(tmp_path) == []
+
+    def test_new_self_attribute_without_verdict_caught(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/rmm/attestation.py",
+            COVERED + "        self.retry_budget = 3\n",
+        )
+        findings = lint_tree(tmp_path, rules=["SNAP001"])
+        assert [f.line for f in findings] == [5]
+        assert "retry_budget" in findings[0].message
+
+    def test_attribute_assigned_in_any_method_caught(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/rmm/attestation.py",
+            COVERED
+            + "\n"
+            + "    def rotate(self):\n"
+            + "        self.rotations = 1\n",
+        )
+        findings = lint_tree(tmp_path, rules=["SNAP001"])
+        assert len(findings) == 1
+        assert "rotations" in findings[0].message
+
+    def test_dataclass_field_declaration_caught(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/rmm/attestation.py",
+            "from dataclasses import dataclass\n"
+            "\n"
+            "@dataclass\n"
+            "class PlatformRootOfTrust:\n"
+            "    platform_id: int\n"
+            "    _key: int\n"
+            "    epoch: int = 0\n",
+        )
+        findings = lint_tree(tmp_path, rules=["SNAP001"])
+        assert len(findings) == 1
+        assert "epoch" in findings[0].message
+
+    def test_classvar_and_nested_class_state_exempt(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/rmm/attestation.py",
+            "from typing import ClassVar\n"
+            "\n"
+            "class PlatformRootOfTrust:\n"
+            "    SCHEME: ClassVar[str] = 'ecdsa'\n"
+            "\n"
+            "    def __init__(self, platform_id, key):\n"
+            "        self.platform_id = platform_id\n"
+            "        self._key = key\n"
+            "\n"
+            "    def helper(self):\n"
+            "        class Inner:\n"
+            "            def __init__(self):\n"
+            "                self.not_ours = 1\n"
+            "        return Inner()\n",
+        )
+        assert lint_tree(tmp_path, rules=["SNAP001"]) == []
+
+    def test_suppression_pragma_respected(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/rmm/attestation.py",
+            COVERED
+            + "        self.scratch = 0"
+            + "  # lint: ignore[SNAP001] reason=transient scratch\n",
+        )
+        assert lint_tree(tmp_path, rules=["SNAP001"]) == []
+
+
+class TestSnap002StaleEntries:
+    def test_registered_attr_no_longer_assigned_caught(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/rmm/attestation.py",
+            "class PlatformRootOfTrust:\n"
+            "    def __init__(self, platform_id):\n"
+            "        self.platform_id = platform_id\n",
+        )
+        findings = lint_tree(tmp_path, rules=["SNAP002"])
+        assert len(findings) == 1
+        assert "_key" in findings[0].message
+
+    def test_registered_class_gone_from_module_caught(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/rmm/attestation.py",
+            "class SomethingElse:\n"
+            "    def __init__(self):\n"
+            "        self.x = 1\n",
+        )
+        findings = lint_tree(tmp_path, rules=["SNAP002"])
+        assert [f.line for f in findings] == [1]
+        assert "PlatformRootOfTrust" in findings[0].message
+
+
+class TestScope:
+    def test_unregistered_modules_ignored(self, tmp_path):
+        plant(
+            tmp_path,
+            "repro/analysis/planted.py",
+            "class Unregistered:\n"
+            "    def __init__(self):\n"
+            "        self.anything = 1\n",
+        )
+        assert lint_tree(tmp_path) == []
+
+    def test_non_repro_files_ignored(self, tmp_path):
+        plant(
+            tmp_path,
+            "scripts/tool.py",
+            "class PlatformRootOfTrust:\n"
+            "    def __init__(self):\n"
+            "        self.x = 1\n",
+        )
+        assert lint_tree(tmp_path) == []
+
+    def test_real_tree_is_snapcov_clean(self):
+        findings = lint_paths(
+            [REPO_ROOT / "src"],
+            contract=load_contract(REPO_ROOT),
+            passes=["snapcov"],
+            rules=["SNAP001", "SNAP002"],
+        )
+        assert findings == []

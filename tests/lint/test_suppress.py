@@ -193,8 +193,10 @@ class TestRepoBaseline:
     REPO_ROOT = Path(__file__).resolve().parents[2]
 
     def test_repo_baseline_parses_and_is_unexpired(self):
+        # the baseline is currently *empty* (the last grandfathered
+        # SEED001 was fixed via rng.bare_factory) -- parsing must still
+        # work, and any future entry must carry an unexpired loan
         baseline = load_baseline(self.REPO_ROOT / "lint-baseline.toml")
-        assert baseline.entries, "repo baseline should carry entries"
         for entry in baseline.entries:
             assert entry.expires >= datetime.date(2026, 8, 7), (
                 f"baseline entry {entry.fingerprint} expired "

@@ -116,3 +116,77 @@ class TestRetryPolicy:
             RetryPolicy(0, max_retries=1)
         with pytest.raises(SimulationError):
             RetryPolicy(10, max_retries=-1)
+
+
+class TestRetryJitter:
+    """Jittered backoff: seeded, stream-owned, default-off.
+
+    The jitter draws must come from the caller's named RngFactory
+    stream (``retry:<consumer>``) so schedules replay bit-identically
+    and never couple to another consumer's draws (the SEED002
+    discipline, exercised at runtime here).
+    """
+
+    def test_default_policy_draws_nothing(self):
+        from repro.sim.rng import RngFactory
+
+        factory = RngFactory(3)
+        stream = factory.stream("retry:probe")
+        before = stream.getstate()
+        policy = RetryPolicy(1_000, max_retries=3)
+        assert list(policy.timeouts()) == [1_000, 2_000, 4_000, 8_000]
+        assert stream.getstate() == before  # jitter=0 consumes no draws
+
+    def test_jitter_stretches_within_bound_and_keeps_order_floor(self):
+        from repro.sim.rng import RngFactory
+
+        stream = RngFactory(3).stream("retry:probe")
+        policy = RetryPolicy(1_000, max_retries=3, jitter=0.5, rng=stream)
+        for base, drawn in zip([1_000, 2_000, 4_000, 8_000], policy.timeouts()):
+            assert base <= drawn <= int(base * 1.5)
+        # worst case: every attempt at maximum stretch
+        assert policy.total_budget_ns() == 15_000 + 7_500
+
+    def test_draws_come_from_the_owning_stream_namespace(self):
+        from repro.sim.rng import RngFactory
+
+        def schedule(stream_name: str, seed: int = 3):
+            stream = RngFactory(seed).stream(stream_name)
+            policy = RetryPolicy(
+                1_000, max_retries=5, jitter=0.5, rng=stream
+            )
+            return list(policy.timeouts())
+
+        # same factory seed + same stream name => identical schedule
+        assert schedule("retry:kvm-run") == schedule("retry:kvm-run")
+        # a different stream name in the same namespace => different
+        # draws (streams are independent, not shared)
+        assert schedule("retry:kvm-run") != schedule("retry:other")
+        # a different root seed => different draws
+        assert schedule("retry:kvm-run") != schedule("retry:kvm-run", seed=4)
+
+    def test_jitter_draw_positions_are_stream_local(self):
+        """Interleaving a foreign consumer's draws on its *own* stream
+        does not perturb the policy's schedule -- ownership is the
+        stream, not the factory."""
+        from repro.sim.rng import RngFactory
+
+        factory = RngFactory(3)
+        policy = RetryPolicy(
+            1_000, max_retries=5, jitter=0.5,
+            rng=factory.stream("retry:kvm-run"),
+        )
+        factory.stream("arrivals:t0").random()  # foreign namespace draw
+        interleaved = list(policy.timeouts())
+
+        clean = RetryPolicy(
+            1_000, max_retries=5, jitter=0.5,
+            rng=RngFactory(3).stream("retry:kvm-run"),
+        )
+        assert interleaved == list(clean.timeouts())
+
+    def test_jitter_validation(self):
+        with pytest.raises(SimulationError, match="negative retry jitter"):
+            RetryPolicy(1_000, max_retries=1, jitter=-0.1)
+        with pytest.raises(SimulationError, match="needs an rng stream"):
+            RetryPolicy(1_000, max_retries=1, jitter=0.2)

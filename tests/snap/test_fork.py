@@ -1,0 +1,63 @@
+"""``fork_map``: one booted system, many scenario variants, O(1) each.
+
+The fork path exists because re-executing a boot per variant is the
+expensive part of a sweep; ``os.fork`` clones the booted state for
+free and each child diverges independently.  Digest equivalence
+against a from-scratch run is the correctness bar.
+"""
+
+import pytest
+
+from repro.experiments.config import SystemConfig
+from repro.experiments.system import System
+from repro.guest.vm import GuestVm
+from repro.guest.workloads import CoremarkStats, coremark_workload_factory
+from repro.sim.clock import ms
+from repro.snap import ForkError, can_fork, fork_map
+
+pytestmark = pytest.mark.skipif(
+    not can_fork(), reason="os.fork unavailable on this platform"
+)
+
+
+def booted_system() -> System:
+    config = SystemConfig(
+        mode="gapped", n_cores=4, seed=7, trace_schedules=True
+    )
+    system = System(config)
+    stats = CoremarkStats()
+    vm = GuestVm("coremark0", 2, coremark_workload_factory(stats))
+    system.start(system.launch(vm))
+    return system
+
+
+class TestForkMap:
+    def test_forked_variants_match_from_scratch_runs(self):
+        system = booted_system()
+
+        def run_variant(duration_ns: int) -> str:
+            system.run_for(duration_ns)
+            return system.state_digest()
+
+        digests = fork_map([ms(2), ms(3)], run_variant)
+
+        for duration, forked in zip([ms(2), ms(3)], digests):
+            scratch = booted_system()
+            scratch.run_for(duration)
+            assert forked == scratch.state_digest()
+
+    def test_parent_state_untouched_by_children(self):
+        system = booted_system()
+        before = system.state_digest()
+        fork_map([ms(1), ms(2)], lambda d: (system.run_for(d), None)[1])
+        assert system.state_digest() == before
+
+    def test_child_exception_surfaces_as_fork_error(self):
+        def explode(variant):
+            raise ValueError(f"variant {variant} is broken")
+
+        with pytest.raises(ForkError, match="is broken"):
+            fork_map([1], explode)
+
+    def test_results_ship_back_pickled(self):
+        assert fork_map([1, 2, 3], lambda v: v * 10) == [10, 20, 30]

@@ -1,0 +1,154 @@
+"""Restore is bit-identical: the ISSUE's two acceptance digests.
+
+Two end-to-end equivalences, both pinned through the sanitizer digest
+machinery (trace records + spans + counters, the exact fields the
+sanitizer hashes):
+
+* a **fig6 cell** (CoreMark on a gapped system): checkpoint mid-run,
+  restore, continue -- the final trace digest equals the uninterrupted
+  run's;
+* a **multi-tenant fleet scenario**: a supervised (checkpointing)
+  fault-free serving run equals the plain ``run_server`` path.
+"""
+
+import pytest
+
+from repro.experiments.config import SystemConfig
+from repro.experiments.system import System
+from repro.fleet import (
+    RecoveryPolicy,
+    ScenarioSpec,
+    boot_server,
+    place,
+    redis_tenant,
+    run_server,
+    run_server_with_recovery,
+    uniform_rack,
+)
+from repro.guest.vm import GuestVm
+from repro.guest.workloads import CoremarkStats, coremark_workload_factory
+from repro.lint.sanitizer import RunDigest
+from repro.sim.clock import ms
+from repro.snap import Recipe, SnapshotDriftError, restore, snapshot
+
+
+def trace_digest(system: System) -> RunDigest:
+    tracer = system.tracer
+    return RunDigest(
+        records=[
+            f"{r.time}|{r.kind}|{r.core}|{r.domain}|{r.detail}"
+            for r in tracer.records
+        ],
+        spans=[
+            f"{s.core}|{s.domain}|{s.start}|{s.end}" for s in tracer.spans
+        ],
+        counters={k: int(v) for k, v in sorted(tracer.counters.items())},
+        metrics={"end_ns": system.sim.now},
+    )
+
+
+def build_fig6_cell() -> System:
+    """One small fig6 cell: gapped CoreMark, deterministic in the seed."""
+    config = SystemConfig(
+        mode="gapped", n_cores=4, seed=7, trace_schedules=True
+    )
+    system = System(config)
+    stats = CoremarkStats()
+    vm = GuestVm("coremark0", 2, coremark_workload_factory(stats))
+    kvm = system.launch(vm)
+    system.start(kvm)
+    return system
+
+
+FIG6_RECIPE = Recipe(build=build_fig6_cell)
+
+
+class TestFig6CellRestore:
+    def test_restore_then_continue_matches_uninterrupted(self):
+        # uninterrupted reference
+        reference = build_fig6_cell()
+        reference.run_for(ms(5))
+        reference.finish()
+
+        # checkpointed run: snapshot at 3 ms, restore, continue to 5 ms
+        live = build_fig6_cell()
+        live.run_for(ms(3))
+        checkpoint = snapshot(live, recipe=FIG6_RECIPE)
+        restored = restore(checkpoint)  # verified bit-identical
+        assert restored is not live
+        assert restored.sim.now == checkpoint.taken_at_ns
+        restored.run_for(ms(2))
+        restored.finish()
+
+        assert trace_digest(restored) == trace_digest(reference)
+        assert restored.state_digest() == reference.state_digest()
+
+    def test_checkpointing_run_is_digest_transparent(self):
+        """Snapshots along the way never move the final digest."""
+        plain = build_fig6_cell()
+        plain.run_for(ms(4))
+        plain.finish()
+
+        watched = build_fig6_cell()
+        for _ in range(4):
+            watched.run_for(ms(1))
+            snapshot(watched, recipe=FIG6_RECIPE)
+        watched.finish()
+        assert trace_digest(watched) == trace_digest(plain)
+
+    def test_drift_is_detected_not_silent(self):
+        """A recipe that rebuilds a *different* system must fail the
+        restore verification, naming the diverging fields."""
+        live = build_fig6_cell()
+        live.run_for(ms(2))
+
+        def wrong_build():
+            config = SystemConfig(
+                mode="gapped", n_cores=4, seed=8, trace_schedules=True
+            )
+            system = System(config)
+            stats = CoremarkStats()
+            vm = GuestVm("coremark0", 2, coremark_workload_factory(stats))
+            system.start(system.launch(vm))
+            return system
+
+        snap = snapshot(live, recipe=Recipe(build=wrong_build))
+        with pytest.raises(SnapshotDriftError) as err:
+            restore(snap)
+        assert err.value.divergences
+
+
+def fleet_spec() -> ScenarioSpec:
+    template = SystemConfig(
+        mode="gapped", n_cores=6, n_host_cores=2, seed=0, trace_schedules=True
+    )
+    return ScenarioSpec(
+        servers=uniform_rack(1, template),
+        tenants=(
+            redis_tenant("t0", 2, rate_rps=20000.0),
+            redis_tenant("t1", 2, rate_rps=12000.0),
+        ),
+        duration_ns=ms(10),
+        drain_ns=ms(4),
+    )
+
+
+class TestFleetScenarioRestore:
+    def test_supervised_run_matches_plain_run(self):
+        """Multi-tenant scenario: checkpoint-period chunking + snapshots
+        (the supervisor with no fault plan) is digest-identical to the
+        one-shot serving path, tenant results included."""
+        spec = fleet_spec()
+        placement = place(spec)
+
+        server = boot_server(spec, placement, 0)
+        plain_results = run_server(server, spec)
+        plain_digest = trace_digest(server.system)
+
+        report = run_server_with_recovery(
+            spec, placement, 0, RecoveryPolicy(checkpoint_period_ns=ms(3))
+        )
+        assert report.checkpoints >= 3
+        assert report.restores == []
+        assert report.tenants == plain_results
+        assert trace_digest(report.server.system) == plain_digest
