@@ -1,23 +1,32 @@
-"""Perf smoke: engine events/sec, one fig-6 cell, parallel suite speedup.
+"""Perf smoke: engine events/sec, per-lever breakdown, parallel suite.
 
-Three measurements, written to ``BENCH_perf.json`` at the repo root so
-the bench trajectory survives across PRs:
+Measurements are written to ``BENCH_perf.json`` (schema 2) at the repo
+root so the bench trajectory survives across PRs:
 
-* **engine micro**: scheduled events per second on a synthetic
-  Delay/AnyOf-heavy workload, on the live engine *and* on the frozen
-  pre-optimization snapshot (``benchmarks/_legacy_engine.py``) — the
-  single-process speedup claim, measured against the exact baseline.
-* **fig-6 cell macro**: wall-clock of one gapped 8-core CoreMark cell,
-  the unit of work the parallel runner fans out.
-* **suite parallel**: a small fig-6 subsweep at ``jobs=1`` vs
-  ``jobs=4`` through ``repro.experiments.runner``.
+* **engine micro** (schema-1 keys, unchanged): scheduled events per
+  second on a synthetic Delay/AnyOf-heavy workload, on the live engine
+  *and* on the frozen pre-optimization snapshot
+  (``benchmarks/_legacy_engine.py``).
+* **levers** (schema 2): the same claim decomposed per optimisation —
+  calendar queue vs binary heap, batched bucket dispatch vs
+  one-event-at-a-time dispatch, and compute-span coalescing vs the
+  per-chunk expansion.  Coalescing is scored in *legacy-equivalent*
+  events/sec: the coalesced run retires the same simulated work with
+  ~``chunks``× fewer engine events, so its effective rate is the
+  expanded run's event count over the coalesced run's wall time.
+* **fig-6 cell macro** and **suite parallel** (schema-1 keys): one
+  gapped CoreMark cell, and a subsweep at ``jobs=1`` vs ``jobs=4``;
+  schema 2 adds the ``--jobs auto`` resolution for this host.
 
-Wall-clock assertions are gated on ``os.cpu_count()``: a single-CPU
-host cannot show parallel speedup (workers timeshare one core and pay
-spawn overhead on top), so there the numbers are recorded but only the
-engine-speedup floor is enforced.
+Methodology: every timed sample starts from a collected heap
+(``gc.collect`` before each run, GC left *on*) so each engine pays its
+own garbage, not its predecessor's — the legacy engine's cancelled
+AnyOf losers create cyclic garbage whose collection otherwise lands in
+whichever measurement runs next.  Wall-clock assertions are gated on
+``os.cpu_count()`` where parallelism is the thing measured.
 """
 
+import gc
 import json
 import os
 import pathlib
@@ -27,18 +36,18 @@ import time
 import pytest
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
-import _legacy_engine  # noqa: E402  (the frozen pre-PR engine)
+import _legacy_engine  # noqa: E402  (the frozen pre-optimization engine)
 
 import repro.sim.engine as live_engine  # noqa: E402
 from repro.costs import DEFAULT_COSTS  # noqa: E402
 from repro.experiments.fig6 import _coremark_cell, fig6_cells  # noqa: E402
-from repro.experiments.runner import run_cells  # noqa: E402
+from repro.experiments.runner import resolve_jobs, run_cells  # noqa: E402
 from repro.sim.clock import ms  # noqa: E402
 
 BENCH_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_perf.json"
 
 #: filled by the tests, flushed to BENCH_perf.json by the module fixture
-RESULTS = {"schema": 1}
+RESULTS = {"schema": 2}
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -52,6 +61,7 @@ def _emit_bench_json():
 def _best_of(fn, repeats=3):
     best = float("inf")
     for _ in range(repeats):
+        gc.collect()  # each sample pays its own garbage, not the last run's
         t0 = time.perf_counter()  # lint: allow(DET001) - measuring wall time
         fn()
         elapsed = time.perf_counter() - t0  # lint: allow(DET001)
@@ -59,10 +69,17 @@ def _best_of(fn, repeats=3):
     return best
 
 
-def _engine_workload(mod, n_procs=40, n_iter=300):
+# ---------------------------------------------------------------------------
+# engine micro workloads
+
+
+def _engine_workload(mod, n_procs=40, n_iter=300, scheduler=None):
     """Delay/AnyOf mix shaped like the run-call paths the experiments
     drive hardest; returns the count of scheduled timers."""
-    sim = mod.Simulator()
+    if scheduler is None:
+        sim = mod.Simulator()
+    else:
+        sim = mod.Simulator(scheduler=scheduler)
 
     def worker(i):
         for k in range(n_iter):
@@ -74,6 +91,49 @@ def _engine_workload(mod, n_procs=40, n_iter=300):
         sim.spawn(worker(i), name=f"w{i}")
     sim.run()
     return sim._seq
+
+
+def _run_unbatched(sim):
+    """Drain a simulator one event per call — the dispatch path minus
+    the bucket-batched inner loop of :meth:`Simulator.run`."""
+    while sim._live:
+        sim.run_one()
+    return sim.now
+
+
+def _span_workload(mod, coalesced, n_procs=8, n_spans=60, chunks=32):
+    """The compute-span shape: each span is ``chunks`` identical fixed
+    delays racing a never-firing doorbell (exactly what
+    ``PhysicalCore.execute`` queues per chunk).  ``coalesced=True``
+    queues each span as ONE such race, the event-stream effect of
+    ``execute_span``.  Returns (scheduled_events, end_time): end times
+    must agree between the two forms — same simulated outcome.
+    """
+    sim = mod.Simulator()
+    chunk_ns = 500
+
+    def worker(i):
+        for _ in range(n_spans):
+            if coalesced:
+                wakeup = yield mod.AnyOf(
+                    [mod.Delay(chunk_ns * chunks), mod.Delay(10**12)]
+                )
+                assert wakeup.index == 0
+            else:
+                for _ in range(chunks):
+                    wakeup = yield mod.AnyOf(
+                        [mod.Delay(chunk_ns), mod.Delay(10**12)]
+                    )
+                    assert wakeup.index == 0
+
+    for i in range(n_procs):
+        sim.spawn(worker(i), name=f"s{i}")
+    sim.run()
+    return sim._seq, sim.now
+
+
+# ---------------------------------------------------------------------------
+# engine: headline + per-lever breakdown
 
 
 def test_engine_events_per_sec_vs_legacy():
@@ -89,9 +149,97 @@ def test_engine_events_per_sec_vs_legacy():
         "events_per_sec_legacy": round(n_events / legacy_s),
         "single_process_speedup": round(speedup, 3),
     }
-    # the issue targets >=15%; enforce a floor below the measured margin
-    # so scheduler noise on loaded CI hosts does not flake the suite
+    # generous floor against loaded CI hosts; the measured margin is
+    # far above it (see BENCH_perf.json)
     assert speedup >= 1.10, f"engine regressed vs pre-PR baseline: {speedup:.3f}x"
+
+
+def test_lever_calendar_vs_heap():
+    n_events = _engine_workload(live_engine, scheduler="heap")
+    assert n_events == _engine_workload(live_engine, scheduler="calendar")
+
+    heap_s = _best_of(
+        lambda: _engine_workload(live_engine, scheduler="heap"), repeats=5
+    )
+    calendar_s = _best_of(
+        lambda: _engine_workload(live_engine, scheduler="calendar"), repeats=5
+    )
+    RESULTS.setdefault("levers", {})["scheduler"] = {
+        "scheduled_events": n_events,
+        "events_per_sec_heap": round(n_events / heap_s),
+        "events_per_sec_calendar": round(n_events / calendar_s),
+        "calendar_vs_heap_speedup": round(heap_s / calendar_s, 3),
+    }
+    # noise floor only: on a loaded single-CPU host the two samples
+    # can land 10-20% apart either way on this micro workload; the
+    # real regression guard is the headline live-vs-legacy assert
+    assert heap_s / calendar_s >= 0.75
+
+
+def test_lever_batched_vs_unbatched_dispatch():
+    def build():
+        sim = live_engine.Simulator()
+
+        def worker(i):
+            for k in range(400):
+                yield live_engine.Delay(5 + (i + k) % 11)
+
+        for i in range(30):
+            sim.spawn(worker(i), name=f"w{i}")
+        return sim
+
+    n_events = build()._seq  # spawns only; run() adds the rest
+    batched_s = _best_of(lambda: build().run(), repeats=5)
+    unbatched_s = _best_of(lambda: _run_unbatched(build()), repeats=5)
+    total = build()
+    total.run()
+    RESULTS.setdefault("levers", {})["batch_dispatch"] = {
+        "scheduled_events": total._seq,
+        "events_per_sec_batched": round(total._seq / batched_s),
+        "events_per_sec_unbatched": round(total._seq / unbatched_s),
+        "batched_vs_unbatched_speedup": round(unbatched_s / batched_s, 3),
+    }
+    assert n_events <= total._seq
+    # noise floor (measured margin is well above parity)
+    assert unbatched_s / batched_s >= 0.85
+
+
+def test_lever_coalescing_effective_rate():
+    expanded_events, expanded_end = _span_workload(live_engine, False)
+    coalesced_events, coalesced_end = _span_workload(live_engine, True)
+    assert coalesced_end == expanded_end  # same simulated outcome
+    assert coalesced_events < expanded_events
+
+    legacy_s = _best_of(lambda: _span_workload(_legacy_engine, False))
+    expanded_s = _best_of(lambda: _span_workload(live_engine, False))
+    coalesced_s = _best_of(lambda: _span_workload(live_engine, True))
+
+    legacy_rate = expanded_events / legacy_s
+    effective_rate = expanded_events / coalesced_s
+    overall = legacy_s / coalesced_s
+    RESULTS.setdefault("levers", {})["coalescing"] = {
+        "expanded_events": expanded_events,
+        "coalesced_events": coalesced_events,
+        "event_reduction": round(expanded_events / coalesced_events, 2),
+        "events_per_sec_expanded": round(expanded_events / expanded_s),
+        "events_per_sec_effective": round(effective_rate),
+        "coalesced_vs_expanded_speedup": round(expanded_s / coalesced_s, 3),
+    }
+    RESULTS["levers"]["overall"] = {
+        "workload": "compute-span shape, legacy-equivalent events/sec",
+        "events_per_sec_legacy": round(legacy_rate),
+        "events_per_sec_coalesced_effective": round(effective_rate),
+        "speedup_vs_legacy": round(overall, 2),
+    }
+    # the PR's acceptance target: >=10x legacy events/sec on the span
+    # workload, raw dispatch and event elision multiplied together
+    assert overall >= 10.0, (
+        f"effective speedup vs legacy below target: {overall:.2f}x"
+    )
+
+
+# ---------------------------------------------------------------------------
+# macro + suite
 
 
 def test_fig6_cell_wallclock():
@@ -112,12 +260,21 @@ def test_suite_parallel_speedup():
     jobs4_s = _best_of(lambda: run_cells(cells, jobs=4), repeats=2)
     speedup = serial_s / jobs4_s
     cpus = os.cpu_count() or 1
+    auto_jobs = resolve_jobs("auto", n_cells=len(cells))
     RESULTS["suite"] = {
         "cells": len(cells),
         "jobs": 4,
         "serial_seconds": round(serial_s, 4),
         "jobs4_seconds": round(jobs4_s, 4),
         "parallel_speedup": round(speedup, 3),
+        "auto_jobs": auto_jobs,
+        "auto_jobs_note": (
+            "single-CPU host: --jobs auto resolves to serial (a spawn "
+            "pool would timeshare one core and pay start-up on top)"
+            if cpus <= 1
+            else f"{cpus} CPUs: --jobs auto resolves to "
+            f"min(cpus, cells) = {auto_jobs} workers"
+        ),
         "note": (
             "speedup requires >=4 CPUs; on fewer cores workers timeshare "
             "and pay process-spawn overhead, so the ratio is recorded "
@@ -126,6 +283,10 @@ def test_suite_parallel_speedup():
         if cpus < 4
         else "",
     }
+    if cpus <= 1:
+        assert auto_jobs == 1
+    else:
+        assert 1 <= auto_jobs <= min(cpus, len(cells))
     if cpus >= 4:
         assert speedup >= 2.0, f"parallel speedup collapsed: {speedup:.2f}x"
 

@@ -223,8 +223,14 @@ def run_chaos_case(
     seed: int = 0,
     n_cores: int = 6,
     n_vcpus: int = 3,
+    scheduler: str = "calendar",
 ) -> ChaosOutcome:
-    """Run one workload under one fault plan with hardening enabled."""
+    """Run one workload under one fault plan with hardening enabled.
+
+    ``scheduler`` selects the engine's event-queue implementation —
+    digest-interchangeable by contract, exposed so the scheduler
+    equivalence tests can diff a chaos run per implementation.
+    """
     if scenario not in CHAOS_SCENARIOS:
         raise SimulationError(f"unknown chaos scenario {scenario!r}")
     config = SystemConfig(
@@ -233,6 +239,7 @@ def run_chaos_case(
         n_host_cores=1,
         seed=seed,
         trace_schedules=True,
+        scheduler=scheduler,
     )
     system = System(config)
     outcome = ChaosOutcome(
@@ -245,6 +252,7 @@ def run_chaos_case(
     injector.attach_gic(system.machine.gic)
     injector.attach_kernel(system.kernel)
     injector.attach_notifier(system.notifier)
+    injector.attach_machine(system.machine)
 
     # hardening on, uniformly -- the control plan doubles as a check
     # that the hardened paths do not disturb the fault-free run

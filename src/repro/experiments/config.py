@@ -45,6 +45,15 @@ class SystemConfig:
     #: Anything but the default exists for the schedule-race sanitizer
     #: (repro.lint.sanitizer); results must not depend on it.
     tie_break: str = "fifo"
+    #: event-queue implementation ("calendar" | "heap").  Digest-
+    #: interchangeable by contract; the knob exists for the scheduler
+    #: equivalence tests and as an escape hatch.
+    scheduler: str = "calendar"
+    #: model long uniform compute phases as one interruptible span
+    #: instead of per-chunk delays.  Digest-identical to the expansion
+    #: whenever nothing needs mid-span visibility; spans de-coalesce
+    #: transparently when tracing/faults/profiling do.
+    coalesce_compute: bool = False
 
     @property
     def is_gapped(self) -> bool:

@@ -148,16 +148,35 @@ def _execute_cell(cell: Cell) -> Any:
 # execution
 
 
-def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Explicit ``jobs`` wins; else ``REPRO_JOBS``; else 1 (serial)."""
+def resolve_jobs(
+    jobs: Optional[Any] = None, n_cells: Optional[int] = None
+) -> int:
+    """Explicit ``jobs`` wins; else ``REPRO_JOBS``; else 1 (serial).
+
+    ``"auto"`` (either source) sizes the pool from the host: one worker
+    per CPU, capped at ``n_cells`` (no idle workers), and *serial* on a
+    single-CPU host — there a spawn pool only adds interpreter start-up
+    and pickling on top of the same core, so inline execution is the
+    faster and the simpler path.
+    """
     if jobs is None:
         raw = os.environ.get("REPRO_JOBS", "").strip()
         if not raw:
             return 1
+        jobs = raw
+    if isinstance(jobs, str):
+        text = jobs.strip().lower()
+        if text == "auto":
+            cpus = os.cpu_count() or 1
+            if cpus <= 1:
+                return 1
+            return min(cpus, n_cells) if n_cells else cpus
         try:
-            jobs = int(raw)
+            jobs = int(text)
         except ValueError:
-            raise ValueError(f"REPRO_JOBS={raw!r} is not an integer") from None
+            raise ValueError(
+                f"jobs={jobs!r} is not an integer or 'auto'"
+            ) from None
     jobs = int(jobs)
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -174,7 +193,7 @@ def _worker_init(parent_path: List[str]) -> None:
 
 def run_cells(
     cells: Iterable[Cell],
-    jobs: Optional[int] = None,
+    jobs: Optional[Any] = None,
     mp_context: Optional[str] = None,
 ) -> List[Any]:
     """Execute ``cells`` and return their results in cell order.
@@ -193,7 +212,7 @@ def run_cells(
             raise ValueError(f"duplicate cell_id {c.cell_id!r}")
         seen.add(c.cell_id)
 
-    jobs = resolve_jobs(jobs)
+    jobs = resolve_jobs(jobs, n_cells=len(cells))
     if jobs == 1 or len(cells) <= 1:
         return [_execute_cell(c) for c in cells]
 
@@ -359,9 +378,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--jobs",
         "-j",
-        type=int,
         default=None,
-        help="worker processes (default: REPRO_JOBS env, else serial)",
+        help="worker processes, or 'auto' to size from the host "
+        "(default: REPRO_JOBS env, else serial)",
     )
     parser.add_argument(
         "--profile",

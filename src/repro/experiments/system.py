@@ -53,10 +53,13 @@ class System:
         )
         self.machine = Machine(
             topology,
-            sim=Simulator(tie_break=config.tie_break),
+            sim=Simulator(
+                tie_break=config.tie_break, scheduler=config.scheduler
+            ),
             tracer=Tracer(enabled=config.trace_schedules),
             rng=RngFactory(config.seed),
         )
+        self.machine.coalesce_compute = config.coalesce_compute
         self.sim = self.machine.sim
         self.tracer = self.machine.tracer
         self.kernel = HostKernel(self.machine, costs)

@@ -17,6 +17,10 @@ one-off experiments:
 * **sweep** (:mod:`repro.fleet.sweep`) -- the ``fleet`` runner sweep:
   shared vs gapped racks across consolidation levels, one
   digest-deterministic cell per simulated server;
+* **shard** (:mod:`repro.fleet.shard`) -- shared-nothing per-server
+  sharding of one scenario: each server runs as its own runner cell
+  and the outcomes merge back deterministically (tenant rows in server
+  order, timelines interleaved by timestamp);
 * **recovery** (:mod:`repro.fleet.recovery`) -- the checkpoint/restore
   supervisor: periodic :mod:`repro.snap` checkpoints during serving,
   verified restore + fault detach when a server dies, and SLO-honest
@@ -46,6 +50,14 @@ from .scenario import (
     run_server,
     tenant_results,
 )
+from .shard import (
+    ShardOutcome,
+    ShardedFleetResult,
+    merge_shards,
+    merge_timelines,
+    run_scenario_sharded,
+    shard_cells,
+)
 from .spec import (
     DeviceSpec,
     ScenarioSpec,
@@ -73,6 +85,8 @@ __all__ = [
     "RecoveryReport",
     "RestoreEvent",
     "ScenarioSpec",
+    "ShardOutcome",
+    "ShardedFleetResult",
     "TenantResult",
     "TenantSpec",
     "TenantStats",
@@ -86,10 +100,14 @@ __all__ = [
     "consolidation_scenario",
     "drain_and_finish",
     "fleet_cells",
+    "merge_shards",
+    "merge_timelines",
     "place",
     "redis_tenant",
     "run_fleet",
+    "run_scenario_sharded",
     "run_server",
+    "shard_cells",
     "run_server_with_recovery",
     "server_capacity",
     "tenant_results",

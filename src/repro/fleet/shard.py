@@ -1,0 +1,235 @@
+"""Shared-nothing per-server sharding of one fleet scenario.
+
+A :class:`~repro.fleet.spec.ScenarioSpec` is a rack of *independent*
+simulations — every server owns its :class:`~repro.sim.engine.Simulator`
+and a seed derived from (scenario seed, server index), and nothing
+crosses between servers at runtime.  ``Fleet.run`` nevertheless serves
+them one after another in a single process.  This module exploits the
+independence: each server becomes one runner cell (a *shard*), the
+shards fan out over the sweep executor's process pool, and the
+per-shard outcomes are merged back deterministically:
+
+* tenant rows concatenate in server order (exactly ``Fleet.run``'s
+  order), so the merged :class:`~repro.fleet.scenario.FleetResult` is
+  bit-identical to the serial one regardless of worker scheduling;
+* each shard also returns its simulation timeline (execution spans, or
+  full trace records when schedule tracing is on), and
+  :func:`merge_timelines` interleaves them into one rack-level view
+  ordered by ``(timestamp, server, arrival index)`` — a total order
+  that no pool scheduling can perturb.
+
+Scenario specs carry workload factories (closures), which do not
+pickle; shards therefore reference a *scenario builder* by
+``"module:qualname"`` name — the same discipline
+:class:`~repro.experiments.runner.Cell` imposes on cell functions —
+and each worker rebuilds the spec locally from plain kwargs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..costs import CostModel, DEFAULT_COSTS
+from ..experiments.runner import Cell, cell, run_cells
+from .placement import FleetAdmissionError, place
+from .scenario import FleetResult, TenantResult, boot_server, run_server
+from .spec import ScenarioSpec
+
+__all__ = [
+    "ShardOutcome",
+    "ShardedFleetResult",
+    "build_scenario",
+    "shard_cells",
+    "merge_shards",
+    "merge_timelines",
+    "run_scenario_sharded",
+]
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """Everything one server shard reports back (pure data; pickles)."""
+
+    server: int
+    tenants: List[TenantResult]
+    #: ``(timestamp, line)`` in the shard's own emission order
+    timeline: List[Tuple[int, str]]
+    counters: Dict[str, int]
+    end_ns: int
+
+
+@dataclass
+class ShardedFleetResult:
+    """The deterministic merge of every shard of one scenario."""
+
+    result: FleetResult
+    #: rack-level timeline, ordered by (timestamp, server, arrival)
+    timeline: List[str] = field(default_factory=list)
+    #: per-server counters under ``server<k>:<name>`` keys
+    counters: Dict[str, int] = field(default_factory=dict)
+    end_ns: int = 0
+    #: how the shards actually ran (serial or worker count)
+    jobs: int = 1
+
+
+def build_scenario(builder: str, kwargs: Dict[str, Any]) -> ScenarioSpec:
+    """Resolve a scenario builder by name and call it.
+
+    ``builder`` is ``"module:qualname"`` naming a top-level function
+    returning a :class:`ScenarioSpec`; resolution reuses the runner's
+    import-once cache, so every shard of a worker process pays the
+    import a single time.
+    """
+    from ..experiments.runner import _resolve
+
+    spec = _resolve(builder)(**kwargs)
+    if not isinstance(spec, ScenarioSpec):
+        raise TypeError(
+            f"scenario builder {builder!r} returned {type(spec).__name__}, "
+            "expected ScenarioSpec"
+        )
+    return spec
+
+
+def _shard_timeline(server) -> List[Tuple[int, str]]:
+    """One server's timeline: trace records when tracing is on (they
+    subsume spans), execution spans otherwise."""
+    tracer = server.system.tracer
+    if tracer.enabled:
+        return [
+            (r.time, f"{r.kind}|{r.core}|{r.domain}|{r.detail}")
+            for r in tracer.records
+        ]
+    return [
+        (s.start, f"span|{s.core}|{s.domain}|{s.start}|{s.end}")
+        for s in tracer.spans
+    ]
+
+
+def run_shard(
+    builder: str,
+    builder_kwargs: Dict[str, Any],
+    server_index: int,
+    costs: CostModel = DEFAULT_COSTS,
+) -> ShardOutcome:
+    """Boot and serve one server of the scenario (the cell function).
+
+    Admission control runs in every shard over the full spec — placement
+    is a pure function of the spec, so each shard computes the identical
+    :class:`~repro.fleet.placement.Placement` the serial boot would.
+    """
+    spec = build_scenario(builder, builder_kwargs)
+    placement = place(spec)
+    server = boot_server(spec, placement, server_index, costs)
+    tenants = run_server(server, spec)
+    return ShardOutcome(
+        server=server_index,
+        tenants=tenants,
+        timeline=_shard_timeline(server),
+        counters={
+            k: int(v) for k, v in sorted(server.system.tracer.counters.items())
+        },
+        end_ns=server.system.sim.now,
+    )
+
+
+def shard_cells(
+    builder: str,
+    builder_kwargs: Dict[str, Any],
+    n_servers: int,
+    costs: CostModel = DEFAULT_COSTS,
+) -> List[Cell]:
+    """One cell per server, in server (== merge) order."""
+    return [
+        cell(
+            f"shard/{builder}/server{index}",
+            run_shard,
+            builder=builder,
+            builder_kwargs=builder_kwargs,
+            server_index=index,
+            costs=costs,
+        )
+        for index in range(n_servers)
+    ]
+
+
+def merge_timelines(
+    outcomes: List[ShardOutcome],
+) -> List[str]:
+    """Interleave shard timelines into one rack-level timeline.
+
+    Total order: ``(timestamp, server, arrival index)``.  Within one
+    server, simultaneous entries keep their emission order — the order
+    the server's own deterministic run produced — so the merged view is
+    a pure function of the shard outcomes, never of pool scheduling.
+    """
+    entries: List[Tuple[int, int, int, str]] = []
+    for outcome in outcomes:
+        entries.extend(
+            (time, outcome.server, position, line)
+            for position, (time, line) in enumerate(outcome.timeline)
+        )
+    entries.sort(key=lambda e: e[:3])
+    return [
+        f"{time}|s{server}|{line}" for time, server, _, line in entries
+    ]
+
+
+def merge_shards(
+    outcomes: List[ShardOutcome],
+    rejected: List[str],
+    jobs: int = 1,
+) -> ShardedFleetResult:
+    """Merge shard outcomes in server order (``Fleet.run``'s order)."""
+    outcomes = sorted(outcomes, key=lambda o: o.server)
+    result = FleetResult(rejected=list(rejected))
+    counters: Dict[str, int] = {}
+    for outcome in outcomes:
+        result.tenants.extend(outcome.tenants)
+        for key, value in outcome.counters.items():
+            counters[f"server{outcome.server}:{key}"] = value
+    return ShardedFleetResult(
+        result=result,
+        timeline=merge_timelines(outcomes),
+        counters=counters,
+        end_ns=max((o.end_ns for o in outcomes), default=0),
+        jobs=jobs,
+    )
+
+
+def run_scenario_sharded(
+    builder: str,
+    builder_kwargs: Optional[Dict[str, Any]] = None,
+    jobs: Optional[int] = None,
+    costs: CostModel = DEFAULT_COSTS,
+    strict: bool = True,
+) -> ShardedFleetResult:
+    """Serve one scenario with one shard per server.
+
+    ``jobs`` follows :func:`~repro.experiments.runner.resolve_jobs`
+    (explicit > ``REPRO_JOBS`` > serial); ``jobs="auto"`` sizes the pool
+    from the host (see :func:`~repro.experiments.runner.resolve_jobs`).
+    Serial and sharded runs produce bit-identical merged results —
+    ``tests/fleet/test_shard.py`` pins that equivalence.
+    """
+    from ..experiments.runner import resolve_jobs
+
+    builder_kwargs = dict(builder_kwargs or {})
+    spec = build_scenario(builder, builder_kwargs)
+    placement = place(spec)
+    if strict and placement.rejected:
+        detail = "; ".join(
+            f"{name}: {reason}" for name, reason in placement.rejected
+        )
+        raise FleetAdmissionError(
+            f"{len(placement.rejected)} tenant(s) refused admission: {detail}"
+        )
+    cells = shard_cells(builder, builder_kwargs, len(spec.servers), costs)
+    resolved = resolve_jobs(jobs, n_cells=len(cells))
+    outcomes = run_cells(cells, jobs=resolved)
+    return merge_shards(
+        outcomes,
+        rejected=[name for name, _ in placement.rejected],
+        jobs=resolved,
+    )

@@ -2,6 +2,7 @@
 
 from .actions import (
     Compute,
+    ComputeSpan,
     DeviceDoorbell,
     MmioRead,
     MmioWrite,
@@ -16,6 +17,7 @@ from .vm import GuestVm
 
 __all__ = [
     "Compute",
+    "ComputeSpan",
     "DeviceDoorbell",
     "GuestVcpu",
     "GuestVm",

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, Optional
 
 from ...sim.clock import us
-from ..actions import Compute
+from ..actions import ComputeSpan
 from ..vm import GuestVm
 
 __all__ = ["CoremarkStats", "coremark_workload_factory", "coremark_score"]
@@ -27,6 +27,11 @@ SCORE_PER_CORE_SECOND = 15_000.0
 
 #: one inner CoreMark kernel iteration batch
 DEFAULT_CHUNK_NS = us(500)
+
+#: chunks per emitted span -- long enough to amortize wakeups when the
+#: driver coalesces, short enough that the score updates steadily when
+#: it expands
+SPAN_CHUNKS = 32
 
 
 @dataclass
@@ -57,9 +62,16 @@ def coremark_workload_factory(
 def _coremark_vcpu(
     stats: CoremarkStats, index: int, chunk_ns: int
 ) -> Generator:
-    while True:
-        yield Compute(chunk_ns, mem_fraction=0.35)
+    # spans instead of chunk-at-a-time Compute: the vCPU runtime expands
+    # them to the identical per-chunk schedule unless the machine can
+    # coalesce (repro.guest.actions.ComputeSpan)
+    def credit() -> None:
         stats.note_chunk(index)
+
+    while True:
+        yield ComputeSpan(
+            chunk_ns, SPAN_CHUNKS, mem_fraction=0.35, on_chunk=credit
+        )
 
 
 def coremark_score(

@@ -108,12 +108,16 @@ def _run_scenario(
     n_cores: int,
     duration_ms: int,
     trace_schedules: bool = True,
+    scheduler: str = "calendar",
+    coalesce_compute: bool = False,
 ) -> RunDigest:
     config = SystemConfig(
         n_cores=n_cores,
         seed=seed,
         trace_schedules=trace_schedules,
         tie_break=tie_break,
+        scheduler=scheduler,
+        coalesce_compute=coalesce_compute,
         **overrides,  # type: ignore[arg-type]
     )
     system = build_system(config, DEFAULT_COSTS)
@@ -161,18 +165,25 @@ def run_probe(
     n_cores: int = 4,
     duration_ms: int = 40,
     trace_schedules: bool = True,
+    scheduler: str = "calendar",
+    coalesce_compute: bool = False,
 ) -> RunDigest:
     """Run all probe scenarios once and digest traces and metrics.
 
     ``trace_schedules=False`` runs with observability disabled — the
     digest then proves instrumentation is inert when off (the golden
     file under ``tests/obs/`` pins the pre-instrumentation bytes).
+    ``scheduler`` and ``coalesce_compute`` select engine fast paths that
+    are digest-interchangeable by contract; the scheduler-equivalence
+    tests diff a probe per knob setting against the default.
     """
     combined = RunDigest([], [], {}, {})
     for label, overrides in _PROBE_SCENARIOS:
         digest = _run_scenario(
             label, overrides, seed, tie_break, n_cores, duration_ms,
             trace_schedules=trace_schedules,
+            scheduler=scheduler,
+            coalesce_compute=coalesce_compute,
         )
         combined.records.extend(digest.records)
         combined.spans.extend(digest.spans)

@@ -19,13 +19,40 @@ deterministic: simultaneous events run in spawn/schedule order.
 
 Hot-path notes (every experiment is bounded by this loop):
 
-* Heap entries are ``(when, key, seq, timer)`` tuples, so ``heapq``
-  comparisons run in C instead of calling a Python ``__lt__``.
+* The default ``scheduler="calendar"`` splits the queue three ways: a
+  *now queue* (plain deque) for events at the current instant, a
+  calendar ring of time buckets with O(1) append inserts and batched
+  sorted drains for the near future, and a binary heap (``_heap``) for
+  far-future overflow, pulled forward epoch by epoch.  The bucket
+  width adapts to observed event density at every epoch rebase.
+  Dispatch order is identical to a single heap's ``(when, key, seq)``
+  total order -- same-instant events were queued later than anything
+  already in the bucket for that time, buckets partition time, and
+  the overflow heap only feeds empty rings -- so the two schedulers
+  are digest-interchangeable (``scheduler="heap"`` keeps the
+  single-heap path; non-``"fifo"`` tie-breaks always use it, since a
+  permuted key breaks the append-in-order invariant the buckets and
+  the now queue exploit).
+* Ring and heap entries are ``(when, key, seq, timer)`` tuples, so
+  ordering comparisons run in C; now-queue entries are bare timers
+  (FIFO append order *is* their sequence order).
+* An ``AnyOf`` whose sources are all delays is *elided*: the winner is
+  computed arithmetically at arm time and a single timer is queued in
+  its place, carrying a pre-built :class:`Wakeup`.  Sequence numbers
+  are still reserved for every source, the winner keeps its own
+  ``(when, key, seq)`` slot, and its dispatch re-queues the resume
+  with a fresh sequence number exactly as the unelided settle hop
+  does -- so the dispatch stream (and therefore every digest) is
+  identical to arming N timers and cancelling the losers, without the
+  loser churn or the compaction pressure.
 * The common resume path (``Delay``/spawn) carries the process on the
-  timer itself; no per-event closure is allocated.
+  timer itself; no per-event closure is allocated.  Timer allocation
+  and queue inserts are inlined at the few scheduling sites rather
+  than factored through helpers: this file trades repetition for the
+  ~40% of dispatch cost that call frames were costing.
 * ``pending_events`` is an O(1) counter kept by :meth:`_Timer.cancel`;
-  cancelled timers (AnyOf losers, disarmed deadlines) are skipped
-  lazily and compacted out of the heap when they pile up.
+  cancelled timers (event-racing ``AnyOf`` losers, disarmed deadlines)
+  are skipped lazily and compacted out of the queues when they pile up.
 * The default ``"fifo"`` tie-break skips the tie-key indirection
   entirely; the permuting keys exist only for the schedule-race
   sanitizer and pay the call when selected.
@@ -34,6 +61,8 @@ Hot-path notes (every experiment is bounded by this loop):
 from __future__ import annotations
 
 import heapq
+from bisect import insort
+from collections import deque
 from functools import partial
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
@@ -167,16 +196,21 @@ class Process:
 
 
 class _Timer:
-    """A cancellable entry in the event heap.
+    """A cancellable entry in the event queues.
 
-    Ordering lives in the heap tuple ``(when, key, seq, timer)``, not
-    here.  ``proc`` is the closure-free fast path: when set, the loop
-    resumes that process directly (sending ``value``) instead of
-    calling ``callback``.
+    Ordering lives in the queue tuple ``(when, key, seq, timer)`` (or,
+    for now-queue entries, in deque append order), not here.  ``proc``
+    is the closure-free fast path: when set, the loop resumes that
+    process directly (sending ``value``) instead of calling
+    ``callback``.  ``anyof`` marks an elided all-delay :class:`AnyOf`
+    winner: it holds the pre-built :class:`Wakeup`, and dispatch
+    re-queues the resume (a fresh sequence number at the fire time)
+    exactly as the unelided settle path would.
     """
 
     __slots__ = (
-        "when", "callback", "proc", "value", "_cancelled", "_in_heap", "_sim"
+        "when", "callback", "proc", "value", "anyof",
+        "_cancelled", "_in_heap", "_sim",
     )
 
     def __init__(
@@ -191,6 +225,7 @@ class _Timer:
         self.callback = callback
         self.proc = proc
         self.value = value
+        self.anyof: Optional[Wakeup] = None
         self._cancelled = False
         self._in_heap = True
         self._sim = sim
@@ -229,8 +264,14 @@ class _Timer:
         return f"_Timer(when={self.when}, {state})"
 
 
-#: heap entry type: (when, tie_key, seq, timer)
+#: queue entry type: (when, tie_key, seq, timer)
 _HeapEntry = Tuple[int, int, int, _Timer]
+
+#: allocation fast path: ``_new_timer(_Timer)`` + eight slot stores is
+#: measurably cheaper than a Python ``__init__`` frame on the paths
+#: that allocate one timer per event
+_new_timer = _Timer.__new__
+_new_wakeup = Wakeup.__new__
 
 
 class Simulator:
@@ -241,17 +282,32 @@ class Simulator:
         sim = Simulator()
         proc = sim.spawn(my_generator(), name="worker")
         sim.run(until=1_000_000)   # or sim.run() to drain all events
+
+    ``scheduler`` selects the queue implementation: ``"calendar"``
+    (default) or ``"heap"`` (the single binary heap).  Both dispatch in
+    the same ``(when, key, seq)`` total order, so runs are
+    digest-identical across the switch; the knob exists for the
+    equivalence tests and as an escape hatch.
     """
 
     #: multiplier for the "seeded" tie-break hash (splitmix64 constant);
     #: pure integer math so permutations replay identically everywhere
     _TIE_MIX = 0x9E3779B97F4A7C15
 
-    #: cancelled entries tolerated in the heap before a compaction pass
+    #: cancelled entries tolerated in the queues before a compaction pass
     #: (also requires stale > live, so compaction work stays amortized)
     _COMPACT_MIN = 64
 
-    def __init__(self, tie_break: str = "fifo") -> None:
+    #: calendar ring size (buckets per epoch).  Width x ring is the
+    #: epoch span; anything scheduled past it overflows into the heap.
+    _N_BUCKETS = 256
+
+    #: initial bucket width in ns; adapted at every epoch rebase
+    _INITIAL_WIDTH = 1024
+
+    def __init__(self, tie_break: str = "fifo", scheduler: str = "calendar") -> None:
+        if scheduler not in ("calendar", "heap"):
+            raise SimulationError(f"unknown scheduler: {scheduler!r}")
         self.now: int = 0
         self._heap: List[_HeapEntry] = []
         self._seq: int = 0
@@ -259,8 +315,30 @@ class Simulator:
         self._stale: int = 0
         self._live_processes: int = 0
         self.tie_break = tie_break
+        self.scheduler = scheduler
         self._fifo = tie_break == "fifo"
         self._tie_key = self._make_tie_key(tie_break)
+        # a permuted tie key breaks the append-in-seq-order invariant
+        # the bucket sort and the now queue exploit, so those runs stay
+        # on the heap
+        self._calendar = scheduler == "calendar" and self._fifo
+        #: events at exactly ``self.now``: resume hops, zero delays,
+        #: spawns.  Append order is sequence order, so a deque replaces
+        #: both the entry tuple and the ordered insert.
+        self._now_q: "deque[_Timer]" = deque()
+        #: ring of bucket lists; bucket i covers
+        #: [base + i*width, base + (i+1)*width)
+        self._buckets: List[List[_HeapEntry]] = (
+            [[] for _ in range(self._N_BUCKETS)] if self._calendar else []
+        )
+        self._bucket_base: int = 0
+        self._bucket_width: int = self._INITIAL_WIDTH
+        self._bucket_span: int = self._INITIAL_WIDTH * self._N_BUCKETS
+        #: current bucket index / cursor into its sorted entries
+        self._cb: int = 0
+        self._ci: int = 0
+        #: sequence counter at the last epoch rebase (width adaptation)
+        self._rebase_seq: int = 0
         #: optional dispatch profiler (see repro.obs.profile); None keeps
         #: run() on the uninstrumented fast path — zero cost when off
         self._profiler: Optional[Any] = None
@@ -300,6 +378,42 @@ class Simulator:
         raise SimulationError(f"unknown tie_break: {tie_break!r}")
 
     # ------------------------------------------------------------------
+    # queue primitives
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, entry: _HeapEntry) -> None:
+        """Queue one tuple entry (``when > now`` or heap mode).
+
+        Calendar inserts pick the bucket by offset; an insert into the
+        bucket currently being drained lands (bisected) among its
+        *undispatched* suffix, which is exactly where the heap would
+        surface it.  The hot scheduling sites inline the common cases
+        of this logic; they must stay behaviourally identical to it.
+        """
+        if self._calendar:
+            offset = entry[0] - self._bucket_base
+            if offset < self._bucket_span:
+                index = offset // self._bucket_width
+                cb = self._cb
+                if index == cb:
+                    insort(self._buckets[index], entry, self._ci)
+                elif index > cb:
+                    self._buckets[index].append(entry)
+                else:
+                    # the ring drained past this slot (cursor at the
+                    # end, clock moved on); rewind the cursor to it —
+                    # every bucket in between is already empty, and the
+                    # old current bucket keeps only its undispatched
+                    # suffix so the rewound walk cannot replay events
+                    if cb < self._N_BUCKETS and self._ci:
+                        del self._buckets[cb][: self._ci]
+                    self._cb = index
+                    self._ci = 0
+                    self._buckets[index].append(entry)
+                return
+        heapq.heappush(self._heap, entry)
+
+    # ------------------------------------------------------------------
     # scheduling primitives
     # ------------------------------------------------------------------
 
@@ -310,11 +424,13 @@ class Simulator:
         seq = self._seq + 1
         self._seq = seq
         timer = _Timer(self.now + int(delay_ns), callback, None, self)
-        heapq.heappush(
-            self._heap,
-            (timer.when, 0 if self._fifo else self._tie_key(seq), seq, timer),
-        )
         self._live += 1
+        if self._calendar and timer.when == self.now:
+            self._now_q.append(timer)
+        else:
+            self._enqueue(
+                (timer.when, 0 if self._fifo else self._tie_key(seq), seq, timer)
+            )
         return timer
 
     def _schedule_step(self, delay_ns: int, proc: Process) -> _Timer:
@@ -326,12 +442,37 @@ class Simulator:
         """
         seq = self._seq + 1
         self._seq = seq
-        timer = _Timer(self.now + delay_ns, None, proc, self)
-        heapq.heappush(
-            self._heap,
-            (timer.when, 0 if self._fifo else self._tie_key(seq), seq, timer),
-        )
+        when = self.now + delay_ns
+        timer = _new_timer(_Timer)
+        timer.when = when
+        timer.callback = None
+        timer.proc = proc
+        timer.value = None
+        timer.anyof = None
+        timer._cancelled = False
+        timer._in_heap = True
+        timer._sim = self
         self._live += 1
+        if self._calendar:
+            if delay_ns == 0:
+                self._now_q.append(timer)
+                return timer
+            offset = when - self._bucket_base
+            if offset < self._bucket_span:
+                index = offset // self._bucket_width
+                cb = self._cb
+                if index == cb:
+                    insort(self._buckets[index], (when, 0, seq, timer), self._ci)
+                elif index > cb:
+                    self._buckets[index].append((when, 0, seq, timer))
+                else:
+                    self._enqueue((when, 0, seq, timer))
+                return timer
+            heapq.heappush(self._heap, (when, 0, seq, timer))
+            return timer
+        self._enqueue(
+            (when, 0 if self._fifo else self._tie_key(seq), seq, timer)
+        )
         return timer
 
     def _schedule_resume(self, proc: Process, value: Any) -> _Timer:
@@ -339,12 +480,22 @@ class Simulator:
         event loop (AnyOf settle path; closure-free)."""
         seq = self._seq + 1
         self._seq = seq
-        timer = _Timer(self.now, None, proc, self, value)
-        heapq.heappush(
-            self._heap,
-            (timer.when, 0 if self._fifo else self._tie_key(seq), seq, timer),
-        )
+        timer = _new_timer(_Timer)
+        timer.when = self.now
+        timer.callback = None
+        timer.proc = proc
+        timer.value = value
+        timer.anyof = None
+        timer._cancelled = False
+        timer._in_heap = True
+        timer._sim = self
         self._live += 1
+        if self._calendar:
+            self._now_q.append(timer)
+        else:
+            self._enqueue(
+                (timer.when, 0 if self._fifo else self._tie_key(seq), seq, timer)
+            )
         return timer
 
     def call_soon(self, callback: Callable[[], None]) -> _Timer:
@@ -378,7 +529,56 @@ class Simulator:
         except BaseException as exc:  # noqa: BLE001 - propagate via run()
             self._finish(proc, None, exc)
             return
-        self._arm(proc, yielded)
+        # hot-kind dispatch inlined here (one call frame per event saved);
+        # _arm keeps the full chain for the cold kinds and subclasses
+        kind = type(yielded)
+        if kind is Delay:
+            seq = self._seq + 1
+            self._seq = seq
+            delay_ns = yielded.ns
+            when = self.now + delay_ns
+            timer = _new_timer(_Timer)
+            timer.when = when
+            timer.callback = None
+            timer.proc = proc
+            timer.value = None
+            timer.anyof = None
+            timer._cancelled = False
+            timer._in_heap = True
+            timer._sim = self
+            self._live += 1
+            if self._calendar:
+                if delay_ns == 0:
+                    self._now_q.append(timer)
+                    return
+                offset = when - self._bucket_base
+                if offset < self._bucket_span:
+                    index = offset // self._bucket_width
+                    cb = self._cb
+                    if index == cb:
+                        insort(
+                            self._buckets[index], (when, 0, seq, timer), self._ci
+                        )
+                    elif index > cb:
+                        self._buckets[index].append((when, 0, seq, timer))
+                    else:
+                        self._enqueue((when, 0, seq, timer))
+                    return
+                heapq.heappush(self._heap, (when, 0, seq, timer))
+                return
+            self._enqueue(
+                (when, 0 if self._fifo else self._tie_key(seq), seq, timer)
+            )
+        elif kind is AnyOf:
+            sources = yielded.sources
+            for source in sources:
+                if type(source) is not Delay:
+                    self._arm_any_of(proc, yielded)
+                    break
+            else:
+                self._arm_delay_race(proc, sources)
+        else:
+            self._arm(proc, yielded)
 
     def _finish(
         self, proc: Process, result: Any, exc: Optional[BaseException]
@@ -392,17 +592,33 @@ class Simulator:
         proc.done.fire(result if exc is None else exc)
 
     def _arm(self, proc: Process, yielded: Any) -> None:
-        """Arm the wakeup condition a process yielded."""
-        if isinstance(yielded, Delay):
+        """Arm the wakeup condition a process yielded.
+
+        ``type() is`` checks dodge ``isinstance`` for the exact engine
+        types (the only ones the stack yields); the ``isinstance``
+        chain at the end keeps subclasses working at the old speed.
+        """
+        kind = type(yielded)
+        if kind is Delay:
             self._schedule_step(yielded.ns, proc)
+        elif kind is AnyOf:
+            self._arm_any_of(proc, yielded)
+        elif kind is Event:
+            yielded.add_waiter(partial(self._step, proc))
+        elif kind is Process:
+            yielded.done.add_waiter(
+                partial(self._resume_from_child, proc, yielded)
+            )
+        elif isinstance(yielded, Delay):
+            self._schedule_step(yielded.ns, proc)
+        elif isinstance(yielded, AnyOf):
+            self._arm_any_of(proc, yielded)
         elif isinstance(yielded, Event):
             yielded.add_waiter(partial(self._step, proc))
         elif isinstance(yielded, Process):
             yielded.done.add_waiter(
                 partial(self._resume_from_child, proc, yielded)
             )
-        elif isinstance(yielded, AnyOf):
-            self._arm_any_of(proc, yielded)
         else:
             self._step(
                 proc,
@@ -419,6 +635,13 @@ class Simulator:
             self._step(proc, child.result, None)
 
     def _arm_any_of(self, proc: Process, any_of: AnyOf) -> None:
+        sources = any_of.sources
+        for source in sources:
+            if type(source) is not Delay:
+                break
+        else:
+            self._arm_delay_race(proc, sources)
+            return
         settled = [False]
         timers: List[_Timer] = []
         subscriptions: List[tuple] = []
@@ -451,14 +674,122 @@ class Simulator:
                 subscriptions.append((source, callback))
                 source.add_waiter(callback)
 
+    def _arm_delay_race(self, proc: Process, sources: List[Delay]) -> None:
+        """Elide an all-delay :class:`AnyOf`: only a race between fixed
+        delays has a winner that is a pure function of the arm time, so
+        the losers never need to be queued at all.
+
+        Sequence numbers are reserved for every source (one bump per
+        delay, in source order, exactly as arming N timers would) and
+        the winner is the minimum ``(when, key, seq)`` over them -- the
+        same entry the heap would pop first.  Dispatching it re-queues
+        the process resume with a fresh sequence number at the fire
+        time, matching the unelided settle hop, so the global dispatch
+        stream is unchanged while the losers -- and the cancel/compact
+        churn they caused -- vanish.
+        """
+        seq0 = self._seq
+        n = len(sources)
+        self._seq = seq0 + n
+        now = self.now
+        if self._fifo:
+            if n == 2:
+                # the dominant shape (compute-vs-doorbell, work-vs-deadline)
+                if sources[1].ns < sources[0].ns:
+                    best_index = 1
+                    best_when = now + sources[1].ns
+                else:
+                    best_index = 0
+                    best_when = now + sources[0].ns
+            else:
+                best_index = 0
+                best_when = now + sources[0].ns
+                for index in range(1, n):
+                    when = now + sources[index].ns
+                    if when < best_when:
+                        best_when = when
+                        best_index = index
+            best_key = 0
+            best_seq = seq0 + 1 + best_index
+        else:
+            tie_key = self._tie_key
+            best_index = 0
+            best = (now + sources[0].ns, tie_key(seq0 + 1), seq0 + 1)
+            for index in range(1, n):
+                seq = seq0 + 1 + index
+                candidate = (now + sources[index].ns, tie_key(seq), seq)
+                if candidate < best:
+                    best = candidate
+                    best_index = index
+            best_when, best_key, best_seq = best
+        wakeup = _new_wakeup(Wakeup)
+        wakeup.index = best_index
+        wakeup.source = sources[best_index]
+        wakeup.value = None
+        timer = _new_timer(_Timer)
+        timer.when = best_when
+        timer.callback = None
+        timer.proc = proc
+        timer.value = None
+        timer.anyof = wakeup
+        timer._cancelled = False
+        timer._in_heap = True
+        timer._sim = self
+        self._live += 1
+        if self._calendar:
+            if best_when == now:
+                self._now_q.append(timer)
+                return
+            offset = best_when - self._bucket_base
+            if offset < self._bucket_span:
+                index = offset // self._bucket_width
+                cb = self._cb
+                if index == cb:
+                    insort(
+                        self._buckets[index],
+                        (best_when, best_key, best_seq, timer),
+                        self._ci,
+                    )
+                elif index > cb:
+                    self._buckets[index].append(
+                        (best_when, best_key, best_seq, timer)
+                    )
+                else:
+                    self._enqueue((best_when, best_key, best_seq, timer))
+                return
+            heapq.heappush(self._heap, (best_when, best_key, best_seq, timer))
+            return
+        self._enqueue((best_when, best_key, best_seq, timer))
+
+    def _fire_elided(self, timer: _Timer) -> None:
+        """Dispatch an elided-race winner: re-queue the resume at the
+        fire time, reusing the timer object (the unelided settle path
+        allocates a fresh one; object identity is not observable).
+        Matches :meth:`_schedule_resume` including the sequence bump.
+        """
+        wakeup = timer.anyof
+        timer.anyof = None
+        timer.value = wakeup
+        timer.when = self.now
+        timer._in_heap = True
+        seq = self._seq + 1
+        self._seq = seq
+        self._live += 1
+        if self._calendar:
+            self._now_q.append(timer)
+        else:
+            self._enqueue(
+                (timer.when, 0 if self._fifo else self._tie_key(seq), seq, timer)
+            )
+
     # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify (amortized by the
-        trigger threshold; keeps AnyOf-loser storms from growing the
-        heap without bound)."""
+        """Drop cancelled entries and rebuild the queues (amortized by
+        the trigger threshold; keeps cancellation storms from growing
+        the queues without bound)."""
         live: List[_HeapEntry] = []
         for entry in self._heap:
             timer = entry[3]
@@ -468,16 +799,162 @@ class Simulator:
                 live.append(entry)
         heapq.heapify(live)
         self._heap = live
+        if self._calendar:
+            current = self._cb
+            for index in range(current, self._N_BUCKETS):
+                bucket = self._buckets[index]
+                if not bucket:
+                    continue
+                start = self._ci if index == current else 0
+                kept = []
+                for entry in bucket[start:]:
+                    timer = entry[3]
+                    if timer._cancelled:
+                        timer._in_heap = False
+                    else:
+                        kept.append(entry)
+                bucket[:] = kept
+                if index == current:
+                    self._ci = 0
+            if self._now_q:
+                fresh: "deque[_Timer]" = deque()
+                for timer in self._now_q:
+                    if timer._cancelled:
+                        timer._in_heap = False
+                    else:
+                        fresh.append(timer)
+                self._now_q = fresh
         self._stale = 0
+
+    def _rebase(self, until: Optional[int]) -> bool:
+        """Start a new calendar epoch at the next heap timer, pulling
+        every overflow entry that now falls inside the epoch span.
+
+        The bucket width adapts here: the mean gap between the events
+        scheduled during the previous epoch estimates upcoming density.
+        Width only changes dispatch *batching*, never dispatch order,
+        so any deterministic estimate is digest-safe.
+        """
+        heap = self._heap
+        if not heap:
+            return False
+        base = heap[0][0]
+        if until is not None and base > until:
+            return False
+        scheduled = self._seq - self._rebase_seq
+        self._rebase_seq = self._seq
+        if scheduled > 0:
+            elapsed = base - self._bucket_base
+            gap = elapsed // scheduled
+            width = min(max(gap * 8, 64), 1 << 22)
+            self._bucket_width = width
+            self._bucket_span = width * self._N_BUCKETS
+        self._bucket_base = base
+        limit = base + self._bucket_span
+        width = self._bucket_width
+        buckets = self._buckets
+        pop = heapq.heappop
+        while heap and heap[0][0] < limit:
+            entry = pop(heap)
+            buckets[(entry[0] - base) // width].append(entry)
+        self._cb = 0
+        self._ci = 0
+        first = buckets[0]
+        if len(first) > 1:
+            first.sort()
+        return True
+
+    def _advance(self, until: Optional[int]) -> Optional[List[_HeapEntry]]:
+        """Move the calendar cursor to the next undispatched entry.
+
+        Returns the (sorted) bucket holding it with ``_ci`` pointing at
+        it, or ``None`` when the ring and heap are drained past
+        ``until``.  Exhausted buckets are cleared in passing; a stop at
+        ``until`` trims the dispatched prefix so captures see only
+        queued state.  The now queue is the caller's business.
+        """
+        n_buckets = self._N_BUCKETS
+        buckets = self._buckets
+        while True:
+            cb = self._cb
+            if cb < n_buckets:
+                bucket = buckets[cb]
+                ci = self._ci
+                if ci < len(bucket):
+                    if until is not None and bucket[ci][0] > until:
+                        if ci:
+                            del bucket[:ci]
+                            self._ci = 0
+                        return None
+                    return bucket
+                if bucket:
+                    bucket.clear()
+                self._ci = 0
+                cb += 1
+                self._cb = cb
+                if cb < n_buckets:
+                    nxt = buckets[cb]
+                    if len(nxt) > 1:
+                        nxt.sort()
+                continue
+            if not self._rebase(until):
+                return None
 
     def _pop_next(self, until: Optional[int] = None) -> Optional[_Timer]:
         """Pop the next live timer, discarding cancelled entries.
 
-        The single pop loop shared by :meth:`run`, :meth:`run_one` and
-        (through them) :meth:`run_until_done`.  Returns ``None`` when
-        the heap drains or the next live timer lies beyond ``until``
-        (which is then left queued).
+        The single pop loop shared by :meth:`run_one`, the profiled
+        loop and (through them) :meth:`run_until_done`; :meth:`run`
+        inlines the same order.  Returns ``None`` when the queues drain
+        or the next live timer lies beyond ``until`` (which is then
+        left queued).
         """
+        if self._calendar:
+            now = self.now
+            now_q = self._now_q
+            while True:
+                # bucket entries at the current instant outrank the now
+                # queue: they were queued before `now` was reached, so
+                # their sequence numbers are strictly smaller
+                cb = self._cb
+                if cb < self._N_BUCKETS:
+                    bucket = self._buckets[cb]
+                    ci = self._ci
+                    if ci < len(bucket) and bucket[ci][0] == now:
+                        self._ci = ci + 1
+                        timer = bucket[ci][3]
+                        if timer._cancelled:
+                            timer._in_heap = False
+                            self._stale -= 1
+                            continue
+                        timer._in_heap = False
+                        self._live -= 1
+                        return timer
+                if now_q:
+                    timer = now_q.popleft()
+                    if timer._cancelled:
+                        timer._in_heap = False
+                        self._stale -= 1
+                        continue
+                    timer._in_heap = False
+                    self._live -= 1
+                    return timer
+                bucket = self._advance(until)
+                if bucket is None:
+                    return None
+                ci = self._ci
+                entry = bucket[ci]
+                self._ci = ci + 1
+                timer = entry[3]
+                if timer._cancelled:
+                    timer._in_heap = False
+                    self._stale -= 1
+                    continue
+                timer._in_heap = False
+                self._live -= 1
+                if entry[0] < now:
+                    raise SimulationError("time went backwards")
+                return timer
         heap = self._heap
         while heap:
             entry = heap[0]
@@ -503,7 +980,7 @@ class Simulator:
 
         ``profiler`` is duck-typed (see :class:`repro.obs.profile.
         EngineProfiler`): it needs ``clock()`` returning monotonic
-        integer nanoseconds and ``note(timer, elapsed_ns, heap_len)``.
+        integer nanoseconds and ``note(timer, elapsed_ns, queue_len)``.
         The engine itself never reads a wall clock — the profiler owns
         the (nondeterministic) time source, which is why profiling is
         excluded from digested runs rather than special-cased in them.
@@ -513,25 +990,129 @@ class Simulator:
     def detach_profiler(self) -> None:
         self._profiler = None
 
-    def run(self, until: Optional[int] = None) -> int:
-        """Process events until the heap drains or the clock passes ``until``.
+    @property
+    def profiling(self) -> bool:
+        """True while an engine profiler is attached (see
+        :meth:`attach_profiler`); consumers that would hide per-event
+        detail from it — e.g. compute-span coalescing — check this."""
+        return self._profiler is not None
 
-        Returns the simulated time at which the run stopped.
+    def run(self, until: Optional[int] = None) -> int:
+        """Process events until the queues drain or the clock passes
+        ``until``.  Returns the simulated time at which the run stopped.
+
+        On the calendar path the loop drains whole buckets inline:
+        one sort orders a batch of same-epoch timers and dispatch walks
+        it with a cursor, touching the pop machinery only at bucket
+        boundaries; same-instant followups drain straight off the now
+        queue.
         """
         if self._profiler is not None:
             return self._run_profiled(until)
         step = self._step
-        pop_next = self._pop_next
+        if not self._calendar:
+            pop_next = self._pop_next
+            while True:
+                timer = pop_next(until)
+                if timer is None:
+                    break
+                self.now = timer.when
+                proc = timer.proc
+                if proc is not None:
+                    if timer.anyof is None:
+                        step(proc, timer.value, None)
+                    else:
+                        self._fire_elided(timer)
+                else:
+                    timer.callback()
+            if until is not None and until > self.now:
+                self.now = until
+            return self.now
+        now_q = self._now_q
+        buckets = self._buckets
+        n_buckets = self._N_BUCKETS
         while True:
-            timer = pop_next(until)
-            if timer is None:
+            # 1) same-instant events, unless the current bucket still
+            #    holds (earlier-queued) entries at this timestamp
+            while now_q:
+                cb = self._cb
+                if cb < n_buckets:
+                    bucket = buckets[cb]
+                    ci = self._ci
+                    if ci < len(bucket) and bucket[ci][0] == self.now:
+                        self._ci = ci + 1
+                        timer = bucket[ci][3]
+                        if timer._cancelled:
+                            timer._in_heap = False
+                            self._stale -= 1
+                            continue
+                        timer._in_heap = False
+                        self._live -= 1
+                        proc = timer.proc
+                        if proc is not None:
+                            if timer.anyof is None:
+                                step(proc, timer.value, None)
+                            else:
+                                self._fire_elided(timer)
+                        else:
+                            timer.callback()
+                        continue
+                timer = now_q.popleft()
+                if timer._cancelled:
+                    timer._in_heap = False
+                    self._stale -= 1
+                    continue
+                timer._in_heap = False
+                self._live -= 1
+                proc = timer.proc
+                if proc is not None:
+                    if timer.anyof is None:
+                        step(proc, timer.value, None)
+                    else:
+                        self._fire_elided(timer)
+                else:
+                    timer.callback()
+            # 2) batch-drain the current bucket up to `until`
+            bucket = self._advance(until)
+            if bucket is None:
                 break
-            self.now = timer.when
-            proc = timer.proc
-            if proc is not None:
-                step(proc, timer.value, None)
-            else:
-                timer.callback()
+            while True:
+                ci = self._ci
+                if ci >= len(bucket):
+                    break
+                entry = bucket[ci]
+                when = entry[0]
+                if until is not None and when > until:
+                    break
+                self._ci = ci + 1
+                timer = entry[3]
+                if timer._cancelled:
+                    timer._in_heap = False
+                    self._stale -= 1
+                    continue
+                timer._in_heap = False
+                self._live -= 1
+                if when < self.now:
+                    raise SimulationError("time went backwards")
+                self.now = when
+                proc = timer.proc
+                if proc is not None:
+                    wakeup = timer.anyof
+                    if wakeup is None:
+                        step(proc, timer.value, None)
+                    else:
+                        # _fire_elided, inlined: re-queue the resume at
+                        # the fire time with a fresh sequence number
+                        timer.anyof = None
+                        timer.value = wakeup
+                        timer._in_heap = True
+                        self._seq += 1
+                        self._live += 1
+                        now_q.append(timer)
+                else:
+                    timer.callback()
+                if now_q:
+                    break
         if until is not None and until > self.now:
             self.now = until
         return self.now
@@ -547,7 +1128,6 @@ class Simulator:
         note = profiler.note
         step = self._step
         pop_next = self._pop_next
-        heap = self._heap
         while True:
             timer = pop_next(until)
             if timer is None:
@@ -556,10 +1136,13 @@ class Simulator:
             proc = timer.proc
             start = clock()
             if proc is not None:
-                step(proc, timer.value, None)
+                if timer.anyof is None:
+                    step(proc, timer.value, None)
+                else:
+                    self._fire_elided(timer)
             else:
                 timer.callback()
-            note(timer, clock() - start, len(heap))
+            note(timer, clock() - start, self._live + self._stale)
         if until is not None and until > self.now:
             self.now = until
         return self.now
@@ -591,13 +1174,21 @@ class Simulator:
         if profiler is not None:
             start = profiler.clock()
             if proc is not None:
-                self._step(proc, timer.value, None)
+                if timer.anyof is None:
+                    self._step(proc, timer.value, None)
+                else:
+                    self._fire_elided(timer)
             else:
                 timer.callback()
-            profiler.note(timer, profiler.clock() - start, len(self._heap))
+            profiler.note(
+                timer, profiler.clock() - start, self._live + self._stale
+            )
             return
         if proc is not None:
-            self._step(proc, timer.value, None)
+            if timer.anyof is None:
+                self._step(proc, timer.value, None)
+            else:
+                self._fire_elided(timer)
         else:
             timer.callback()
 

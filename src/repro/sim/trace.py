@@ -7,6 +7,7 @@ for exit accounting (Table 4) and CPU-time conservation checks.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import Counter, defaultdict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
@@ -124,6 +125,26 @@ class Tracer:
         domain, start = open_span
         if time > start:
             self.spans.append(ExecutionSpan(core, domain, start, time))
+
+    def insert_span(self, core: int, domain: str, start: int, end: int) -> None:
+        """Record a closed span directly, keeping end-time order.
+
+        ``end_span`` appends because real time only moves forward; span
+        coalescing (:meth:`repro.hw.core.PhysicalCore.execute_span`)
+        synthesizes past chunks retroactively, so their spans must be
+        placed where a live run would have appended them.  Within one
+        end time the new span goes after existing ones — the order a
+        same-instant append would have produced.  Zero-length spans are
+        dropped, matching :meth:`end_span`.
+        """
+        if end <= start:
+            return
+        spans = self.spans
+        if not spans or spans[-1].end <= end:
+            spans.append(ExecutionSpan(core, domain, start, end))
+            return
+        index = bisect_right(spans, end, key=lambda s: s.end)
+        spans.insert(index, ExecutionSpan(core, domain, start, end))
 
     def close_all_spans(self, time: int) -> None:
         for core in list(self._open_spans):

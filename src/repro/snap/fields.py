@@ -57,13 +57,23 @@ SNAP_FIELDS: Dict[str, CaptureSpec] = {
     "repro.sim.engine:Simulator": _spec(
         "now",
         "tie_break",
+        "scheduler",
         "_heap",
+        "_buckets",
+        "_now_q",
+        "_bucket_base",
+        "_bucket_width",
+        "_cb",
+        "_ci",
+        "_rebase_seq",
         "_seq",
         "_live",
         "_stale",
         "_live_processes",
         _fifo=DERIVED,
         _tie_key=DERIVED,
+        _calendar=DERIVED,
+        _bucket_span=DERIVED,
         _profiler=OBSERVER,
     ),
     "repro.sim.engine:Event": _spec(
@@ -86,11 +96,14 @@ SNAP_FIELDS: Dict[str, CaptureSpec] = {
         "callback",
         "proc",
         "value",
+        "anyof",
         "_cancelled",
         "_in_heap",
         cancelled="property alias of _cancelled",
         _sim=WIRING,
     ),
+    "repro.sim.engine:Wakeup": _spec("index", "source", "value"),
+    "repro.sim.engine:Delay": _spec("ns"),
     "repro.sim.rng:RngFactory": _spec("seed", "_streams"),
     "repro.sim.trace:Tracer": _spec(
         "enabled",
@@ -133,7 +146,9 @@ SNAP_FIELDS: Dict[str, CaptureSpec] = {
         "llc",
         "memory",
         "cores",
+        "coalesce_compute",
         pollution_costs=STATIC,
+        coalesce_inhibit=HOOK,
     ),
     "repro.hw.core:PhysicalCore": _spec(
         "index",
@@ -143,6 +158,7 @@ SNAP_FIELDS: Dict[str, CaptureSpec] = {
         "busy_ns",
         "uarch",
         "pollution",
+        "_active_span",
         machine=WIRING,
         sim=WIRING,
         tracer=WIRING,
@@ -448,6 +464,7 @@ SNAP_FIELDS: Dict[str, CaptureSpec] = {
         "_workload",
         vm=WIRING,
         costs=STATIC,
+        coalesce_allowed=HOOK,
     ),
     # -- composition roots ---------------------------------------------
     "repro.experiments.system:System": _spec(

@@ -166,6 +166,29 @@ def test_resolve_jobs_defaults_and_env(monkeypatch):
         resolve_jobs(0)
 
 
+def test_resolve_jobs_auto(monkeypatch):
+    import repro.experiments.runner as runner_mod
+
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 8)
+    assert resolve_jobs("auto") == 8
+    assert resolve_jobs("auto", n_cells=3) == 3  # no idle workers
+    assert resolve_jobs("auto", n_cells=20) == 8
+    monkeypatch.setenv("REPRO_JOBS", "auto")
+    assert resolve_jobs(n_cells=5) == 5
+    # a single-CPU host gets the serial path: a spawn pool there only
+    # adds interpreter start-up on top of the same core
+    monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 1)
+    assert resolve_jobs("auto") == 1
+    assert resolve_jobs("auto", n_cells=16) == 1
+    monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: None)
+    assert resolve_jobs("auto") == 1
+    monkeypatch.delenv("REPRO_JOBS")
+    assert resolve_jobs("4") == 4  # CLI strings still resolve
+    with pytest.raises(ValueError):
+        resolve_jobs("automatic")
+
+
 def test_cell_spec_validation():
     with pytest.raises(ValueError):
         cell("bad-spec", "no-colon-here")

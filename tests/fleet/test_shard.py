@@ -1,0 +1,91 @@
+"""Per-server sharding: sharded == serial, and merges are order-blind.
+
+A scenario's servers are independent simulations, so running each as
+its own shard must reproduce ``Fleet.run``'s results bit-identically,
+and the merged rack timeline must be a pure function of the shard
+outcomes — never of which worker finished first.
+"""
+
+import pytest
+
+from repro.experiments.runner import canonical_digest, run_cells
+from repro.fleet import boot_scenario, run_scenario_sharded
+from repro.fleet.shard import (
+    ShardOutcome,
+    build_scenario,
+    merge_shards,
+    merge_timelines,
+    shard_cells,
+)
+from repro.fleet.sweep import consolidation_scenario
+from repro.sim.clock import ms
+
+BUILDER = "repro.fleet.sweep:consolidation_scenario"
+KWARGS = dict(level=1, mode="gapped", n_servers=2, duration_ns=ms(40))
+
+
+class TestShardedEqualsSerial:
+    def test_tenant_rows_bit_identical(self):
+        sharded = run_scenario_sharded(BUILDER, KWARGS, jobs=1)
+        serial = boot_scenario(consolidation_scenario(**KWARGS)).run()
+        assert canonical_digest(sharded.result.tenants) == canonical_digest(
+            serial.tenants
+        )
+        assert sharded.result.rejected == serial.rejected
+
+    def test_pool_matches_inline(self):
+        cells = shard_cells(BUILDER, KWARGS, n_servers=2)
+        inline = run_cells(cells, jobs=1)
+        pooled = run_cells(cells, jobs=2)
+        assert canonical_digest(inline) == canonical_digest(pooled)
+
+
+class TestMerge:
+    def _outcomes(self):
+        cells = shard_cells(BUILDER, KWARGS, n_servers=2)
+        return run_cells(cells, jobs=1)
+
+    def test_merge_is_blind_to_completion_order(self):
+        outcomes = self._outcomes()
+        forward = merge_shards(outcomes, rejected=[])
+        backward = merge_shards(list(reversed(outcomes)), rejected=[])
+        assert canonical_digest(forward) == canonical_digest(backward)
+        # tenant rows come out in server order, Fleet.run's order
+        assert [t.server for t in forward.result.tenants] == sorted(
+            t.server for t in forward.result.tenants
+        )
+
+    def test_timeline_is_timestamp_ordered(self):
+        outcomes = self._outcomes()
+        timeline = merge_timelines(outcomes)
+        assert timeline
+        stamps = [int(line.split("|", 1)[0]) for line in timeline]
+        assert stamps == sorted(stamps)
+        # both servers contribute
+        servers = {line.split("|")[1] for line in timeline}
+        assert servers == {"s0", "s1"}
+
+    def test_counters_are_per_server(self):
+        merged = merge_shards(self._outcomes(), rejected=[])
+        assert any(k.startswith("server0:") for k in merged.counters)
+        assert any(k.startswith("server1:") for k in merged.counters)
+        assert merged.end_ns > 0
+
+    def test_synthetic_tie_uses_server_then_arrival(self):
+        a = ShardOutcome(
+            server=1,
+            tenants=[],
+            timeline=[(5, "x"), (5, "y")],
+            counters={},
+            end_ns=5,
+        )
+        b = ShardOutcome(
+            server=0, tenants=[], timeline=[(5, "z")], counters={}, end_ns=5
+        )
+        assert merge_timelines([a, b]) == ["5|s0|z", "5|s1|x", "5|s1|y"]
+
+
+class TestBuilderContract:
+    def test_non_scenario_builder_rejected(self):
+        with pytest.raises(TypeError, match="expected ScenarioSpec"):
+            build_scenario("repro.sim.clock:ms", {"value": 1})

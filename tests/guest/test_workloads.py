@@ -26,7 +26,8 @@ from repro.guest.workloads import (
     kbuild_workload_factory,
     netpipe_workload_factory,
 )
-from repro.guest.workloads.coremark import DEFAULT_CHUNK_NS
+from repro.guest.actions import ComputeSpan
+from repro.guest.workloads.coremark import DEFAULT_CHUNK_NS, SPAN_CHUNKS
 
 
 def collect(gen, n, answer=None):
@@ -49,9 +50,14 @@ class TestCoremark:
         factory = coremark_workload_factory(stats)
         vm = GuestVm("t", 1, lambda v, i: None)
         actions = collect(factory(vm, 0), 10)
-        assert all(isinstance(a, Compute) for a in actions)
-        # the 10th chunk is yielded but not yet completed
-        assert stats.chunks_completed == 9
+        assert all(isinstance(a, ComputeSpan) for a in actions)
+        assert all(a.chunk_ns == DEFAULT_CHUNK_NS for a in actions)
+        assert all(a.n_chunks == SPAN_CHUNKS for a in actions)
+        # progress is credited chunk-by-chunk through the callback
+        # (by the vCPU runtime or the coalescing driver)
+        actions[0].on_chunk()
+        actions[0].on_chunk()
+        assert stats.chunks_completed == 2
 
     def test_score_scaling(self):
         stats = CoremarkStats()
