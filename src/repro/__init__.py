@@ -6,15 +6,24 @@ Subpackages
 -----------
 ``repro.sim``          discrete-event kernel
 ``repro.hw``           simulated SoC (cores, caches, GIC, timers, memory)
+                       + isolation-policy strategies (``repro.hw.policy``)
 ``repro.isa``          worlds, security domains, SMC cost model
+``repro.costs``        calibrated primitive-cost model
 ``repro.rmm``          the security monitor, incl. core gapping
 ``repro.rpc``          shared-memory RPC transports
 ``repro.host``         Linux/KVM-like host: scheduler, hotplug, VMM, planner
 ``repro.guest``        guest vCPU runtime and workloads
-``repro.security``     side channels, attacks, vulnerability catalog, auditor
+``repro.security``     side channels, attacks, vulnerability catalog,
+                       auditor, per-policy leakage probe
 ``repro.analysis``     statistics and report rendering
-``repro.experiments``  one harness per paper table/figure
-``repro.fleet``        declarative multi-server scenarios, open-loop serving
+``repro.experiments``  one harness per paper table/figure (+ the
+                       ``defenses`` policy-comparison sweep)
+``repro.fleet``        declarative multi-server scenarios, open-loop
+                       serving, per-server sharding (``repro.fleet.shard``)
+``repro.snap``         checkpoint/restore by deterministic re-execution
+``repro.faults``       fault injection and chaos harnesses
+``repro.obs``          traces, metrics, profiling, run reports
+``repro.lint``         static invariant passes + runtime sanitizer
 """
 
 __version__ = "1.0.0"

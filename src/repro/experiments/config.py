@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from ..costs import CostModel, DEFAULT_COSTS
+from ..hw.policy import IsolationPolicy, default_policy_name, resolve_policy
 from ..sim.clock import ms, us
 
 __all__ = ["SystemConfig", "PAPER_TARGETS"]
@@ -54,10 +55,30 @@ class SystemConfig:
     #: whenever nothing needs mid-span visibility; spans de-coalesce
     #: transparently when tracing/faults/profiling do.
     coalesce_compute: bool = False
+    #: isolation policy ("core-gap" | "flush" | "none"); None derives
+    #: the policy the mode always implied (gapped -> core-gap,
+    #: shared-cvm -> flush, shared -> none), which is bit-identical to
+    #: pre-policy behavior.  See repro.hw.policy.
+    policy: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # fail at construction, not mid-boot, on an illegal pair
+        # (e.g. mode="gapped" with policy="flush")
+        resolve_policy(self.mode, self.policy)
 
     @property
     def is_gapped(self) -> bool:
         return self.mode == "gapped"
+
+    def resolved_policy_name(self) -> str:
+        """The effective policy name (explicit, or derived from mode)."""
+        if self.policy is not None:
+            return self.policy
+        return default_policy_name(self.mode)
+
+    def resolved_policy(self) -> IsolationPolicy:
+        """The strategy object the System threads through its stack."""
+        return resolve_policy(self.mode, self.policy)
 
     def label(self) -> str:
         parts = [self.mode]
@@ -66,6 +87,8 @@ class SystemConfig:
                 parts.append("busywait")
             if not self.delegation:
                 parts.append("nodeleg")
+        if self.resolved_policy_name() != default_policy_name(self.mode):
+            parts.append(f"policy={self.policy}")
         return "+".join(parts)
 
 

@@ -1,0 +1,363 @@
+"""The ``defenses`` sweep: every workload under every isolation policy.
+
+The paper's headline claim is comparative -- core-gapping beats
+flush-on-switch mitigations on *both* security and overhead (S1, S7) --
+but every other sweep in this repo only varies the mode axis.  This one
+varies the defense: it runs scaled-down versions of the fig. 6 CoreMark,
+fig. 8 NetPIPE, fig. 9 IOzone and Table 5 Redis harnesses plus the
+fleet consolidation scenario under each registered isolation policy
+(:mod:`repro.hw.policy`), and scores residual leakage with the seeded
+prime+probe observer of :mod:`repro.security.policy`.
+
+Every (policy, workload) pair is one independent runner cell, so the
+sweep is ``--jobs``-safe and digest-deterministic end to end::
+
+    PYTHONPATH=src python -m repro.experiments.runner defenses --jobs 4
+
+The rendered verdict lives in ``benchmarks/results/report_defenses.md``
+and the EXPERIMENTS.md "Defense comparison" section
+(``python -m repro.obs.report defenses``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..costs import CostModel, DEFAULT_COSTS
+from ..guest.vm import GuestVm
+from ..guest.workloads.iozone import IozoneStats, iozone_workload_factory
+from ..guest.workloads.netpipe import NetpipeStats, netpipe_workload_factory
+from ..guest.workloads.redis import OP_GET, RedisClientSim, redis_server_factory
+from ..sim.clock import ms, sec
+from .config import SystemConfig
+from .runner import Cell, cell, run_cells
+from .system import System
+from .workbench import run_coremark
+
+__all__ = ["POLICY_MATRIX", "defenses_cells", "run_defenses"]
+
+#: (policy, mode) pairs under comparison: each policy runs under the
+#: mode it canonically pairs with (repro.hw.policy._DEFAULT_FOR_MODE)
+POLICY_MATRIX: Tuple[Tuple[str, str], ...] = (
+    ("core-gap", "gapped"),
+    ("flush", "shared-cvm"),
+    ("none", "shared"),
+)
+
+
+def _config(policy: str, mode: str, n_cores: int) -> SystemConfig:
+    return SystemConfig(mode=mode, n_cores=n_cores, policy=policy)
+
+
+# ---------------------------------------------------------------------------
+# cells (top-level functions: they must pickle across worker processes)
+# ---------------------------------------------------------------------------
+
+
+def _coremark_cell(
+    policy: str, mode: str, n_cores: int, duration_ns: int, costs: CostModel
+) -> Dict[str, Any]:
+    run = run_coremark(
+        _config(policy, mode, n_cores),
+        n_cores_used=n_cores,
+        duration_ns=duration_ns,
+        costs=costs,
+    )
+    return {
+        "score": run.score,
+        "exits_total": run.exit_counts.get("exits_total", 0),
+    }
+
+
+def _netpipe_cell(
+    policy: str,
+    mode: str,
+    sizes: List[int],
+    pings: int,
+    costs: CostModel,
+) -> Dict[str, Any]:
+    n_cores = 4
+    config = _config(policy, mode, n_cores)
+    system = System(config, costs)
+    stats = NetpipeStats()
+    n_vcpus = n_cores - 1 if config.is_gapped else n_cores
+    vm = GuestVm(
+        "netpipe",
+        n_vcpus,
+        netpipe_workload_factory(
+            stats,
+            "sriov-net0",
+            True,
+            clock=lambda: system.sim.now,
+            sizes=sizes,
+            pings_per_size=pings,
+            costs=costs,
+        ),
+        costs=costs,
+    )
+    kvm = system.launch(vm)
+    system.add_sriov_nic(kvm, "sriov-net0", echo_peer=True)
+    system.start(kvm)
+    expected = len(sizes) * pings
+    system.run_until(
+        lambda: sum(len(v) for v in stats.rtt_ns.values()) >= expected,
+        limit_ns=sec(30),
+    )
+    largest = max(sizes)
+    return {
+        "latency_us": stats.latency_us(largest),
+        "throughput_gbps": stats.throughput_gbps(largest),
+    }
+
+
+def _iozone_cell(
+    policy: str,
+    mode: str,
+    records: List[int],
+    ops: int,
+    costs: CostModel,
+) -> Dict[str, Any]:
+    n_cores = 4
+    config = _config(policy, mode, n_cores)
+    system = System(config, costs)
+    stats = IozoneStats()
+    n_vcpus = n_cores - 1 if config.is_gapped else n_cores
+    vm = GuestVm(
+        "iozone",
+        n_vcpus,
+        iozone_workload_factory(
+            stats,
+            "virtio-blk0",
+            clock=lambda: system.sim.now,
+            records=records,
+            ops_per_record=ops,
+            costs=costs,
+        ),
+        costs=costs,
+    )
+    kvm = system.launch(vm)
+    system.add_virtio_blk(kvm, "virtio-blk0")
+    system.start(kvm)
+    expected = len(records) * 2 * ops
+    system.run_until(
+        lambda: sum(len(v) for v in stats.samples.values()) >= expected,
+        limit_ns=sec(120),
+    )
+    largest = max(records)
+    return {
+        "write_mib_s": stats.throughput_mib_s(largest, "blk_write"),
+        "read_mib_s": stats.throughput_mib_s(largest, "blk_read"),
+    }
+
+
+def _redis_cell(
+    policy: str,
+    mode: str,
+    n_cores: int,
+    n_requests: int,
+    costs: CostModel,
+) -> Dict[str, Any]:
+    config = _config(policy, mode, n_cores)
+    system = System(config, costs)
+    n_vcpus = n_cores - 1 if config.is_gapped else n_cores
+    vm = GuestVm(
+        "redis",
+        n_vcpus,
+        redis_server_factory("sriov-net0", costs),
+        costs=costs,
+    )
+    kvm = system.launch(vm)
+    device = system.add_sriov_nic(kvm, "sriov-net0")
+    system.start(kvm)
+    client = RedisClientSim(
+        system.sim, device, n_vcpus, OP_GET, n_requests, n_clients=50,
+        costs=costs,
+    )
+    client.start()
+    system.run_until(lambda: client.done, limit_ns=sec(120))
+    stats = client.stats
+    return {
+        "throughput_krps": stats.throughput_krps(OP_GET.name),
+        "mean_ms": stats.mean_ms(OP_GET.name),
+        "p95_ms": stats.percentile_ms(OP_GET.name, 95),
+        "p99_ms": stats.percentile_ms(OP_GET.name, 99),
+    }
+
+
+def _fleet_cell(
+    policy: str,
+    mode: str,
+    level: int,
+    rate_rps: float,
+    duration_ns: int,
+    seed: int,
+    costs: CostModel,
+) -> Dict[str, Any]:
+    from ..fleet.placement import place
+    from ..fleet.scenario import boot_server, run_server
+    from ..fleet.sweep import consolidation_scenario
+
+    spec = consolidation_scenario(
+        level,
+        mode,
+        n_servers=1,
+        rate_rps=rate_rps,
+        duration_ns=duration_ns,
+        seed=seed,
+        costs=costs,
+        policy=policy,
+    )
+    placement = place(spec)
+    if placement.rejected:
+        names = [name for name, _ in placement.rejected]
+        raise ValueError(f"defenses fleet cell {policy}: rejected {names}")
+    server = boot_server(spec, placement, 0, costs)
+    tenants = run_server(server, spec)
+    issued = sum(r.issued for r in tenants)
+    violations = sum(r.slo_violations for r in tenants)
+    return {
+        "tenants": len(tenants),
+        "issued": issued,
+        "completed": sum(r.completed for r in tenants),
+        "throughput_krps": sum(r.throughput_krps for r in tenants),
+        "p99_ms": max((r.p99_ms for r in tenants), default=0.0),
+        "slo_violation_pct": 100.0 * violations / issued if issued else 0.0,
+    }
+
+
+def _leakage_cell(policy: str, n_bits: int, seed: int) -> Dict[str, Any]:
+    from ..hw.policy import POLICIES
+    from ..security.policy import leakage_probe, tolerated_residency
+
+    result = leakage_probe(POLICIES[policy], n_bits=n_bits, seed=seed)
+    row = asdict(result)
+    row["residual_structures"] = list(result.residual_structures)
+    row["scrubbed_structures"] = list(result.scrubbed_structures)
+    row["tolerated_residency"] = sorted(tolerated_residency(POLICIES[policy]))
+    row["unexpected_residency"] = sorted(
+        set(result.residual_structures)
+        - tolerated_residency(POLICIES[policy])
+    )
+    return row
+
+
+# ---------------------------------------------------------------------------
+# the sweep
+# ---------------------------------------------------------------------------
+
+
+def defenses_cells(
+    coremark_cores: int = 16,
+    coremark_duration_ns: int = ms(200),
+    netpipe_sizes: Sequence[int] = (1024, 65536),
+    netpipe_pings: int = 20,
+    iozone_records: Sequence[int] = (4096, 65536),
+    iozone_ops: int = 4,
+    redis_cores: int = 8,
+    redis_requests: int = 3000,
+    fleet_level: int = 2,
+    fleet_rate_rps: float = 4000.0,
+    fleet_duration_ns: int = ms(150),
+    leakage_bits: int = 64,
+    seed: int = 0,
+    costs: CostModel = DEFAULT_COSTS,
+) -> List[Cell]:
+    """The defense matrix as independent runner cells, in merge order."""
+    cells: List[Cell] = []
+    for policy, mode in POLICY_MATRIX:
+        cells.extend(
+            [
+                cell(
+                    f"defenses/{policy}/coremark",
+                    _coremark_cell,
+                    policy=policy,
+                    mode=mode,
+                    n_cores=coremark_cores,
+                    duration_ns=coremark_duration_ns,
+                    costs=costs,
+                ),
+                cell(
+                    f"defenses/{policy}/netpipe",
+                    _netpipe_cell,
+                    policy=policy,
+                    mode=mode,
+                    sizes=list(netpipe_sizes),
+                    pings=netpipe_pings,
+                    costs=costs,
+                ),
+                cell(
+                    f"defenses/{policy}/iozone",
+                    _iozone_cell,
+                    policy=policy,
+                    mode=mode,
+                    records=list(iozone_records),
+                    ops=iozone_ops,
+                    costs=costs,
+                ),
+                cell(
+                    f"defenses/{policy}/redis",
+                    _redis_cell,
+                    policy=policy,
+                    mode=mode,
+                    n_cores=redis_cores,
+                    n_requests=redis_requests,
+                    costs=costs,
+                ),
+                cell(
+                    f"defenses/{policy}/fleet",
+                    _fleet_cell,
+                    policy=policy,
+                    mode=mode,
+                    level=fleet_level,
+                    rate_rps=fleet_rate_rps,
+                    duration_ns=fleet_duration_ns,
+                    seed=seed,
+                    costs=costs,
+                ),
+                cell(
+                    f"defenses/{policy}/leakage",
+                    _leakage_cell,
+                    policy=policy,
+                    n_bits=leakage_bits,
+                    seed=seed,
+                ),
+            ]
+        )
+    return cells
+
+
+def run_defenses(
+    jobs: Optional[int] = None, **cell_kwargs: Any
+) -> Dict[str, Any]:
+    """Run the matrix; returns plain data keyed policy -> workload.
+
+    ``cell_kwargs`` forwards to :func:`defenses_cells` (tests shrink the
+    workloads; the report uses the defaults).
+    """
+    from ..hw.policy import POLICIES
+    from ..isa.smc import WorldSwitchCosts
+
+    cells = defenses_cells(**cell_kwargs)
+    outputs = run_cells(cells, jobs=jobs)
+    policies = [policy for policy, _ in POLICY_MATRIX]
+    overhead: Dict[str, Dict[str, Any]] = {p: {} for p in policies}
+    leakage: Dict[str, Dict[str, Any]] = {}
+    for c, output in zip(cells, outputs):
+        _, policy, workload = c.cell_id.split("/")
+        if workload == "leakage":
+            leakage[policy] = output
+        else:
+            overhead[policy][workload] = output
+    ws = WorldSwitchCosts()
+    return {
+        "policies": policies,
+        "overhead": overhead,
+        "leakage": leakage,
+        "flush_table": [
+            [name, ns] for name, ns in POLICIES["flush"].flush_costs.table()
+        ],
+        "world_switch_round_trip_ns": {
+            p: POLICIES[p].world_switch_round_trip_ns(ws) for p in policies
+        },
+    }

@@ -345,6 +345,11 @@ def _sweep_registry() -> Dict[str, Callable[[Optional[int]], Any]]:
 
         return mod.run_shared_cvm_comparison(jobs=jobs)
 
+    def defenses(jobs: Optional[int]) -> Any:
+        from . import defenses as mod
+
+        return mod.run_defenses(jobs=jobs)
+
     def chaos(jobs: Optional[int]) -> Any:
         from . import chaos as mod
 
@@ -365,6 +370,7 @@ def _sweep_registry() -> Dict[str, Callable[[Optional[int]], Any]]:
         "ext_shared_cvm": ext_shared_cvm,
         "chaos": chaos,
         "fleet": fleet,
+        "defenses": defenses,
     }
 
 

@@ -70,7 +70,10 @@ class System:
             image=CORE_GAPPED_RMM,
             delegated_intids=delegated,
         )
-        self.engine = CoreGapEngine(self.rmm)
+        #: isolation policy resolved once and threaded through the
+        #: world-switch paths (engine, KVM); see repro.hw.policy
+        self.policy = config.resolved_policy()
+        self.engine = CoreGapEngine(self.rmm, policy=self.policy)
         if config.is_gapped:
             self.host_cores: Set[int] = set(range(config.n_host_cores))
         else:
@@ -124,7 +127,12 @@ class System:
         )
         vm.domain = SecurityDomain(f"vm:{vm.name}", World.NORMAL)
         kvm = KvmVm(
-            self.kernel, vm, mode, host_cores=self.host_cores, costs=self.costs
+            self.kernel,
+            vm,
+            mode,
+            host_cores=self.host_cores,
+            costs=self.costs,
+            policy=self.policy,
         )
         return kvm
 

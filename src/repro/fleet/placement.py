@@ -42,11 +42,12 @@ class FleetAdmissionError(Exception):
 def server_capacity(config: SystemConfig) -> int:
     """vCPU capacity of one server under fair accounting.
 
-    Core-gapped: every core that is not reserved for the host can be
-    dedicated to a CVM vCPU.  Shared: all cores run vCPUs (the host
-    timeshares), and we do not oversubscribe.
+    The isolation policy decides: a core-gapping policy dedicates every
+    core that is not reserved for the host to a CVM vCPU, so admission
+    is core-granular.  Shared-core policies (flush-on-switch, none)
+    timeshare: all cores run vCPUs, and we do not oversubscribe.
     """
-    if config.is_gapped:
+    if config.resolved_policy().requires_core_gap:
         return max(0, config.n_cores - config.n_host_cores)
     return config.n_cores
 

@@ -53,15 +53,17 @@ def consolidation_scenario(
     duration_ns: int = ms(300),
     seed: int = 0,
     costs: CostModel = DEFAULT_COSTS,
+    policy: Optional[str] = None,
 ) -> ScenarioSpec:
     """``level`` Redis tenants per server on a uniform rack.
 
     Spread placement balances the rack, so each server hosts exactly
     ``level`` tenants; the gapped rack's admission control still gates
     the result (``level * vcpus_per_tenant`` must fit the non-host
-    cores).
+    cores).  ``policy`` overrides the isolation policy the mode implies
+    (the defense-comparison sweep threads it through every server).
     """
-    template = SystemConfig(mode=mode, n_cores=n_cores)
+    template = SystemConfig(mode=mode, n_cores=n_cores, policy=policy)
     tenants = tuple(
         redis_tenant(
             name=f"tenant-{index}",

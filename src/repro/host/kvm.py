@@ -35,6 +35,7 @@ from ..guest.actions import (
 )
 from ..guest.vcpu import VIPI_VIRQ, VTIMER_VIRQ
 from ..guest.vm import GuestVm
+from ..hw.policy import IsolationPolicy, resolve_policy
 from ..rmm.core_gap import CoreGapEngine, HOST_KICK_SGI, RunCall
 from ..rmm.rmi import ExitReason, RecRunPage, RmiResult, RmiStatus
 from ..sim.engine import Event, SimulationError
@@ -66,6 +67,7 @@ class KvmVm:
         engine: Optional[CoreGapEngine] = None,
         realm_id: Optional[int] = None,
         busywait: bool = False,
+        policy: Optional[IsolationPolicy] = None,
     ):
         self.kernel = kernel
         self.machine = kernel.machine
@@ -73,6 +75,9 @@ class KvmVm:
         self.tracer = kernel.tracer
         self.vm = vm
         self.mode = mode
+        #: isolation policy driving exit costs and switch-time scrubbing;
+        #: defaults to what the mode always implied (repro.hw.policy)
+        self.policy = policy if policy is not None else resolve_policy(mode)
         self.costs = costs
         self.host_cores = set(host_cores)
         self.notifier = notifier
@@ -355,27 +360,37 @@ class KvmVm:
     def _exit_cost_userspace(self) -> int:
         if self.mode == VmMode.SHARED_CVM:
             return (
-                self.costs.world_switch.round_trip()
+                self.policy.world_switch_round_trip_ns(
+                    self.costs.world_switch
+                )
                 + self.costs.kvm_exit_handle_ns
             )
-        return self.costs.vmentry_exit_hw_ns + self.costs.kvm_exit_handle_ns
+        return (
+            self.costs.vmentry_exit_hw_ns
+            + self.policy.switch_flush_ns()
+            + self.costs.kvm_exit_handle_ns
+        )
 
     def _exit_cost_inkernel(self) -> int:
         if self.mode == VmMode.SHARED_CVM:
-            return self.costs.world_switch.round_trip() + 400
-        return self.costs.vmentry_exit_hw_ns + 400
+            return (
+                self.policy.world_switch_round_trip_ns(
+                    self.costs.world_switch
+                )
+                + 400
+            )
+        return self.costs.vmentry_exit_hw_ns + self.policy.switch_flush_ns() + 400
 
     def _note_cvm_flush(self, idx: int) -> None:
-        """Shared-core CVM exits flush microarchitectural state: both
-        the refill-cost accounting and the actual tagged structures (so
-        the residency auditor sees what the mitigation achieves)."""
-        if self.mode != VmMode.SHARED_CVM:
+        """Exits under a flush-on-switch policy scrub microarchitectural
+        state: both the refill-cost accounting and the actual tagged
+        structures (so the residency auditor sees what the mitigation
+        achieves)."""
+        if not self.policy.flush_on_switch:
             return
         thread = self.threads.get(idx)
         if thread is not None and thread.last_core is not None:
-            core = self.machine.core(thread.last_core)
-            core.pollution.note_flush()
-            core.uarch.flush_all()
+            self.policy.on_switch(self.machine.core(thread.last_core))
 
     def _vcpu_body_shared(self, idx: int):
         costs = self.costs

@@ -247,6 +247,7 @@ class CorePlanner:
             engine=self.engine,
             realm_id=realm_id,
             busywait=busywait,
+            policy=self.engine.policy,
         )
         for idx in range(vm.n_vcpus):
             port = AsyncRpcPort(

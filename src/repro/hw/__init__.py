@@ -24,6 +24,15 @@ from .gic import (
 )
 from .machine import Machine
 from .memory import GRANULE_SIZE, GptFault, PhysicalMemory
+from .policy import (
+    CoreGapPolicy,
+    FlushCostModel,
+    FlushOnSwitchPolicy,
+    IsolationPolicy,
+    NoDefensePolicy,
+    POLICIES,
+    resolve_policy,
+)
 from .timer import CoreTimer
 from .tlb import Tlb, TlbEntry
 from .topology import AMPERE_ONE_LIKE, SocTopology
@@ -36,10 +45,14 @@ __all__ = [
     "BtbEntry",
     "CacheGeometry",
     "CacheLine",
+    "CoreGapPolicy",
     "CoreTimer",
     "CoreUarchState",
     "ExecResult",
     "ExecStatus",
+    "FlushCostModel",
+    "FlushOnSwitchPolicy",
+    "IsolationPolicy",
     "GRANULE_SIZE",
     "Gic",
     "GptFault",
@@ -53,6 +66,8 @@ __all__ = [
     "Machine",
     "N_LIST_REGISTERS",
     "N_SGIS",
+    "NoDefensePolicy",
+    "POLICIES",
     "PhysicalCore",
     "PhysicalMemory",
     "PollutionModel",
@@ -63,4 +78,5 @@ __all__ = [
     "Tlb",
     "TlbEntry",
     "VTIMER_PPI",
+    "resolve_policy",
 ]

@@ -1,0 +1,243 @@
+"""Pluggable isolation policies: what a trust-boundary switch scrubs and costs.
+
+The paper's argument is comparative: core-gapping beats flush-on-switch
+defenses on *both* security and overhead (S1, S7).  This module makes
+that comparison runnable by promoting "isolation policy" to a strategy
+object consumed by the world-switch paths (:mod:`repro.host.kvm`,
+:mod:`repro.rmm.core_gap`, :mod:`repro.isa.smc`):
+
+* :class:`CoreGapPolicy` -- the contribution: distrusting domains never
+  share a core, so switches flush nothing; dedicated cores are scrubbed
+  (including the per-core L2) only when ownership changes.
+* :class:`FlushOnSwitchPolicy` -- the SIMF-style software mitigation: on
+  every world/domain switch the core's private structures are flushed,
+  with a per-structure cost model charged to the switching domain.
+* :class:`NoDefensePolicy` -- the insecure baseline: shared structures,
+  no scrubbing, no flush cost.
+
+Policies are stateless: each carries only a frozen
+:class:`FlushCostModel`, so module-level singletons are safe to share
+across systems and worker processes.  ``SystemConfig`` resolves its
+``policy`` knob through :func:`resolve_policy`; the default for each
+mode reproduces the pre-policy behavior bit-identically (pinned by
+``tests/security/test_policy.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..isa.smc import WorldSwitchCosts
+
+__all__ = [
+    "FlushCostModel",
+    "IsolationPolicy",
+    "CoreGapPolicy",
+    "FlushOnSwitchPolicy",
+    "NoDefensePolicy",
+    "POLICIES",
+    "default_policy_name",
+    "resolve_policy",
+]
+
+
+@dataclass(frozen=True)
+class FlushCostModel:
+    """Per-structure flush latencies for a mitigation flush.
+
+    The split is calibrated so the structures cleared by
+    ``CoreUarchState.flush_all`` sum to exactly
+    ``WorldSwitchCosts.mitigation_flush_ns`` (5.3 us) -- the aggregate
+    the paper's Table 2 attributes to trust-boundary mitigations -- so
+    the default :class:`FlushOnSwitchPolicy` reproduces the pre-policy
+    shared-CVM switch cost bit-identically.  The per-core L2 is *not*
+    part of a switch flush (SIMF-style defenses leave it warm; see the
+    leakage caveat in DESIGN.md section 5.8); it is paid only on core
+    reassignment.
+    """
+
+    l1d_ns: int = 2_000
+    l1i_ns: int = 800
+    tlb_ns: int = 900
+    branch_ns: int = 1_100
+    store_buffer_ns: int = 500
+    #: reassignment-only: the per-core L2 (threat model S2.4)
+    l2_ns: int = 4_000
+
+    def switch_flush_ns(self) -> int:
+        """Cost of one switch-time flush (everything but the L2)."""
+        return (
+            self.l1d_ns
+            + self.l1i_ns
+            + self.tlb_ns
+            + self.branch_ns
+            + self.store_buffer_ns
+        )
+
+    def reassignment_scrub_ns(self) -> int:
+        """Cost of a full ownership-change scrub (switch flush + L2)."""
+        return self.switch_flush_ns() + self.l2_ns
+
+    def table(self) -> Tuple[Tuple[str, int], ...]:
+        """(structure, ns) rows in flush order, for reports and docs."""
+        return (
+            ("l1d", self.l1d_ns),
+            ("l1i", self.l1i_ns),
+            ("tlb", self.tlb_ns),
+            ("branch", self.branch_ns),
+            ("store_buffer", self.store_buffer_ns),
+            ("l2 (reassignment only)", self.l2_ns),
+        )
+
+
+class IsolationPolicy:
+    """Strategy interface: how a system keeps distrusting domains apart.
+
+    Subclasses set three class attributes (``name``,
+    ``requires_core_gap``, ``flush_on_switch``) and inherit the hooks;
+    the hooks are written so each policy's behavior falls out of the
+    flags, and only :class:`NoDefensePolicy` overrides one.
+    """
+
+    name: str = "abstract"
+    #: placement must give every guest vCPU a dedicated core
+    requires_core_gap: bool = False
+    #: every trust-boundary switch scrubs the core's private structures
+    flush_on_switch: bool = False
+
+    def __init__(self, flush_costs: Optional[FlushCostModel] = None):
+        self.flush_costs = flush_costs or FlushCostModel()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+    # -- costs ---------------------------------------------------------
+
+    def switch_flush_ns(self) -> int:
+        """Mitigation-flush latency added to each boundary crossing."""
+        return self.flush_costs.switch_flush_ns() if self.flush_on_switch else 0
+
+    def world_switch_one_way_ns(self, costs: WorldSwitchCosts) -> int:
+        """One same-core world transition under this policy."""
+        return costs.one_way(flush_ns=self.switch_flush_ns())
+
+    def world_switch_round_trip_ns(self, costs: WorldSwitchCosts) -> int:
+        """A null same-core call (enter the other world, come back)."""
+        return costs.round_trip(flush_ns=self.switch_flush_ns())
+
+    # -- state scrubbing (charged to the switching domain) -------------
+
+    def on_switch(self, core) -> None:
+        """A world/domain switch happened on ``core``: scrub per policy.
+
+        ``core`` is duck-typed (anything with ``.uarch`` and
+        ``.pollution``) so the hook works on :class:`PhysicalCore`
+        without this module importing it.
+        """
+        if not self.flush_on_switch:
+            return
+        core.pollution.note_flush()
+        core.uarch.flush_all()
+
+    def on_reassignment(self, core) -> None:
+        """``core`` changes ownership (release/rebind): full scrub,
+        including the per-core L2 (threat model S2.4)."""
+        core.uarch.scrub_for_reassignment()
+        core.pollution.note_flush()
+
+
+class CoreGapPolicy(IsolationPolicy):
+    """The paper's design: spatial isolation instead of switch flushes.
+
+    Nothing distrusting ever runs on a guest's core, so switches cost
+    no flush at all; the only scrub is the ownership-change scrub of a
+    dedicated core (inherited ``on_reassignment``).
+    """
+
+    name = "core-gap"
+    requires_core_gap = True
+    flush_on_switch = False
+
+
+class FlushOnSwitchPolicy(IsolationPolicy):
+    """SIMF-style temporal isolation: flush core-private state on every
+    trust-boundary switch, paying :meth:`switch_flush_ns` each time.
+
+    This is what ``shared-cvm`` mode always modelled; the policy object
+    just names it and makes the flush-cost split explicit.
+    """
+
+    name = "flush"
+    requires_core_gap = False
+    flush_on_switch = True
+
+
+class NoDefensePolicy(IsolationPolicy):
+    """Insecure baseline: structures stay shared and are never scrubbed,
+    so switches are cheap and cross-domain residue survives -- the
+    leakage the other two policies exist to block."""
+
+    name = "none"
+    requires_core_gap = False
+    flush_on_switch = False
+
+    def on_reassignment(self, core) -> None:  # shared structures: no scrub
+        pass
+
+
+#: singleton per policy name (policies are stateless; see module docstring)
+POLICIES: Dict[str, IsolationPolicy] = {
+    policy.name: policy
+    for policy in (CoreGapPolicy(), FlushOnSwitchPolicy(), NoDefensePolicy())
+}
+
+#: the policy each mode implied before policies existed; resolving the
+#: default must reproduce pre-policy behavior bit-identically
+_DEFAULT_FOR_MODE: Dict[str, str] = {
+    "gapped": "core-gap",
+    "shared-cvm": "flush",
+    "shared": "none",
+}
+
+#: modes a policy can legally run under.  Core-gapping *is* a placement
+#: discipline, so it needs gapped mode (and vice versa); the shared-core
+#: policies compose with either shared flavor ("flush" on plain shared
+#: adds SIMF costs to a non-confidential VM, "none" on shared-cvm models
+#: a CVM whose firmware skips mitigation flushes).
+_ALLOWED_MODES: Dict[str, Tuple[str, ...]] = {
+    "core-gap": ("gapped",),
+    "flush": ("shared", "shared-cvm"),
+    "none": ("shared", "shared-cvm"),
+}
+
+
+def default_policy_name(mode: str) -> str:
+    """The policy ``mode`` implies when none is named explicitly."""
+    try:
+        return _DEFAULT_FOR_MODE[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown mode {mode!r}; expected one of "
+            f"{sorted(_DEFAULT_FOR_MODE)}"
+        ) from None
+
+
+def resolve_policy(mode: str, name: Optional[str] = None) -> IsolationPolicy:
+    """Resolve and validate the (mode, policy) pair to a strategy object."""
+    if name is None:
+        name = default_policy_name(mode)
+    else:
+        default_policy_name(mode)  # validate the mode even when named
+    policy = POLICIES.get(name)
+    if policy is None:
+        raise ValueError(
+            f"unknown isolation policy {name!r}; expected one of "
+            f"{sorted(POLICIES)}"
+        )
+    if mode not in _ALLOWED_MODES[policy.name]:
+        raise ValueError(
+            f"policy {policy.name!r} cannot run under mode {mode!r} "
+            f"(allowed: {', '.join(_ALLOWED_MODES[policy.name])})"
+        )
+    return policy

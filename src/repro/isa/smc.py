@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from .worlds import World
 
@@ -66,21 +66,32 @@ class WorldSwitchCosts:
     # RMM entry/exit bookkeeping (GPT/world register reconfiguration)
     world_reconfig_ns: int = 150
 
-    def one_way(self, flush: bool = True) -> int:
-        """Cost of a single transition between worlds on one core."""
+    def one_way(
+        self, flush: bool = True, flush_ns: Optional[int] = None
+    ) -> int:
+        """Cost of a single transition between worlds on one core.
+
+        ``flush_ns`` overrides the mitigation-flush term outright (an
+        isolation policy substituting its own per-structure flush cost,
+        possibly zero); otherwise ``flush`` selects the default term.
+        """
         cost = (
             self.context_save_ns
             + self.el3_dispatch_ns
             + self.world_reconfig_ns
             + self.context_restore_ns
         )
-        if flush:
+        if flush_ns is not None:
+            cost += flush_ns
+        elif flush:
             cost += self.mitigation_flush_ns
         return cost
 
-    def round_trip(self, flush: bool = True) -> int:
+    def round_trip(
+        self, flush: bool = True, flush_ns: Optional[int] = None
+    ) -> int:
         """Null same-core call: enter the other world and come back."""
-        return 2 * self.one_way(flush=flush)
+        return 2 * self.one_way(flush=flush, flush_ns=flush_ns)
 
 
 #: Which world transitions cross a trust boundary and therefore require

@@ -37,6 +37,7 @@ from ..guest.actions import (
 from ..guest.vcpu import VIPI_VIRQ, VTIMER_VIRQ
 from ..hw.core import ExecStatus, PhysicalCore
 from ..hw.gic import VTIMER_PPI
+from ..hw.policy import IsolationPolicy, resolve_policy
 from ..isa.worlds import MONITOR_DOMAIN, World
 from ..rpc.ports import AsyncRpcPort, RpcRequest, SyncRpcPort
 from ..sim.engine import Event, SimulationError
@@ -218,10 +219,9 @@ class DedicatedCore:
                 )
             )
             return
-        # scrub this core before it can carry anything else, then hand
-        # the binding over
-        self.core.uarch.scrub_for_reassignment()
-        self.core.pollution.note_flush()
+        # scrub this core before it can carry anything else (the
+        # policy's ownership-change hook), then hand the binding over
+        self.engine.policy.on_reassignment(self.core)
         self.bound_rec = None
         self.guest_domain = None
         rec.bound_core = target.core.index
@@ -241,9 +241,9 @@ class DedicatedCore:
         # scrub every core-private microarchitectural structure before
         # the core can carry another domain's code (caches incl. L2,
         # TLB, branch predictor, store buffer) -- the hardware-state
-        # analogue of scrubbing granules on undelegation
-        self.core.uarch.scrub_for_reassignment()
-        self.core.pollution.note_flush()
+        # analogue of scrubbing granules on undelegation.  What "scrub"
+        # means is the isolation policy's call (repro.hw.policy).
+        self.engine.policy.on_reassignment(self.core)
         self.released = True
         self.engine.dedicated.pop(self.core.index, None)
         call.done.fire(RmiResult(RmiStatus.SUCCESS))
@@ -535,11 +535,15 @@ class DedicatedCore:
 class CoreGapEngine:
     """Monitor-side management of all dedicated cores."""
 
-    def __init__(self, rmm: Rmm):
+    def __init__(self, rmm: Rmm, policy: Optional[IsolationPolicy] = None):
         self.rmm = rmm
         self.machine = rmm.machine
         self.costs = rmm.costs
         self.tracer = self.machine.tracer
+        #: isolation policy governing ownership-change scrubs; the
+        #: monitor's own discipline is core-gapping unless the system
+        #: threads a different strategy through (repro.hw.policy)
+        self.policy = policy if policy is not None else resolve_policy("gapped")
         self.dedicated: Dict[int, DedicatedCore] = {}
 
     def dedicate(self, core_index: int) -> DedicatedCore:

@@ -22,6 +22,12 @@ from .channels import (
     probe_sets,
     store_buffer_leak,
 )
+from .policy import (
+    LeakageResult,
+    leakage_probe,
+    secret_bits,
+    tolerated_residency,
+)
 from .vulns import (
     CATALOG,
     Kind,
@@ -40,6 +46,7 @@ __all__ = [
     "CoreGapAuditor",
     "audit_conservation",
     "Kind",
+    "LeakageResult",
     "ResidencyViolation",
     "Scope",
     "SharingViolation",
@@ -49,13 +56,15 @@ __all__ = [
     "btb_probe",
     "cache_covert_channel",
     "eviction_addresses",
+    "leakage_probe",
     "mitigated_by_core_gapping",
     "prime_probe_attack",
     "prime_sets",
     "probe_sets",
     "render_fig3",
+    "secret_bits",
     "store_buffer_attack",
     "store_buffer_leak",
     "timeline",
-    "unmitigated",
+    "tolerated_residency",
 ]

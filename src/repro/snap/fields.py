@@ -298,6 +298,7 @@ SNAP_FIELDS: Dict[str, CaptureSpec] = {
         rmm=WIRING,
         tracer=WIRING,
         costs=STATIC,
+        policy=STATIC,
     ),
     "repro.rmm.attestation:PlatformRootOfTrust": _spec(
         "platform_id", "_key"
@@ -358,6 +359,7 @@ SNAP_FIELDS: Dict[str, CaptureSpec] = {
         sim=WIRING,
         tracer=WIRING,
         engine=WIRING,
+        policy=STATIC,
         notifier=WIRING,
         costs=STATIC,
     ),
@@ -482,6 +484,7 @@ SNAP_FIELDS: Dict[str, CaptureSpec] = {
         sim=ALIAS,
         tracer=ALIAS,
         costs=STATIC,
+        policy=STATIC,
         metrics="typed view over Tracer counters/gauges; not state",
         _profiler=OBSERVER,
     ),

@@ -1,0 +1,290 @@
+"""Tests for the isolation-policy layer (repro.hw.policy).
+
+Four contracts:
+
+* **Bit-identity**: resolving the default policy for each mode
+  reproduces pre-policy behavior exactly -- pinned against a golden
+  sanitizer digest emitted before the policy layer existed, and against
+  explicit-policy == derived-policy runs.
+* **Mechanics**: the flush policy actually clears ``domains_present()``
+  on every structure ``flush_all`` covers, at the switch, and charges
+  the per-structure cost model whose switch rows sum to the world-switch
+  mitigation term.
+* **Leakage ordering**: no defense leaks measurably more than both real
+  policies, on every scored axis.
+* **Determinism**: the defenses sweep is jobs-independent.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import SystemConfig
+from repro.hw import Machine, SocTopology
+from repro.hw.policy import (
+    CoreGapPolicy,
+    FlushCostModel,
+    FlushOnSwitchPolicy,
+    NoDefensePolicy,
+    POLICIES,
+    resolve_policy,
+)
+from repro.isa.smc import WorldSwitchCosts
+from repro.isa.worlds import realm_domain
+from repro.security.policy import leakage_probe, tolerated_residency
+
+GOLDEN = Path(__file__).parent / "golden" / "policy_probe.json"
+
+
+# ---------------------------------------------------------------------------
+# resolution + validation
+
+
+class TestResolution:
+    def test_defaults_per_mode(self):
+        assert resolve_policy("gapped").name == "core-gap"
+        assert resolve_policy("shared-cvm").name == "flush"
+        assert resolve_policy("shared").name == "none"
+
+    def test_explicit_names(self):
+        assert resolve_policy("gapped", "core-gap") is POLICIES["core-gap"]
+        assert resolve_policy("shared", "flush") is POLICIES["flush"]
+        assert resolve_policy("shared-cvm", "none") is POLICIES["none"]
+
+    @pytest.mark.parametrize(
+        "mode,policy",
+        [
+            ("gapped", "flush"),
+            ("gapped", "none"),
+            ("shared", "core-gap"),
+            ("shared-cvm", "core-gap"),
+        ],
+    )
+    def test_illegal_pairs_rejected(self, mode, policy):
+        with pytest.raises(ValueError):
+            SystemConfig(mode=mode, policy=policy)
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_policy("gapped", "quarantine")
+        with pytest.raises(ValueError):
+            resolve_policy("emulated")
+
+    def test_label_mentions_only_non_default_policy(self):
+        assert SystemConfig(mode="gapped", policy="core-gap").label() == "gapped"
+        assert (
+            SystemConfig(mode="shared", policy="flush").label()
+            == "shared+policy=flush"
+        )
+
+
+# ---------------------------------------------------------------------------
+# cost model
+
+class TestCosts:
+    def test_switch_flush_matches_world_switch_term(self):
+        """The per-structure split must sum to the aggregate the smc
+        model always charged, or shared-cvm digests drift."""
+        assert (
+            FlushCostModel().switch_flush_ns()
+            == WorldSwitchCosts().mitigation_flush_ns
+        )
+
+    def test_flush_policy_round_trip_matches_legacy(self):
+        ws = WorldSwitchCosts()
+        assert (
+            FlushOnSwitchPolicy().world_switch_round_trip_ns(ws)
+            == ws.round_trip()
+        )
+
+    def test_no_flush_policies_pay_no_flush(self):
+        ws = WorldSwitchCosts()
+        for policy in (CoreGapPolicy(), NoDefensePolicy()):
+            assert policy.switch_flush_ns() == 0
+            assert policy.world_switch_round_trip_ns(ws) == ws.round_trip(
+                flush=False
+            )
+
+    def test_flush_ns_override_on_smc(self):
+        ws = WorldSwitchCosts()
+        assert ws.one_way(flush_ns=0) == ws.one_way(flush=False)
+        assert ws.one_way(flush_ns=ws.mitigation_flush_ns) == ws.one_way()
+
+
+# ---------------------------------------------------------------------------
+# bit-identity with pre-policy behavior
+
+
+class TestDigestIdentity:
+    def test_core_gap_digest_identical_to_pre_policy_golden(self):
+        """The sanitizer probe (gapped + shared scenarios) must match the
+        digest recorded before the policy layer existed, byte for byte."""
+        from repro.lint.sanitizer import RunDigest, diff_digests, run_probe
+
+        golden = RunDigest.from_json(GOLDEN.read_text())
+        assert diff_digests(golden, run_probe()) == []
+
+    @pytest.mark.parametrize("mode", ["gapped", "shared", "shared-cvm"])
+    def test_explicit_policy_equals_derived(self, mode):
+        """Naming the default policy explicitly changes nothing."""
+        from repro.experiments.workbench import run_coremark
+        from repro.sim.clock import ms
+
+        def run(policy):
+            config = SystemConfig(mode=mode, n_cores=4, policy=policy)
+            r = run_coremark(config, n_cores_used=4, duration_ns=ms(30))
+            return (r.score, sorted(r.exit_counts.items()))
+
+        derived = run(None)
+        explicit = run(config_policy_name(mode))
+        assert derived == explicit
+
+
+def config_policy_name(mode):
+    return {"gapped": "core-gap", "shared-cvm": "flush", "shared": "none"}[mode]
+
+
+# ---------------------------------------------------------------------------
+# switch-time scrubbing mechanics
+
+
+def _dirty_core(machine, core_index):
+    """Leave two distrusting domains' state in every structure."""
+    core = machine.core(core_index)
+    a, b = realm_domain(1), realm_domain(2)
+    for vmid, domain, base in ((1, a, 1 << 20), (2, b, 1 << 22)):
+        core.access_memory(base, domain, write=True)
+        core.uarch.tlb.fill(base, base, vmid, domain)
+        core.uarch.branch.train(base, base + 64, domain)
+    return core, {a, b}
+
+
+class TestSwitchScrub:
+    def test_flush_policy_clears_covered_structures_at_switch(self):
+        machine = Machine(SocTopology(name="scrub", n_cores=1, memory_gib=1))
+        core, domains = _dirty_core(machine, 0)
+        assert domains <= core.uarch.domains_present()
+        flushes_before = core.uarch.flush_count
+        FlushOnSwitchPolicy().on_switch(core)
+        assert core.uarch.flush_count == flushes_before + 1
+        # everything flush_all covers is clean; only the L2 may remain
+        for name, structure in core.uarch.structures():
+            if name == "l2":
+                continue
+            assert structure.domains_present() == set(), name
+
+    def test_no_defense_scrubs_nothing(self):
+        machine = Machine(SocTopology(name="scrub", n_cores=1, memory_gib=1))
+        core, domains = _dirty_core(machine, 0)
+        NoDefensePolicy().on_switch(core)
+        NoDefensePolicy().on_reassignment(core)
+        assert domains <= core.uarch.domains_present()
+        assert core.uarch.flush_count == 0
+
+    def test_core_gap_reassignment_scrubs_l2_too(self):
+        machine = Machine(SocTopology(name="scrub", n_cores=1, memory_gib=1))
+        core, _ = _dirty_core(machine, 0)
+        CoreGapPolicy().on_switch(core)  # switches are free: no scrub
+        assert core.uarch.flush_count == 0
+        CoreGapPolicy().on_reassignment(core)
+        assert core.uarch.domains_present() == set()
+
+
+# ---------------------------------------------------------------------------
+# leakage ordering
+
+
+class TestLeakage:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            name: leakage_probe(POLICIES[name], n_bits=48, seed=0)
+            for name in ("core-gap", "flush", "none")
+        }
+
+    def test_no_defense_leaks(self, results):
+        assert results["none"].accuracy == 1.0
+        assert results["none"].leaked
+
+    def test_real_defenses_block_the_attack(self, results):
+        for name in ("core-gap", "flush"):
+            assert results[name].accuracy < 0.95, name
+            assert not results[name].leaked, name
+
+    def test_pollution_strictly_ordered(self, results):
+        assert (
+            results["none"].cross_pollution_ns
+            > results["flush"].cross_pollution_ns
+            > results["core-gap"].cross_pollution_ns
+            == 0
+        )
+
+    def test_flush_scrubs_the_l1_but_leaves_the_l2(self, results):
+        assert "l1d" in results["flush"].scrubbed_structures
+        assert results["flush"].residual_structures == ("l2",)
+        assert results["flush"].flushes > 0
+        assert results["core-gap"].flushes == 0
+
+    def test_core_gapped_attacker_core_is_clean(self, results):
+        assert results["core-gap"].residual_structures == ()
+        assert results["core-gap"].cross_pollution_ns == 0
+
+    def test_residue_within_policy_tolerance(self, results):
+        for name, result in results.items():
+            tolerated = tolerated_residency(POLICIES[name])
+            assert set(result.residual_structures) <= tolerated, name
+
+
+# ---------------------------------------------------------------------------
+# sweep determinism
+
+
+QUICK_SWEEP = dict(
+    coremark_cores=4,
+    coremark_duration_ns=20_000_000,
+    netpipe_sizes=(1024,),
+    netpipe_pings=5,
+    iozone_records=(4096,),
+    iozone_ops=2,
+    redis_cores=4,
+    redis_requests=200,
+    fleet_level=1,
+    fleet_duration_ns=30_000_000,
+    leakage_bits=16,
+)
+
+
+class TestDefensesSweep:
+    def test_jobs_independent(self):
+        from repro.experiments.defenses import run_defenses
+        from repro.experiments.runner import canonical_digest
+
+        serial = run_defenses(jobs=1, **QUICK_SWEEP)
+        parallel = run_defenses(jobs=2, **QUICK_SWEEP)
+        assert canonical_digest(serial) == canonical_digest(parallel)
+
+    def test_covers_every_policy_and_workload(self):
+        from repro.experiments.defenses import POLICY_MATRIX, defenses_cells
+
+        cells = defenses_cells(**QUICK_SWEEP)
+        ids = {c.cell_id for c in cells}
+        for policy, _ in POLICY_MATRIX:
+            for workload in (
+                "coremark", "netpipe", "iozone", "redis", "fleet", "leakage",
+            ):
+                assert f"defenses/{policy}/{workload}" in ids
+
+    def test_checked_in_measurements_match_schema(self):
+        """The committed defenses.json must carry every policy the
+        matrix compares (freshness itself is CI's report --check)."""
+        path = Path("benchmarks/results/defenses.json")
+        payload = json.loads(path.read_text())
+        assert payload["sweep"] == "defenses"
+        data = payload["data"]
+        assert data["policies"] == ["core-gap", "flush", "none"]
+        for policy in data["policies"]:
+            assert set(data["overhead"][policy]) == {
+                "coremark", "netpipe", "iozone", "redis", "fleet",
+            }
+            assert data["leakage"][policy]["policy"] == policy
