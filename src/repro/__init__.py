@@ -19,7 +19,9 @@ Subpackages
 ``repro.experiments``  one harness per paper table/figure (+ the
                        ``defenses`` policy-comparison sweep)
 ``repro.fleet``        declarative multi-server scenarios, open-loop
-                       serving, per-server sharding (``repro.fleet.shard``)
+                       serving, per-server sharding (``repro.fleet.shard``),
+                       elastic lifecycle: churn, autoscaling, rebalancing
+                       (``repro.fleet.elastic``)
 ``repro.snap``         checkpoint/restore by deterministic re-execution
 ``repro.faults``       fault injection and chaos harnesses
 ``repro.obs``          traces, metrics, profiling, run reports

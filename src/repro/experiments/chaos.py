@@ -46,11 +46,15 @@ from .system import System
 
 __all__ = [
     "ChaosOutcome",
+    "StormOutcome",
     "default_fault_plans",
     "digest_chaos_outcome",
     "plan_scenarios",
     "run_chaos_case",
     "run_chaos_matrix",
+    "run_hotplug_storm",
+    "run_storm_matrix",
+    "storm_cells",
     "chaos_cells",
     "CHAOS_SCENARIOS",
 ]
@@ -445,3 +449,147 @@ def run_chaos_matrix(
     digest comparisons between ``jobs=1`` and ``jobs=N`` are exact.
     """
     return run_cells(chaos_cells(seed, plans, scenarios), jobs=jobs)
+
+
+# ---------------------------------------------------------------------------
+# hotplug storm: random lifecycle churn under serving load
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StormOutcome:
+    """One hotplug-storm run: lifecycle tallies plus invariant verdicts."""
+
+    seed: int
+    rounds: int
+    #: operations actually performed, by kind (resize/bounce/evict/admit)
+    ops: Dict[str, int] = field(default_factory=dict)
+    #: the elastic controller's verb tallies
+    counts: Dict[str, int] = field(default_factory=dict)
+    audit_problems: List[str] = field(default_factory=list)
+    conservation: List[str] = field(default_factory=list)
+    conservation_ok: bool = True
+    #: per-server digested counter maps + end times
+    counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    end_ns: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return (
+            not self.audit_problems
+            and not self.conservation
+            and self.conservation_ok
+        )
+
+
+def run_hotplug_storm(
+    seed: int = 0,
+    rounds: int = 12,
+    epoch_ns: int = ms(5),
+) -> StormOutcome:
+    """Random core-hotplug churn (avocado-style) under open-loop serving.
+
+    Every round the storm draws one operation from a seeded stream --
+    resize a tenant to a random vCPU count (shrink/park + grow through
+    the planner's delegated hotplug path), bounce a random free core
+    (host-side offline then online, exactly the avocado CPU-hotplug
+    exercise), or evict and re-admit a sacrificial tenant -- then the
+    epoch serves on.  After every transition the elastic controller
+    re-runs the core-gap audit; at the end the storm asserts request
+    conservation and exit/CPU-time accounting on every server.
+    """
+    from ..fleet.elastic import FleetController, storm_stream
+    from ..fleet.spec import ScenarioSpec, redis_tenant, uniform_rack
+
+    spec = ScenarioSpec(
+        servers=uniform_rack(
+            2,
+            SystemConfig(mode="gapped", n_cores=12, n_host_cores=2),
+            seed=seed,
+        ),
+        tenants=(
+            redis_tenant("storm-a", n_vcpus=4, rate_rps=3000.0),
+            redis_tenant("storm-b", n_vcpus=3, rate_rps=2000.0),
+        ),
+        duration_ns=(rounds + 1) * epoch_ns,
+        seed=seed,
+        placement="spread",
+    )
+    controller = FleetController(spec)
+    horizon = spec.duration_ns
+    controller.start_serving(horizon)
+    rng = storm_stream(seed)
+    outcome = StormOutcome(seed=seed, rounds=rounds)
+    ops = outcome.ops
+    evicted: Optional[str] = None
+
+    for round_index in range(rounds):
+        controller.advance_to((round_index + 1) * epoch_ns)
+        op = rng.choice(("resize", "resize", "bounce", "churn"))
+        if op == "resize":
+            name = rng.choice(sorted(controller.where))
+            spec_vcpus = controller.tenants[name].vm.n_vcpus
+            target = rng.randrange(1, spec_vcpus + 1)
+            controller.resize(name, target)
+            ops["resize"] = ops.get("resize", 0) + 1
+        elif op == "bounce":
+            server = controller.fleet.servers[
+                rng.randrange(len(controller.fleet.servers))
+            ]
+            free = server.system.planner.free_cores()
+            if not free:
+                continue
+            core = free[rng.randrange(len(free))]
+            fallback = min(server.system.host_cores)
+            planner = server.system.planner
+
+            def bounce(planner=planner, core=core, fallback=fallback):
+                yield from planner.hotplug.offline(core, fallback)
+                yield from planner.hotplug.online(core)
+
+            controller._run_planner(server, f"storm-bounce:{core}", bounce())
+            controller.audit_transitions(server, f"bounce:{core}")
+            ops["bounce"] = ops.get("bounce", 0) + 1
+        else:  # churn: evict a tenant, re-admit it next time around
+            if evicted is None:
+                name = rng.choice(sorted(controller.where))
+                controller.evict(name, drain_ns=ms(2), reason="storm")
+                evicted = name
+            else:
+                window = horizon - controller.t_ns
+                if window > 0:
+                    controller.admit(
+                        controller.tenants[evicted], window_ns=window
+                    )
+                evicted = None
+            ops["churn"] = ops.get("churn", 0) + 1
+
+    controller.advance_to(horizon)
+    controller.finish()
+    result = controller.outcome()
+    outcome.counts = result.counts
+    outcome.audit_problems = list(result.audit_problems)
+    outcome.conservation_ok = result.conservation_ok
+    for server in controller.fleet.servers:
+        system = server.system
+        outcome.conservation.extend(
+            f"server{server.index}: {problem}"
+            for problem in audit_conservation(system.tracer, system.sim.now)
+        )
+    outcome.counters = result.counters
+    outcome.end_ns = result.end_ns
+    return outcome
+
+
+def storm_cells(seeds: Sequence[int] = (0, 1, 2)) -> List[Cell]:
+    """Hotplug-storm smoke matrix: one cell per seed."""
+    return [
+        cell(f"storm/seed{seed}", run_hotplug_storm, seed=seed)
+        for seed in seeds
+    ]
+
+
+def run_storm_matrix(
+    seeds: Sequence[int] = (0, 1, 2), jobs: Optional[int] = None
+) -> List[StormOutcome]:
+    return run_cells(storm_cells(seeds), jobs=jobs)

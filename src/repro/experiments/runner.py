@@ -360,6 +360,11 @@ def _sweep_registry() -> Dict[str, Callable[[Optional[int]], Any]]:
 
         return mod.run_fleet(jobs=jobs)
 
+    def elastic(jobs: Optional[int]) -> Any:
+        from ..fleet import elastic as mod
+
+        return mod.run_elastic_sweep(jobs=jobs)
+
     return {
         "fig6": fig6,
         "fig7": fig7,
@@ -370,6 +375,7 @@ def _sweep_registry() -> Dict[str, Callable[[Optional[int]], Any]]:
         "ext_shared_cvm": ext_shared_cvm,
         "chaos": chaos,
         "fleet": fleet,
+        "elastic": elastic,
         "defenses": defenses,
     }
 

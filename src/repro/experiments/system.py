@@ -8,8 +8,7 @@ end-to-end tests.
 
 from __future__ import annotations
 
-import warnings
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set
 
 from ..costs import CostModel, DEFAULT_COSTS
 from ..guest.vm import GuestVm
@@ -186,61 +185,22 @@ class System:
         self._next_spi += 1
         return spi
 
-    def _coerce_device_args(
-        self,
-        method: str,
-        kvm,
-        name,
-        legacy: Tuple,
-        default_name: str,
-    ) -> Tuple[KvmVm, str]:
-        """Support the deprecated ``add_*(vm, kvm, ...)`` calling shape.
-
-        The canonical signature takes only ``kvm`` (it already holds
-        ``kvm.vm``).  A leading :class:`GuestVm` positional marks the
-        pre-redesign shape: warn, shift the arguments over, and check
-        the redundant pair actually matched.
-        """
-        if isinstance(kvm, GuestVm):
-            warnings.warn(
-                f"System.{method}(vm, kvm, ...) is deprecated; the vm "
-                f"argument is redundant (kvm.vm) — call "
-                f"System.{method}(kvm, ...)",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            vm, kvm = kvm, name
-            if not isinstance(kvm, KvmVm):
-                raise TypeError(
-                    f"System.{method}(vm, ...): second argument must be "
-                    f"the KvmVm, got {kvm!r}"
-                )
-            if kvm.vm is not vm:
-                raise ValueError(
-                    f"System.{method}: vm is not kvm.vm "
-                    f"({vm.name!r} vs {kvm.vm.name!r})"
-                )
-            name = legacy[0] if legacy else default_name
-            legacy = legacy[1:]
-        if legacy:
-            raise TypeError(
-                f"System.{method}() got unexpected positional arguments "
-                f"{legacy!r}"
-            )
+    def _require_kvm(self, method: str, kvm) -> KvmVm:
+        """The ``add_*`` methods take the launched :class:`KvmVm` only
+        (it already holds ``kvm.vm``); anything else is a caller bug."""
         if not isinstance(kvm, KvmVm):
             raise TypeError(
                 f"System.{method}: first argument must be a KvmVm, "
                 f"got {kvm!r}"
             )
-        return kvm, default_name if name is None else name
+        return kvm
 
     def add_virtio_net(
-        self, kvm: KvmVm, name: Optional[str] = None, *legacy,
+        self, kvm: KvmVm, name: Optional[str] = None, *,
         echo_peer: bool = False,
     ) -> VirtioBackend:
-        kvm, name = self._coerce_device_args(
-            "add_virtio_net", kvm, name, legacy, "virtio-net0"
-        )
+        kvm = self._require_kvm("add_virtio_net", kvm)
+        name = name or "virtio-net0"
         vm = kvm.vm
         device = VirtioBackend(
             name,
@@ -258,11 +218,10 @@ class System:
         return device
 
     def add_virtio_blk(
-        self, kvm: KvmVm, name: Optional[str] = None, *legacy
+        self, kvm: KvmVm, name: Optional[str] = None
     ) -> VirtioBackend:
-        kvm, name = self._coerce_device_args(
-            "add_virtio_blk", kvm, name, legacy, "virtio-blk0"
-        )
+        kvm = self._require_kvm("add_virtio_blk", kvm)
+        name = name or "virtio-blk0"
         vm = kvm.vm
         device = VirtioBackend(
             name,
@@ -279,12 +238,11 @@ class System:
         return device
 
     def add_sriov_nic(
-        self, kvm: KvmVm, name: Optional[str] = None, *legacy,
+        self, kvm: KvmVm, name: Optional[str] = None, *,
         echo_peer: bool = False,
     ) -> SriovNic:
-        kvm, name = self._coerce_device_args(
-            "add_sriov_nic", kvm, name, legacy, "sriov-net0"
-        )
+        kvm = self._require_kvm("add_sriov_nic", kvm)
+        name = name or "sriov-net0"
         vm = kvm.vm
         device = SriovNic(
             name,

@@ -24,9 +24,27 @@ one-off experiments:
 * **recovery** (:mod:`repro.fleet.recovery`) -- the checkpoint/restore
   supervisor: periodic :mod:`repro.snap` checkpoints during serving,
   verified restore + fault detach when a server dies, and SLO-honest
-  recovery accounting across the restore boundary.
+  recovery accounting across the restore boundary;
+* **elastic** (:mod:`repro.fleet.elastic`) -- the lifecycle API
+  (:class:`~repro.fleet.elastic.FleetController` with
+  admit/evict/resize/migrate verbs and an event-sourced timeline),
+  seeded tenant churn, a hotplug-path vCPU autoscaler, and a
+  snapshot-based rebalancer; ``ScenarioSpec.boot()`` is the static
+  special case of this API.
 """
 
+from .elastic import (
+    AutoscalePolicy,
+    ChurnSpec,
+    ElasticOutcome,
+    FleetController,
+    FleetEvent,
+    RebalancePolicy,
+    churn_schedule,
+    elastic_cells,
+    run_elastic,
+    run_elastic_sweep,
+)
 from .placement import FleetAdmissionError, Placement, place, server_capacity
 from .recovery import (
     RecoveryError,
@@ -71,10 +89,16 @@ from .sweep import FleetSweepResult, consolidation_scenario, fleet_cells, run_fl
 from .traffic import OpenLoopClient, TenantStats
 
 __all__ = [
+    "AutoscalePolicy",
     "BootedServer",
     "BootedVm",
+    "ChurnSpec",
     "DeviceSpec",
+    "ElasticOutcome",
     "Fleet",
+    "FleetController",
+    "FleetEvent",
+    "RebalancePolicy",
     "FleetAdmissionError",
     "FleetResult",
     "FleetSweepResult",
@@ -97,13 +121,17 @@ __all__ = [
     "boot_server",
     "boot_vm",
     "build_recoverable_server",
+    "churn_schedule",
     "consolidation_scenario",
     "drain_and_finish",
+    "elastic_cells",
     "fleet_cells",
     "merge_shards",
     "merge_timelines",
     "place",
     "redis_tenant",
+    "run_elastic",
+    "run_elastic_sweep",
     "run_fleet",
     "run_scenario_sharded",
     "run_server",

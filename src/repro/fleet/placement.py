@@ -31,6 +31,7 @@ __all__ = [
     "FleetAdmissionError",
     "Placement",
     "server_capacity",
+    "choose_server",
     "place",
 ]
 
@@ -73,6 +74,30 @@ class Placement:
         return [name for name, index in self.assignments if index == server]
 
 
+def choose_server(
+    need: int, free: List[int], strategy: str
+) -> Optional[int]:
+    """One placement decision: which server takes a ``need``-vCPU tenant.
+
+    This is the single admission step shared by boot-time :func:`place`
+    and the elastic controller's mid-run ``admit`` — churned tenants go
+    through exactly the bin-packing a static spec would.  Returns the
+    chosen server index or None (admission refused).
+    """
+    pack = strategy == "pack"
+    best: Optional[int] = None
+    for index, capacity in enumerate(free):
+        if capacity < need:
+            continue
+        if (
+            best is None
+            or (pack and capacity < free[best])
+            or (not pack and capacity > free[best])
+        ):
+            best = index
+    return best
+
+
 def place(spec: ScenarioSpec) -> Placement:
     """Assign ``spec.tenants`` to ``spec.servers`` by the spec's strategy.
 
@@ -81,22 +106,12 @@ def place(spec: ScenarioSpec) -> Placement:
     load across the rack).  Both are deterministic with ties broken to
     the lowest server index.
     """
-    pack = spec.placement == "pack"
     free = [server_capacity(config) for config in spec.servers]
     assignments: List[Tuple[str, int]] = []
     rejected: List[Tuple[str, str]] = []
     for tenant in spec.tenants:
         need = tenant.vm.n_vcpus
-        best: Optional[int] = None
-        for index, capacity in enumerate(free):
-            if capacity < need:
-                continue
-            if (
-                best is None
-                or (pack and capacity < free[best])
-                or (not pack and capacity > free[best])
-            ):
-                best = index
+        best = choose_server(need, free, spec.placement)
         if best is None:
             rejected.append(
                 (

@@ -24,7 +24,7 @@ from ..costs import CostModel, DEFAULT_COSTS
 from ..experiments.system import System
 from ..guest.vm import GuestVm
 from ..sim.engine import SimulationError
-from .placement import FleetAdmissionError, Placement, place
+from .placement import Placement
 from .spec import ScenarioSpec, TenantSpec, VmSpec
 from .traffic import OpenLoopClient
 
@@ -122,6 +122,10 @@ class Fleet:
         self.spec = spec
         self.placement = placement
         self.servers = servers
+        #: the lifecycle controller that built this fleet (set by
+        #: :class:`~repro.fleet.elastic.FleetController`); None only
+        #: for fleets assembled by hand from boot_server slices
+        self.controller = None
 
     def run(self) -> FleetResult:
         """Serve traffic on every server and merge per-tenant results."""
@@ -203,22 +207,19 @@ def boot_server(
 def boot_scenario(
     spec: ScenarioSpec,
     costs: CostModel = DEFAULT_COSTS,
-    strict: bool = True,
+    admission: str = "strict",
 ) -> Fleet:
-    """Place every tenant, boot every server, return the running fleet."""
-    placement = place(spec)
-    if strict and placement.rejected:
-        detail = "; ".join(
-            f"{name}: {reason}" for name, reason in placement.rejected
-        )
-        raise FleetAdmissionError(
-            f"{len(placement.rejected)} tenant(s) refused admission: {detail}"
-        )
-    servers = [
-        boot_server(spec, placement, index, costs)
-        for index in range(len(spec.servers))
-    ]
-    return Fleet(spec, placement, servers)
+    """Place every tenant, boot every server, return the running fleet.
+
+    The boot itself is the static special case of the elastic
+    lifecycle API: a :class:`~repro.fleet.elastic.FleetController` is
+    constructed around the spec and performs the exact place + boot
+    sequence this function always did (bit-identical digests, pinned
+    by ``tests/fleet/test_static_golden.py``).
+    """
+    from .elastic import FleetController  # lazy: avoid import cycle
+
+    return FleetController(spec, costs=costs, admission=admission).fleet
 
 
 # ---------------------------------------------------------------------------

@@ -20,6 +20,7 @@ worker process -- same seed, same placement, same trace digests.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import Callable, Optional, Tuple
 
@@ -30,17 +31,24 @@ from ..sim.clock import sec
 from ..sim.rng import derive_seed
 
 __all__ = [
+    "ADMISSION_MODES",
     "DeviceSpec",
     "VmSpec",
     "TrafficSpec",
     "TenantSpec",
     "ScenarioSpec",
     "redis_tenant",
+    "resolve_admission",
     "uniform_rack",
 ]
 
 #: device kinds the system builder knows how to attach
 DEVICE_KINDS = ("virtio-net", "virtio-blk", "sriov-nic")
+
+#: admission behaviours ``ScenarioSpec.boot`` understands: ``strict``
+#: raises on any refused tenant, ``best_effort`` boots the placeable
+#: subset and reports the rejections on the fleet
+ADMISSION_MODES = ("strict", "best_effort")
 
 
 @dataclass(frozen=True)
@@ -150,16 +158,63 @@ class ScenarioSpec:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate tenant names in {names}")
 
-    def boot(self, costs: CostModel = DEFAULT_COSTS, strict: bool = True):
+    def boot(
+        self,
+        costs: CostModel = DEFAULT_COSTS,
+        admission: Optional[str] = None,
+        strict: Optional[bool] = None,
+    ):
         """Place + boot into a running :class:`~repro.fleet.scenario.Fleet`.
 
-        ``strict=True`` raises :class:`~repro.fleet.placement.FleetAdmissionError`
-        if any tenant cannot be admitted; ``strict=False`` boots the
-        placeable subset and reports the rejections on the fleet.
+        ``admission="strict"`` (the default) raises
+        :class:`~repro.fleet.placement.FleetAdmissionError` if any
+        tenant cannot be admitted; ``admission="best_effort"`` boots
+        the placeable subset and reports the rejections on the fleet.
+
+        The boolean ``strict=`` keyword is deprecated; it maps onto the
+        admission modes and warns.
+
+        Static boot is the degenerate case of the elastic lifecycle
+        API: the returned fleet carries the
+        :class:`~repro.fleet.elastic.FleetController` that built it as
+        ``fleet.controller``, with the boot-time placement recorded on
+        its event timeline.
         """
+        admission = resolve_admission(admission, strict)
         from .scenario import boot_scenario  # lazy: avoid import cycle
 
-        return boot_scenario(self, costs=costs, strict=strict)
+        return boot_scenario(self, costs=costs, admission=admission)
+
+
+def resolve_admission(
+    admission: Optional[str], strict: Optional[bool] = None
+) -> str:
+    """Normalize the admission argument, warning on the old boolean.
+
+    ``boot(strict=True/False)`` was a boolean trap (``boot(False)``
+    read as nothing); the enum spells the behaviour out.  Passing both
+    spellings is an error; passing neither means ``"strict"``.
+    """
+    if strict is not None:
+        if admission is not None:
+            raise TypeError(
+                "pass either admission= or the deprecated strict=, not both"
+            )
+        warnings.warn(
+            "ScenarioSpec.boot(strict=...) is deprecated; use "
+            "admission='strict' or admission='best_effort'",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        admission = "strict" if strict else "best_effort"
+    if admission is None:
+        admission = "strict"
+    if admission not in ADMISSION_MODES:
+        raise ValueError(
+            f"unknown admission mode {admission!r}; expected one of "
+            f"{ADMISSION_MODES}"
+        )
+    return admission
 
 
 # ---------------------------------------------------------------------------

@@ -118,7 +118,20 @@ class OpenLoopClient:
             return
         self.sim.schedule(gap_ns, self._arrive)
 
+    def stop(self) -> None:
+        """Close the offered-load window now (eviction / migration).
+
+        Idempotent.  In-flight requests keep completing; requests still
+        unanswered when the tenant's accounting is frozen count as
+        dropped, so offered == completed + dropped stays exact.
+        """
+        if self._open:
+            self.stats.stopped_at = self.sim.now
+        self._open = False
+
     def _arrive(self) -> None:
+        if not self._open:
+            return  # stopped while this arrival was already scheduled
         self._issue()
         self._schedule_arrival()
 

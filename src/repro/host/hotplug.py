@@ -13,16 +13,34 @@ typed :class:`HotplugError` *before* any state is touched, and a
 fault-injected mid-transition abort (``kernel.fault_hooks["hotplug"]``)
 likewise fires before the first mutation, so an aborted transition
 leaves the core exactly as it found it.
+
+The transitions live on a :class:`HotplugController` bound to one host
+kernel.  Every transition — successful or aborted — is appended to the
+controller's typed log (:class:`HotplugResult`), which the elastic
+fleet sweep reads for its timeline and :meth:`HotplugController.audit`
+cross-checks against the tracer counters and the cores' online bits.
+The module-level :func:`offline_core`/:func:`online_core` functions are
+thin wrappers kept for one release; new code should go through the
+planner's controller (``planner.hotplug``).
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..costs import CostModel, DEFAULT_COSTS
 from ..sim.engine import SimulationError
 from .kernel import HostKernel
 from .threads import TCompute, TSleep
 
-__all__ = ["HotplugError", "offline_core", "online_core"]
+__all__ = [
+    "HotplugError",
+    "HotplugResult",
+    "HotplugController",
+    "offline_core",
+    "online_core",
+]
 
 
 class HotplugError(SimulationError):
@@ -30,15 +48,172 @@ class HotplugError(SimulationError):
     aborted mid-way (fault injection).  Host-visible only."""
 
 
-def _check_abort(kernel: HostKernel, direction: str, index: int) -> None:
-    """Consult the fault-injection hook; placed before any mutation so
-    an abort needs no rollback."""
-    hook = kernel.fault_hooks.get("hotplug")
-    if hook is not None and hook(direction, index):
-        kernel.machine.tracer.count("hotplug_abort")
-        raise HotplugError(
-            f"hotplug {direction} of core {index} aborted mid-transition"
+@dataclass(frozen=True)
+class HotplugResult:
+    """One logged hotplug transition (symmetric for both directions)."""
+
+    direction: str  # "offline" | "online"
+    core: int
+    ok: bool
+    started_ns: int
+    finished_ns: int
+    error: str = ""
+
+    @property
+    def duration_ns(self) -> int:
+        return self.finished_ns - self.started_ns
+
+
+class HotplugController:
+    """Hotplug transitions for one kernel, with a consumable log.
+
+    The planner owns one controller per server
+    (:attr:`~repro.host.planner.CorePlanner.hotplug`); every core it
+    acquires or reclaims flows through here, so the log is the complete
+    hotplug history of the machine.
+    """
+
+    def __init__(self, kernel: HostKernel, costs: CostModel = DEFAULT_COSTS):
+        self.kernel = kernel
+        self.costs = costs
+        self.log: List[HotplugResult] = []
+
+    # ------------------------------------------------------------------
+    # transitions (thread-body generator fragments)
+    # ------------------------------------------------------------------
+
+    def _check_abort(self, direction: str, index: int) -> None:
+        """Consult the fault-injection hook; placed before any mutation
+        so an abort needs no rollback."""
+        hook = self.kernel.fault_hooks.get("hotplug")
+        if hook is not None and hook(direction, index):
+            self.kernel.machine.tracer.count("hotplug_abort")
+            raise HotplugError(
+                f"hotplug {direction} of core {index} aborted mid-transition"
+            )
+
+    def _record(
+        self, direction: str, index: int, started_ns: int, error: str = ""
+    ) -> None:
+        self.log.append(
+            HotplugResult(
+                direction=direction,
+                core=index,
+                ok=not error,
+                started_ns=started_ns,
+                finished_ns=self.kernel.sim.now,
+                error=error,
+            )
         )
+
+    def offline(self, index: int, fallback_core: int):
+        """Take a core offline (thread-body generator fragment).
+
+        Afterwards the host scheduler no longer uses the core; its
+        clock stays up (the skipped frequency-scaling step) so the
+        monitor can take it over immediately.
+        """
+        machine = self.kernel.machine
+        core = machine.core(index)
+        if not core.online:
+            raise HotplugError(f"core {index} already offline")
+        started_ns = self.kernel.sim.now
+        # the hotplug state machine runs work on several CPUs and waits
+        # for RCU grace periods; we charge a little CPU and mostly wall
+        # time
+        yield TCompute(50_000)
+        yield TSleep(self.costs.hotplug_offline_ns)
+        try:
+            self._check_abort("offline", index)
+        except HotplugError as exc:
+            self._record("offline", index, started_ns, error=str(exc))
+            raise
+        self.kernel.migrate_all_from(index)
+        machine.gic.retarget_spis_away_from(index, fallback=fallback_core)
+        core.set_online(False)
+        # NOTE: the stock shutdown path would now drop the core's
+        # frequency and halt it; the core-gapping patch skips that
+        # (S4.2) and instead transfers control to the monitor (done by
+        # the caller).
+        self.kernel.kick_core(index)  # make its scheduler loop notice + exit
+        machine.tracer.count("hotplug_offline")
+        self._record("offline", index, started_ns)
+        return index
+
+    def online(self, index: int):
+        """Bring a reclaimed core back online for the host."""
+        machine = self.kernel.machine
+        core = machine.core(index)
+        if core.online:
+            raise HotplugError(f"core {index} already online")
+        started_ns = self.kernel.sim.now
+        yield TCompute(30_000)
+        yield TSleep(self.costs.hotplug_online_ns)
+        try:
+            self._check_abort("online", index)
+        except HotplugError as exc:
+            self._record("online", index, started_ns, error=str(exc))
+            raise
+        core.irq.reset()
+        core.set_online(True)
+        self.kernel.start_core(index)
+        self.kernel.unpark_for_core(index)
+        machine.tracer.count("hotplug_online")
+        self._record("online", index, started_ns)
+        return index
+
+    # ------------------------------------------------------------------
+    # log views + audit
+    # ------------------------------------------------------------------
+
+    def transitions(self, direction: Optional[str] = None) -> List[HotplugResult]:
+        """Logged transitions, optionally filtered by direction."""
+        if direction is None:
+            return list(self.log)
+        return [r for r in self.log if r.direction == direction]
+
+    def audit(self) -> List[str]:
+        """Cross-check the log against counters and the cores' state.
+
+        Returns human-readable problems (empty when clean):
+
+        * successful offline/online totals must equal the tracer's
+          ``hotplug_offline``/``hotplug_online`` counters (the log and
+          the metrics must tell the same story);
+        * replaying the log per core must land on the core's actual
+          ``online`` bit (no transition happened behind the log's back).
+        """
+        problems: List[str] = []
+        machine = self.kernel.machine
+        counters = machine.tracer.counters
+        for direction in ("offline", "online"):
+            logged = sum(
+                1 for r in self.log if r.direction == direction and r.ok
+            )
+            counted = int(counters.get(f"hotplug_{direction}", 0))
+            if logged != counted:
+                problems.append(
+                    f"hotplug log records {logged} {direction} "
+                    f"transition(s) but the hotplug_{direction} counter "
+                    f"says {counted}"
+                )
+        final: dict = {}
+        for result in self.log:
+            if result.ok:
+                final[result.core] = result.direction == "online"
+        for index, expect_online in sorted(final.items()):
+            actual = machine.core(index).online
+            if actual != expect_online:
+                problems.append(
+                    f"core {index}: log ends with "
+                    f"{'online' if expect_online else 'offline'} but the "
+                    f"core is {'online' if actual else 'offline'}"
+                )
+        return problems
+
+
+# ---------------------------------------------------------------------------
+# thin wrappers (deprecated shape; kept for one release)
 
 
 def offline_core(
@@ -47,30 +222,12 @@ def offline_core(
     fallback_core: int,
     costs: CostModel = DEFAULT_COSTS,
 ):
-    """Take a core offline (thread-body generator fragment).
+    """Deprecated wrapper: one-shot :meth:`HotplugController.offline`.
 
-    Afterwards the host scheduler no longer uses the core; its clock
-    stays up (the skipped frequency-scaling step) so the monitor can
-    take it over immediately.
+    The transition log of the throwaway controller is discarded; use
+    ``planner.hotplug.offline(...)`` to keep the machine's history.
     """
-    machine = kernel.machine
-    core = machine.core(index)
-    if not core.online:
-        raise HotplugError(f"core {index} already offline")
-    # the hotplug state machine runs work on several CPUs and waits for
-    # RCU grace periods; we charge a little CPU and mostly wall time
-    yield TCompute(50_000)
-    yield TSleep(costs.hotplug_offline_ns)
-    _check_abort(kernel, "offline", index)
-    kernel.migrate_all_from(index)
-    machine.gic.retarget_spis_away_from(index, fallback=fallback_core)
-    core.set_online(False)
-    # NOTE: the stock shutdown path would now drop the core's frequency
-    # and halt it; the core-gapping patch skips that (S4.2) and instead
-    # transfers control to the monitor (done by the caller).
-    kernel.kick_core(index)  # make its scheduler loop notice and exit
-    machine.tracer.count("hotplug_offline")
-    return index
+    return HotplugController(kernel, costs).offline(index, fallback_core)
 
 
 def online_core(
@@ -78,17 +235,5 @@ def online_core(
     index: int,
     costs: CostModel = DEFAULT_COSTS,
 ):
-    """Bring a reclaimed core back online for the host."""
-    machine = kernel.machine
-    core = machine.core(index)
-    if core.online:
-        raise HotplugError(f"core {index} already online")
-    yield TCompute(30_000)
-    yield TSleep(costs.hotplug_online_ns)
-    _check_abort(kernel, "online", index)
-    core.irq.reset()
-    core.set_online(True)
-    kernel.start_core(index)
-    kernel.unpark_for_core(index)
-    machine.tracer.count("hotplug_online")
-    return index
+    """Deprecated wrapper: one-shot :meth:`HotplugController.online`."""
+    return HotplugController(kernel, costs).online(index)

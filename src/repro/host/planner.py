@@ -14,7 +14,7 @@ enforcement turns scheduling violations into RMI errors, not leaks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..costs import CostModel, DEFAULT_COSTS
 from ..guest.vm import GuestVm
@@ -24,7 +24,7 @@ from ..rmm.rmi import RmiCommand, RmiResult
 from ..rpc.ports import AsyncRpcPort, RpcTimeoutError, SyncRpcPort
 from ..sim.engine import Event, SimulationError
 from ..sim.timeout import TIMED_OUT, with_timeout
-from .hotplug import HotplugError, offline_core, online_core
+from .hotplug import HotplugController, HotplugError
 from .kernel import HostKernel
 from .kvm import KvmVm, VmMode
 from .threads import TCompute, TSpin
@@ -68,6 +68,12 @@ class CorePlanner:
         self.sync_timeout_ns: Optional[int] = None
         #: vm name -> dedicated core list
         self.allocations: Dict[str, List[int]] = {}
+        #: every hotplug transition this planner drives flows through
+        #: one controller, so its log is the machine's hotplug history
+        self.hotplug = HotplugController(kernel, costs)
+        #: (vm name, vcpu index) -> resume event of a parked (shrunk)
+        #: vCPU; grow_vcpu pops and fires it
+        self.parked: Dict[Tuple[str, int], Event] = {}
         #: bump allocator for granules handed to the RMM
         self._next_granule = 1 << 30
 
@@ -164,9 +170,7 @@ class CorePlanner:
                 )
             index = candidates[0]
             try:
-                yield from offline_core(
-                    self.kernel, index, fallback, self.costs
-                )
+                yield from self.hotplug.offline(index, fallback)
             except HotplugError:
                 self.machine.tracer.count("planner_hotplug_retry")
                 abandoned.add(index)
@@ -182,7 +186,7 @@ class CorePlanner:
             self.engine.dedicated[index].inbox.try_put(release)
             yield TSpin(release.done)
             try:
-                yield from online_core(self.kernel, index, self.costs)
+                yield from self.hotplug.online(index)
             except HotplugError:
                 # an abort during rollback leaves the core parked
                 # offline; it is unusable but in a consistent state
@@ -283,9 +287,7 @@ class CorePlanner:
         acked, resume = kvm.pause_vcpu(vcpu_idx)
         yield TSpin(acked)
         # 2. prepare the destination
-        yield from offline_core(
-            self.kernel, new_core, min(self.host_cores), self.costs
-        )
+        yield from self.hotplug.offline(new_core, min(self.host_cores))
         self.engine.dedicate(new_core)
         # 3. ask the current core to hand over (validates READY state)
         rec = self.engine.rmm.find_rec(kvm.realm_id, vcpu_idx)
@@ -299,7 +301,7 @@ class CorePlanner:
             release = ReleaseCall(done=Event(f"release:{new_core}"))
             self.engine.dedicated[new_core].inbox.try_put(release)
             yield TSpin(release.done)
-            yield from online_core(self.kernel, new_core, self.costs)
+            yield from self.hotplug.online(new_core)
             resume.fire(None)
             raise SimulationError(f"rebind refused: {result}")
         # 4. reclaim the old core for the host
@@ -308,7 +310,7 @@ class CorePlanner:
         release_result = yield TSpin(release.done)
         if not release_result.ok:
             raise SimulationError(f"old core release failed: {release_result}")
-        yield from online_core(self.kernel, old_core, self.costs)
+        yield from self.hotplug.online(old_core)
         # 5. bookkeeping + resume the vCPU (its next run call lands in
         # the new core's inbox via the updated binding)
         kvm.planned_cores[vcpu_idx] = new_core
@@ -352,6 +354,84 @@ class CorePlanner:
             return (False, str(exc))
         return (True, new_core)
 
+    def shrink_vcpu(self, kvm: KvmVm, vcpu_idx: int):
+        """Autoscaler shrink: park one vCPU, reclaim its core (thread body).
+
+        The vCPU thread is paused between run calls, the REC's binding
+        is dropped monitor-side (:class:`~repro.rmm.core_gap.UnbindCall`,
+        which scrubs the core), and the core is released and hotplugged
+        back online for the host.  The REC keeps its runtime state; a
+        later :meth:`grow_vcpu` re-binds it to a fresh core.
+        """
+        from ..rmm.core_gap import UnbindCall
+
+        vm = kvm.vm
+        key = (vm.name, vcpu_idx)
+        if key in self.parked:
+            raise SimulationError(
+                f"vcpu {vcpu_idx} of {vm.name} is already parked"
+            )
+        # 1. park the vCPU thread between run calls
+        acked, resume = kvm.pause_vcpu(vcpu_idx)
+        yield TSpin(acked)
+        self.parked[key] = resume
+        old_core = kvm.planned_cores[vcpu_idx]
+        # 2. drop the binding monitor-side (validates READY, scrubs)
+        unbind = UnbindCall(
+            kvm.realm_id, vcpu_idx, Event(f"unbind:{vm.name}.{vcpu_idx}")
+        )
+        self.engine.dedicated[old_core].inbox.try_put(unbind)
+        result = yield TSpin(unbind.done)
+        if not result.ok:
+            self.parked.pop(key, None)
+            resume.fire(None)
+            raise SimulationError(f"shrink refused: {result}")
+        # 3. reclaim the core for the host
+        release = ReleaseCall(done=Event(f"release:{old_core}"))
+        self.engine.dedicated[old_core].inbox.try_put(release)
+        release_result = yield TSpin(release.done)
+        if not release_result.ok:
+            raise SimulationError(
+                f"core {old_core} release failed: {release_result}"
+            )
+        yield from self.hotplug.online(old_core)
+        self.allocations[vm.name].remove(old_core)
+        self.machine.tracer.count("planner_shrink_count")
+        return old_core
+
+    def grow_vcpu(self, kvm: KvmVm, vcpu_idx: int):
+        """Autoscaler grow: give a parked vCPU a fresh dedicated core.
+
+        Thread-body generator.  Hotplugs a free core away from the
+        host, dedicates it, points the parked vCPU at it and resumes
+        the thread; the REC's next dispatch becomes a first dispatch on
+        the new core (permanent binding, S4.2).  Refused cleanly with
+        :class:`AdmissionError` when no core is free.
+        """
+        vm = kvm.vm
+        key = (vm.name, vcpu_idx)
+        resume = self.parked.get(key)
+        if resume is None:
+            raise SimulationError(
+                f"vcpu {vcpu_idx} of {vm.name} is not parked"
+            )
+        free = self.free_cores()
+        if not free:
+            self.machine.tracer.count("planner_grow_refused_count")
+            raise AdmissionError(
+                f"no spare core to grow {vm.name} back to "
+                f"vcpu {vcpu_idx}"
+            )
+        index = free[0]
+        yield from self.hotplug.offline(index, min(self.host_cores))
+        self.engine.dedicate(index)
+        kvm.planned_cores[vcpu_idx] = index
+        self.allocations[vm.name].append(index)
+        self.parked.pop(key)
+        resume.fire(None)
+        self.machine.tracer.count("planner_grow_count")
+        return index
+
     def terminate_cvm(self, kvm: KvmVm):
         """Destroy a finished CVM and reclaim its cores (thread body)."""
         vm = kvm.vm
@@ -370,6 +450,33 @@ class CorePlanner:
             result = yield TSpin(release.done)
             if not result.ok:
                 raise SimulationError(f"core {index} release failed: {result}")
-            yield from online_core(self.kernel, index, self.costs)
+            yield from self.hotplug.online(index)
         self.allocations.pop(vm.name, None)
+        # parked (shrunk) vCPU threads of this VM stay parked forever;
+        # their resume events die with the bookkeeping
+        for key in [k for k in self.parked if k[0] == vm.name]:
+            self.parked.pop(key)
         return len(cores)
+
+    def evict_cvm(self, kvm: KvmVm):
+        """Tear down a *still-serving* CVM (thread body).
+
+        :meth:`terminate_cvm` assumes every REC is READY (finished
+        workloads).  Eviction first parks every live vCPU thread
+        between run calls — the same pause handshake the rebind path
+        uses — so REC_DESTROY always sees a READY REC, then reuses the
+        terminate path.  Returns the number of reclaimed cores.
+        """
+        vm = kvm.vm
+        for idx in range(vm.n_vcpus):
+            if (vm.name, idx) in self.parked:
+                continue  # already parked by an earlier shrink
+            rec = self.engine.rmm.find_rec(kvm.realm_id, idx)
+            if rec.runtime is not None and rec.runtime.finished:
+                continue  # workload done; its thread has exited
+            acked, resume = kvm.pause_vcpu(idx)
+            yield TSpin(acked)
+            self.parked[(vm.name, idx)] = resume
+        released = yield from self.terminate_cvm(kvm)
+        self.machine.tracer.count("planner_evict_count")
+        return released

@@ -56,6 +56,37 @@ CATALOG: List[MetricSpec] = [
     _legacy_counter("hotplug_offline", "cores taken offline"),
     _legacy_counter("hotplug_online", "cores brought online"),
     _legacy_counter("hotplug_abort", "injected hotplug transition aborts"),
+    # -- elastic lifecycle (planner verbs; digested counters) ----------
+    MetricSpec(
+        "planner_shrink_count",
+        "counter",
+        Unit.COUNT,
+        "vCPUs parked and their cores reclaimed (autoscaler shrink)",
+    ),
+    MetricSpec(
+        "planner_grow_count",
+        "counter",
+        Unit.COUNT,
+        "parked vCPUs re-bound to fresh dedicated cores (grow)",
+    ),
+    MetricSpec(
+        "planner_grow_refused_count",
+        "counter",
+        Unit.COUNT,
+        "grow requests refused for want of a free core",
+    ),
+    MetricSpec(
+        "planner_evict_count",
+        "counter",
+        Unit.COUNT,
+        "still-serving CVMs torn down by the lifecycle controller",
+    ),
+    MetricSpec(
+        "rec_unbind_count",
+        "counter",
+        Unit.COUNT,
+        "REC core bindings dropped monitor-side (shrink/park)",
+    ),
     # -- fault injection / chaos ---------------------------------------
     _legacy_counter("fault:*", "injected faults by kind (repro.faults)"),
     _legacy_counter("chaos_launch_refused", "chaos launches cleanly refused"),
@@ -135,6 +166,49 @@ CATALOG: List[MetricSpec] = [
         Unit.COUNT,
         "completions attributed to recovery windows and charged "
         "against tenant SLOs",
+    ),
+    # -- elastic fleet lifecycle gauges (repro.fleet.elastic) ----------
+    MetricSpec(
+        "fleet_admit_count",
+        "gauge",
+        Unit.COUNT,
+        "tenants admitted over a run (boot-time plus churn arrivals)",
+    ),
+    MetricSpec(
+        "fleet_evict_count",
+        "gauge",
+        Unit.COUNT,
+        "tenants drained and evicted (churn departures)",
+    ),
+    MetricSpec(
+        "fleet_reject_count",
+        "gauge",
+        Unit.COUNT,
+        "admissions refused (placement or churn cap)",
+    ),
+    MetricSpec(
+        "fleet_resize_up_count",
+        "gauge",
+        Unit.COUNT,
+        "single-vCPU autoscaler grow steps applied",
+    ),
+    MetricSpec(
+        "fleet_resize_down_count",
+        "gauge",
+        Unit.COUNT,
+        "single-vCPU autoscaler shrink steps applied",
+    ),
+    MetricSpec(
+        "fleet_migrate_count",
+        "gauge",
+        Unit.COUNT,
+        "tenants migrated between servers by the rebalancer",
+    ),
+    MetricSpec(
+        "fleet_migration_downtime_ns",
+        "gauge",
+        Unit.NS,
+        "simulated blackout charged to migrated tenants' SLOs",
     ),
     # -- end-of-run structural gauges (harvested by System.finish) -----
     MetricSpec(

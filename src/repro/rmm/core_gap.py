@@ -52,6 +52,8 @@ __all__ = [
     "RunCall",
     "RmiCall",
     "ReleaseCall",
+    "RebindCall",
+    "UnbindCall",
     "DedicatedCore",
     "CoreGapEngine",
 ]
@@ -102,6 +104,25 @@ class RebindCall:
     realm_id: int
     rec_index: int
     target_core: int
+    done: Event
+
+
+@dataclass
+class UnbindCall:
+    """Detach a (READY, parked) REC from this core without rebinding.
+
+    The vcpu-autoscaler's shrink half: the planner parks the vCPU
+    thread host-side, asks the REC's core to drop the binding, then
+    releases the core back to the host.  Mirrors :class:`RebindCall`'s
+    validation — the REC must be READY (no run call outstanding) and
+    bound *here* — and like every ownership change the core is scrubbed
+    (``policy.on_reassignment``) before it can carry anyone else.  The
+    REC keeps its runtime state; a later grow re-binds it to a fresh
+    dedicated core at its next first dispatch.
+    """
+
+    realm_id: int
+    rec_index: int
     done: Event
 
 
@@ -164,6 +185,8 @@ class DedicatedCore:
                 yield from self._handle_run(item)
             elif isinstance(item, RebindCall):
                 yield from self._handle_rebind(item)
+            elif isinstance(item, UnbindCall):
+                yield from self._handle_unbind(item)
             elif isinstance(item, ReleaseCall):
                 self._handle_release(item)
             else:
@@ -228,7 +251,67 @@ class DedicatedCore:
         target.bound_rec = rec
         target.guest_domain = self.rmm.realms[call.realm_id].domain
         self.tracer.count("rec_rebind")
+        self.tracer.tenure_cut(
+            self.sim.now,
+            self.core.index,
+            self.rmm.realms[call.realm_id].domain.name,
+        )
         call.done.fire(RmiResult(RmiStatus.SUCCESS, target.core.index))
+
+    def _handle_unbind(self, call: UnbindCall):
+        """Detach our REC without a destination core (autoscaler shrink).
+
+        Validation mirrors :meth:`_handle_rebind`; on success this core
+        is scrubbed and left unbound, and the REC is free to take a new
+        permanent binding at its next first dispatch (grow).
+        """
+        yield from self.core.execute(
+            MONITOR_DOMAIN, 2_000, interruptible=False
+        )
+        try:
+            rec = self.rmm.find_rec(call.realm_id, call.rec_index)
+        except Exception as exc:  # noqa: BLE001 - host input error
+            call.done.fire(RmiResult(RmiStatus.ERROR_INPUT, str(exc)))
+            return
+        if rec.bound_core is None and self.bound_rec is None:
+            # the vCPU was parked before its first dispatch: there is no
+            # binding to drop, but the core is scrubbed all the same
+            self.engine.policy.on_reassignment(self.core)
+            self.tracer.count("rec_unbind_count")
+            self.tracer.tenure_cut(
+                self.sim.now,
+                self.core.index,
+                self.rmm.realms[call.realm_id].domain.name,
+            )
+            call.done.fire(RmiResult(RmiStatus.SUCCESS, self.core.index))
+            return
+        if rec is not self.bound_rec:
+            call.done.fire(
+                RmiResult(
+                    RmiStatus.ERROR_CORE_BINDING,
+                    f"{rec.name} is not bound to core {self.core.index}",
+                )
+            )
+            return
+        if rec.state is not RecState.READY:
+            call.done.fire(
+                RmiResult(RmiStatus.ERROR_REC, f"{rec.name} is running")
+            )
+            return
+        self.engine.policy.on_reassignment(self.core)
+        self.bound_rec = None
+        self.guest_domain = None
+        rec.bound_core = None
+        self.tracer.count("rec_unbind_count")
+        # the tenure cut lets the auditor end this realm's occupancy
+        # window here: a later re-dedication of the same core (grow
+        # after shrink) reads as a fresh window, not one long shared one
+        self.tracer.tenure_cut(
+            self.sim.now,
+            self.core.index,
+            self.rmm.realms[call.realm_id].domain.name,
+        )
+        call.done.fire(RmiResult(RmiStatus.SUCCESS, self.core.index))
 
     def _handle_release(self, call: ReleaseCall) -> None:
         if self.bound_rec is not None and (

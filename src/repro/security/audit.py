@@ -18,6 +18,7 @@ calls leaking; on core-gapped schedules it must return clean.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -144,6 +145,35 @@ def audit_conservation(
     return problems
 
 
+def _split_tenures(
+    spans: List[Tuple[int, int]], boundaries: Iterable[int]
+) -> List[Tuple[int, int]]:
+    """Partition one domain's (start, end) spans on a core into tenure
+    windows, cut at scrubbed unbind times.
+
+    A span belongs to the tenure that was live when it started; the
+    window of each tenure is [min start, max end] over its spans.  With
+    no boundaries this degenerates to the single occupancy window the
+    audit always used.
+    """
+    cuts = sorted(boundaries)
+    if not cuts:
+        first = min(start for start, _ in spans)
+        last = max(end for _, end in spans)
+        return [(first, last)]
+    groups: Dict[int, List[Tuple[int, int]]] = {}
+    for start, end in spans:
+        index = bisect.bisect_right(cuts, start)
+        groups.setdefault(index, []).append((start, end))
+    return [
+        (
+            min(start for start, _ in group),
+            max(end for _, end in group),
+        )
+        for _, group in sorted(groups.items())
+    ]
+
+
 class CoreGapAuditor:
     """Checks schedules and residual state against the threat model."""
 
@@ -185,21 +215,31 @@ class CoreGapAuditor:
         overlap -- a host that ran only *before* dedication, or a realm
         that reused a core after another realm was destroyed (and its
         state scrubbed; see the residency audit), is legitimate.
+
+        A monitor-mediated unbind or rebind (autoscaler shrink/park,
+        evacuation) *ends* the realm's tenure on its core: the core is
+        scrubbed and handed back, and a later re-dedication -- even to
+        the same realm -- opens a fresh occupancy window.  The monitor
+        records each such scrubbed ownership change as a tenure cut
+        (:meth:`~repro.sim.trace.Tracer.tenure_cut`), so host spans
+        between two tenures of one realm are not violations.
         """
         violations: List[SharingViolation] = []
-        windows: Dict[int, Dict[str, Tuple[int, int]]] = {}
         spans_by_core: Dict[int, List] = {}
         for span in tracer.spans:
-            per_core = windows.setdefault(span.core, {})
-            first, last = per_core.get(span.domain, (span.start, span.end))
-            per_core[span.domain] = (
-                min(first, span.start),
-                max(last, span.end),
-            )
             spans_by_core.setdefault(span.core, []).append(span)
+        # tenure boundaries: (core, domain) -> scrubbed handoff times
+        unbinds: Dict[Tuple[int, str], List[int]] = {}
+        for cut in getattr(tracer, "tenure_cuts", []):
+            unbinds.setdefault((cut.core, cut.domain), []).append(cut.time)
         seen_pairs = set()
-        for core, domains in sorted(windows.items()):
-            for name, (first, last) in domains.items():
+        for core in sorted(spans_by_core):
+            windows: Dict[str, List[Tuple[int, int]]] = {}
+            for span in spans_by_core[core]:
+                windows.setdefault(span.domain, []).append(
+                    (span.start, span.end)
+                )
+            for name, owned in windows.items():
                 owner = self._resolve(name)
                 if not (owner.is_realm or owner.name.startswith("vm:")):
                     # the invariant is stated for guests: their occupancy
@@ -207,28 +247,33 @@ class CoreGapAuditor:
                     # legitimately has gaps (hotplug off -> realm
                     # lifetime -> hotplug on), so it is not a window.
                     continue
+                tenures = _split_tenures(
+                    owned, unbinds.get((core, name), ())
+                )
                 for span in spans_by_core[core]:
                     if span.domain == name:
                         continue
                     other = self._resolve(span.domain)
                     if not owner.distrusts(other):
                         continue
-                    # a foreign span strictly inside the owner's
-                    # occupancy window is the leak
-                    if span.start < last and span.end > first:
-                        key = (core, *sorted((name, span.domain)))
-                        if key in seen_pairs:
-                            continue
-                        seen_pairs.add(key)
-                        violations.append(
-                            SharingViolation(
-                                core,
-                                name,
-                                span.domain,
-                                first,
-                                span.start,
+                    # a foreign span strictly inside one of the owner's
+                    # tenure windows is the leak
+                    for first, last in tenures:
+                        if span.start < last and span.end > first:
+                            key = (core, *sorted((name, span.domain)))
+                            if key in seen_pairs:
+                                break
+                            seen_pairs.add(key)
+                            violations.append(
+                                SharingViolation(
+                                    core,
+                                    name,
+                                    span.domain,
+                                    first,
+                                    span.start,
+                                )
                             )
-                        )
+                            break
         return violations
 
     # ------------------------------------------------------------------

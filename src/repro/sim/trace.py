@@ -67,6 +67,12 @@ class Tracer:
         self.gauges: Dict[str, float] = {}
         self._open_spans: Dict[int, Tuple[str, int]] = {}
         self.spans: List[ExecutionSpan] = []
+        #: (time, core, domain) marks where a scrubbed ownership change
+        #: ended a domain's tenure on a core (monitor unbind/rebind).
+        #: Always recorded -- the core-gap auditor needs them to split
+        #: occupancy windows even when record storage is disabled --
+        #: and, like gauges, never part of the sanitizer digest.
+        self.tenure_cuts: List[TraceRecord] = []
         self._samples: Dict[str, List[float]] = defaultdict(list)
 
     # -- events ---------------------------------------------------------
@@ -97,6 +103,13 @@ class Tracer:
 
     def count(self, kind: str, amount: int = 1) -> None:
         self.counters[kind] += amount
+
+    def tenure_cut(self, time: int, core: int, domain: str) -> None:
+        """Mark a scrubbed ownership change: ``domain``'s tenure on
+        ``core`` ends now.  Recorded regardless of ``enabled``."""
+        self.tenure_cuts.append(
+            TraceRecord(time, "tenure-cut", core, domain, None)
+        )
 
     def sample(self, name: str, value: float) -> None:
         """Record one scalar observation (latency, size, ...)."""

@@ -111,6 +111,7 @@ SNAP_FIELDS: Dict[str, CaptureSpec] = {
         "spans",
         "counters",
         "gauges",
+        "tenure_cuts",
         "_open_spans",
         "_samples",
     ),
@@ -366,6 +367,8 @@ SNAP_FIELDS: Dict[str, CaptureSpec] = {
     "repro.host.planner:CorePlanner": _spec(
         "host_cores",
         "allocations",
+        "parked",
+        "hotplug",
         "sync_port",
         "sync_timeout_ns",
         "_next_granule",
@@ -373,6 +376,11 @@ SNAP_FIELDS: Dict[str, CaptureSpec] = {
         engine=WIRING,
         machine=WIRING,
         notifier=WIRING,
+        costs=STATIC,
+    ),
+    "repro.host.hotplug:HotplugController": _spec(
+        "log",
+        kernel=WIRING,
         costs=STATIC,
     ),
     "repro.host.wakeup:ExitNotifier": _spec(

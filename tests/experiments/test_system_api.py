@@ -1,4 +1,4 @@
-"""System API contract: kvm-only device calls, shims, drive-loop limits."""
+"""System API contract: kvm-only device calls, drive-loop limits."""
 
 import warnings
 
@@ -42,32 +42,21 @@ class TestDeviceApi:
             ("add_sriov_nic", "sriov-net0"),
         ],
     )
-    def test_legacy_vm_kvm_pair_warns_and_still_works(self, method, default):
+    def test_omitted_name_uses_per_kind_default(self, method, default):
         system = System(SystemConfig(mode="shared", n_cores=4))
-        vm, kvm = launch(system)
-        with pytest.warns(DeprecationWarning, match="vm argument is redundant"):
-            device = getattr(system, method)(vm, kvm)
+        _, kvm = launch(system)
+        device = getattr(system, method)(kvm)
         assert device.name == default
 
-    def test_legacy_pair_with_name_keeps_the_name(self):
+    def test_legacy_vm_kvm_pair_now_a_type_error(self):
         system = System(SystemConfig(mode="shared", n_cores=4))
         vm, kvm = launch(system)
-        with pytest.warns(DeprecationWarning):
-            device = system.add_virtio_net(vm, kvm, "lan0")
-        assert device.name == "lan0"
-
-    def test_mismatched_pair_rejected(self):
-        system = System(SystemConfig(mode="shared", n_cores=8))
-        vm_a, _ = launch(system)
-        other = GuestVm("u", 2, forever)
-        kvm_b = system.launch(other)
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="is not kvm.vm"):
-                system.add_virtio_net(vm_a, kvm_b)
+        with pytest.raises(TypeError, match="must be a KvmVm"):
+            system.add_virtio_net(vm, kvm)
 
     def test_wrong_first_argument_type_rejected(self):
         system = System(SystemConfig(mode="shared", n_cores=4))
-        with pytest.raises(TypeError):
+        with pytest.raises(TypeError, match="must be a KvmVm"):
             system.add_virtio_net("not-a-kvm")
 
 

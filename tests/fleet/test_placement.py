@@ -114,7 +114,7 @@ class TestAdmissionControl:
             tenants=(tenant("ok", 2), tenant("big", 12)),
             duration_ns=ms(5),
         )
-        fleet = spec.boot(strict=False)
+        fleet = spec.boot(admission="best_effort")
         result = fleet.run()
         assert result.rejected == ["big"]
         names = [vm.spec.name for server in fleet.servers for vm in server.vms]

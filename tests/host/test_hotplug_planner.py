@@ -110,6 +110,62 @@ class TestHotplug:
         assert system.tracer.counters["hotplug_online"] == 2
 
 
+class TestHotplugController:
+    """The typed log + audit on the planner's controller."""
+
+    def test_transitions_are_logged_with_typed_results(self, system):
+        hotplug = system.planner.hotplug
+        run_thread_body(system, hotplug.offline(2, fallback_core=0))
+        run_thread_body(system, hotplug.online(2))
+        directions = [(r.direction, r.core, r.ok) for r in hotplug.log]
+        assert directions == [("offline", 2, True), ("online", 2, True)]
+        assert all(r.duration_ns > 0 for r in hotplug.log)
+        assert all(r.error == "" for r in hotplug.log)
+
+    def test_aborted_transition_logged_as_failure(self, system):
+        hotplug = system.planner.hotplug
+        system.kernel.fault_hooks["hotplug"] = lambda direction, idx: True
+        with pytest.raises(HotplugError, match="aborted"):
+            run_thread_body(system, hotplug.offline(2, fallback_core=0))
+        (result,) = hotplug.log
+        assert not result.ok
+        assert "aborted" in result.error
+        # the failed transition stays out of the counter cross-check
+        assert hotplug.audit() == []
+
+    def test_transitions_view_filters_by_direction(self, system):
+        hotplug = system.planner.hotplug
+        run_thread_body(system, hotplug.offline(2, fallback_core=0))
+        run_thread_body(system, hotplug.online(2))
+        run_thread_body(system, hotplug.offline(3, fallback_core=0))
+        assert [r.core for r in hotplug.transitions("offline")] == [2, 3]
+        assert [r.core for r in hotplug.transitions("online")] == [2]
+        assert len(hotplug.transitions()) == 3
+
+    def test_audit_flags_counter_log_divergence(self, system):
+        hotplug = system.planner.hotplug
+        run_thread_body(system, hotplug.offline(2, fallback_core=0))
+        system.tracer.count("hotplug_offline")  # behind the log's back
+        problems = hotplug.audit()
+        assert any("hotplug_offline counter" in p for p in problems)
+
+    def test_audit_flags_core_state_divergence(self, system):
+        hotplug = system.planner.hotplug
+        run_thread_body(system, hotplug.offline(2, fallback_core=0))
+        system.machine.core(2).set_online(True)  # behind the log's back
+        problems = hotplug.audit()
+        assert any("core 2" in p for p in problems)
+
+    def test_wrappers_route_through_a_throwaway_controller(self, system):
+        # the deprecated one-shot shape still transitions correctly but
+        # keeps no history on the planner's controller
+        run_thread_body(
+            system, offline_core(system.kernel, 2, fallback_core=0)
+        )
+        assert not system.machine.core(2).online
+        assert system.planner.hotplug.log == []
+
+
 def forever(vm, index):
     def body():
         while True:

@@ -138,6 +138,35 @@ class TestAuditor:
         violations = CoreGapAuditor().audit_schedule(tracer)
         assert len(violations) == 1
 
+    def test_tenure_cut_splits_occupancy_window(self):
+        """Unbind + scrub ends the realm's tenure: host use between two
+        *tenures* of the same realm on the same core is legitimate
+        (shrink parks the vCPU, the host reclaims the core, a later
+        grow re-dedicates it)."""
+        tracer = Tracer()
+        tracer.begin_span(0, 0, "realm:1")
+        tracer.end_span(100, 0)
+        tracer.tenure_cut(100, 0, "realm:1")
+        tracer.begin_span(100, 0, "host")
+        tracer.end_span(200, 0)
+        tracer.begin_span(200, 0, "realm:1")
+        tracer.end_span(300, 0)
+        assert CoreGapAuditor().audit_schedule(tracer) == []
+
+    def test_tenure_cut_does_not_excuse_sharing_within_a_tenure(self):
+        """A cut on another core (or after the fact) changes nothing:
+        host time inside one uncut occupancy window stays a violation."""
+        tracer = Tracer()
+        tracer.begin_span(0, 0, "realm:1")
+        tracer.end_span(100, 0)
+        tracer.tenure_cut(100, 1, "realm:1")  # different core
+        tracer.begin_span(100, 0, "host")
+        tracer.end_span(200, 0)
+        tracer.begin_span(200, 0, "realm:1")
+        tracer.end_span(300, 0)
+        violations = CoreGapAuditor().audit_schedule(tracer)
+        assert len(violations) == 1
+
     def test_sequential_realms_clean_after_scrub(self):
         """Realm 2 reuses realm 1's core after destruction: legitimate
         (the release path flushes all microarchitectural state; the
